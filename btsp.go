@@ -1,0 +1,23 @@
+package serviceordering
+
+import "serviceordering/internal/btsp"
+
+// BTSPInstance is a bottleneck Hamiltonian-path instance. The paper proves
+// hardness of service ordering by reduction from this problem: set every
+// selectivity to 1 and every processing cost to 0, and Eq. (1) degenerates
+// to the maximum edge weight along the path.
+type BTSPInstance = btsp.Instance
+
+// NewBTSP validates a weight matrix and builds a bottleneck-TSP instance.
+func NewBTSP(weights [][]float64) (*BTSPInstance, error) { return btsp.New(weights) }
+
+// SolveBTSPExact returns a minimum-bottleneck Hamiltonian path and its
+// cost, via binary search over edge weights with a subset-reachability DP
+// (at most 16 vertices).
+func SolveBTSPExact(in *BTSPInstance) ([]int, float64, error) { return btsp.SolveExact(in) }
+
+// SolveBTSPNearestNeighbor returns the best nearest-neighbor path over all
+// start vertices — fast, no optimality guarantee.
+func SolveBTSPNearestNeighbor(in *BTSPInstance) ([]int, float64) {
+	return btsp.SolveNearestNeighbor(in)
+}

@@ -1,0 +1,84 @@
+// Command dqbench runs the evaluation suite: every table and figure
+// listed in DESIGN.md, printed as plain text or markdown (the source of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dqbench                  # full suite (minutes)
+//	dqbench -quick           # CI-sized sweeps (seconds)
+//	dqbench -run F3,F7       # selected experiments
+//	dqbench -markdown        # markdown tables for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"serviceordering/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dqbench", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "CI-sized sweeps")
+		seed     = fs.Int64("seed", 1, "instance generation seed")
+		markdown = fs.Bool("markdown", false, "render markdown tables")
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-3s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := exper.Config{Quick: *quick, Seed: *seed}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*runList, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+
+	started := time.Now()
+	ran := 0
+	for _, e := range exper.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *markdown {
+			if err := table.Markdown(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := table.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -run=%q", *runList)
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(started).Round(time.Millisecond))
+	return nil
+}

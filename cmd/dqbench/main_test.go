@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunSelectedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	if err := run([]string{"-quick", "-run", "T1"}); err != nil {
+		t.Fatalf("run -quick -run T1: %v", err)
+	}
+	if err := run([]string{"-quick", "-run", "f5", "-markdown"}); err != nil {
+		t.Fatalf("case-insensitive selection failed: %v", err)
+	}
+}
+
+func TestRunNoMatch(t *testing.T) {
+	if err := run([]string{"-run", "Z9"}); err == nil {
+		t.Fatalf("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+func TestRunGeneratesValidInstance(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "q.json")
+	err := run([]string{"-n", "7", "-seed", "3", "-topology", "clustered", "-heterogeneity", "12", "-o", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	inst, err := model.LoadInstance(out)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if inst.Query.N() != 7 {
+		t.Errorf("N = %d, want 7", inst.Query.N())
+	}
+	if inst.Comment == "" {
+		t.Errorf("provenance comment missing")
+	}
+}
+
+func TestRunAllTopologies(t *testing.T) {
+	dir := t.TempDir()
+	for _, topo := range []string{"random", "uniform", "euclidean", "clustered"} {
+		out := filepath.Join(dir, topo+".json")
+		if err := run([]string{"-n", "5", "-topology", topo, "-o", out}); err != nil {
+			t.Errorf("topology %s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunExtensionsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ext.json")
+	err := run([]string{"-n", "6", "-source", "-sink", "-precedence", "2", "-proliferative", "0.3", "-o", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	inst, err := model.LoadInstance(out)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if inst.Query.SourceTransfer == nil || inst.Query.SinkTransfer == nil {
+		t.Errorf("source/sink missing")
+	}
+	if len(inst.Query.Precedence) != 2 {
+		t.Errorf("precedence edges = %d, want 2", len(inst.Query.Precedence))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-topology", "ring"}); err == nil {
+		t.Errorf("unknown topology accepted")
+	}
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Errorf("zero services accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	// Default output goes to stdout; just ensure it doesn't error.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run([]string{"-n", "4"}); err != nil {
+		t.Fatalf("run to stdout: %v", err)
+	}
+}

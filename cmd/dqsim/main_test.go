@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+func writeFixture(t *testing.T, withPlan bool) string {
+	t.Helper()
+	q, err := model.NewQuery(
+		[]model.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	inst := &model.Instance{Query: q}
+	if withPlan {
+		inst.Plan = model.Plan{0, 1, 2}
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := model.SaveInstance(path, inst); err != nil {
+		t.Fatalf("SaveInstance: %v", err)
+	}
+	return path
+}
+
+func TestRunWithStoredPlan(t *testing.T) {
+	in := writeFixture(t, true)
+	if err := run([]string{"-in", in, "-tuples", "2000"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunOptimizesWhenNoPlan(t *testing.T) {
+	in := writeFixture(t, false)
+	if err := run([]string{"-in", in, "-tuples", "1000", "-bernoulli", "-seed", "7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFlagsAndErrors(t *testing.T) {
+	in := writeFixture(t, true)
+	if err := run([]string{"-in", in, "-tuples", "500", "-block", "8", "-queue", "2", "-latency", "0.5"}); err != nil {
+		t.Fatalf("run with custom flags: %v", err)
+	}
+	if err := run([]string{}); err == nil {
+		t.Errorf("missing -in accepted")
+	}
+	if err := run([]string{"-in", "nope.json"}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	if err := run([]string{"-in", in, "-tuples", "0"}); err == nil {
+		t.Errorf("zero tuples accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package serviceordering finds optimal service orderings for pipelined
+// queries executed over decentralized web services, implementing the
+// branch-and-bound algorithm of Tsamoura, Gounaris and Manolopoulos,
+// "Brief Announcement: On the Quest of Optimal Service Ordering in
+// Decentralized Queries" (PODC 2010).
+//
+// # The problem
+//
+// A query is a set of services; each service WSi has a per-tuple
+// processing cost c_i, a selectivity sigma_i, and pairwise per-tuple
+// transfer costs t_ij to every other service. Under pipelined,
+// decentralized execution (each service streams its output directly to
+// the next), the query response time is governed by the slowest stage:
+//
+//	cost(S) = max_i ( prod_{k before i} sigma_k ) * ( c_i + sigma_i * t_{i,i+1} )
+//
+// Minimizing this bottleneck cost over all linear orderings generalizes
+// the bottleneck traveling-salesman problem and is NP-hard; this library
+// solves moderate instances exactly in microseconds-to-milliseconds via
+// lemma-driven pruning, and ships heuristics for larger ones.
+//
+// # Quick start
+//
+//	q, err := serviceordering.NewQuery(
+//		[]serviceordering.Service{
+//			{Name: "credit-cards", Cost: 0.8, Selectivity: 2.0},
+//			{Name: "payment-history", Cost: 0.3, Selectivity: 0.2},
+//		},
+//		[][]float64{
+//			{0, 0.05},
+//			{0.10, 0},
+//		})
+//	if err != nil { ... }
+//	res, err := serviceordering.Optimize(q)
+//	// res.Plan is the provably optimal ordering, res.Cost its bottleneck.
+//
+// Beyond optimization the library bundles the full evaluation substrate
+// of the paper's experiments: baseline algorithms (exhaustive, greedy,
+// the Srivastava et al. uniform-communication optimum, local search,
+// simulated annealing), a discrete-event simulator that validates the
+// cost model (Simulate), a real concurrent choreography runtime over
+// channels or loopback TCP (Execute), workload generators, and a
+// bottleneck-TSP solver. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for reproduced results.
+package serviceordering

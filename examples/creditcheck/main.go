@@ -1,0 +1,82 @@
+// Credit check: the scenario from the paper's introduction. A stream of
+// person identifiers is processed by web services that look up credit
+// card numbers (a proliferative service: more outputs than inputs) and
+// filter by payment history (selective). Both orderings are semantically
+// equivalent; their response times are not.
+//
+// The example optimizes the ordering, explains why it wins, and validates
+// the prediction with the discrete-event simulator.
+//
+//	go run ./examples/creditcheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serviceordering"
+)
+
+func main() {
+	// Services (costs in ms/tuple):
+	//   cards:   person-id -> credit card numbers, sigma 2.4 (avg cards/person)
+	//   history: person-id -> id if good payment history, sigma 0.25
+	//   limits:  card -> card if limit above threshold, sigma 0.6
+	//   rewards: card -> enriched card offer, sigma 1.0, slow
+	q, err := serviceordering.NewQuery(
+		[]serviceordering.Service{
+			{Name: "cards", Cost: 1.2, Selectivity: 2.4},
+			{Name: "history", Cost: 0.4, Selectivity: 0.25},
+			{Name: "limits", Cost: 0.6, Selectivity: 0.6},
+			{Name: "rewards", Cost: 2.0, Selectivity: 1.0},
+		},
+		// Hosts: history+limits share a rack (cheap), cards and rewards
+		// are remote SaaS endpoints (expensive, asymmetric).
+		[][]float64{
+			{0.00, 0.80, 0.70, 0.20},
+			{0.75, 0.00, 0.05, 0.90},
+			{0.70, 0.05, 0.00, 0.85},
+			{0.25, 0.90, 0.85, 0.00},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := serviceordering.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's two canonical orderings: look up cards first, or filter
+	// by payment history first.
+	cardsFirst := serviceordering.Plan{0, 1, 2, 3}
+	historyFirst := serviceordering.Plan{1, 0, 2, 3}
+
+	fmt.Println("ordering                         bottleneck ms/person")
+	for _, entry := range []struct {
+		label string
+		plan  serviceordering.Plan
+	}{
+		{"cards first (naive)", cardsFirst},
+		{"history first", historyFirst},
+		{"optimal (B&B)", res.Plan},
+	} {
+		fmt.Printf("%-32s %.3f   %s\n", entry.label, q.Cost(entry.plan), entry.plan.Render(q))
+	}
+
+	fmt.Printf("\nwhy: 'history' passes only %.0f%% of people, so running it early\n", q.Services[1].Selectivity*100)
+	fmt.Println("shields the proliferative 'cards' lookup and the slow 'rewards'")
+	fmt.Println("service; the optimizer also routes around the expensive WAN links.")
+
+	// Validate the model on a simulated run of 20k persons.
+	cfg := serviceordering.DefaultSimConfig()
+	cfg.Tuples = 20000
+	rep, err := serviceordering.Simulate(q, res.Plan, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %d persons: measured %.3f ms/person vs predicted %.3f (err %.2f%%)\n",
+		rep.TuplesIn, rep.MeasuredPeriod, rep.PredictedBottleneck,
+		100*(rep.MeasuredPeriod/rep.PredictedBottleneck-1))
+	fmt.Printf("%d card offers produced\n", rep.TuplesOut)
+}

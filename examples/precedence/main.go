@@ -1,0 +1,61 @@
+// Precedence constraints: the paper's "minor modifications" extension. A
+// security pipeline requires authentication before any data access and
+// schema validation before enrichment; the optimizer searches only the
+// feasible orderings and proves optimality within them.
+//
+//	go run ./examples/precedence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serviceordering"
+)
+
+func main() {
+	services := []serviceordering.Service{
+		{Name: "auth", Cost: 1.0, Selectivity: 0.95},     // 0: rejects bad sessions, slow IdP
+		{Name: "validate", Cost: 0.5, Selectivity: 0.7},  // 1: schema check
+		{Name: "enrich", Cost: 1.8, Selectivity: 1.0},    // 2: joins reference data
+		{Name: "geo-fence", Cost: 0.2, Selectivity: 0.4}, // 3: drops out-of-region
+		{Name: "audit", Cost: 0.6, Selectivity: 1.0},     // 4: writes audit trail
+	}
+	transfer := [][]float64{
+		{0.00, 0.10, 0.60, 0.15, 0.40},
+		{0.10, 0.00, 0.55, 0.05, 0.45},
+		{0.60, 0.55, 0.00, 0.50, 0.08},
+		{0.15, 0.05, 0.50, 0.00, 0.35},
+		{0.40, 0.45, 0.08, 0.35, 0.00},
+	}
+
+	unconstrained, err := serviceordering.NewQuery(services, transfer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	free, err := serviceordering.Optimize(unconstrained)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	constrained := unconstrained.Clone()
+	constrained.Precedence = [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, // auth before everything
+		{1, 2}, // validate before enrich
+	}
+	bound, err := serviceordering.Optimize(constrained)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("unconstrained optimum: %s  cost %.4f\n", free.Plan.Render(unconstrained), free.Cost)
+	fmt.Printf("constrained optimum:   %s  cost %.4f\n", bound.Plan.Render(constrained), bound.Cost)
+	fmt.Printf("price of compliance:   %.1f%% slower\n\n", 100*(bound.Cost/free.Cost-1))
+
+	if err := bound.Plan.Validate(constrained); err != nil {
+		log.Fatalf("constraint violation: %v", err)
+	}
+	fmt.Println("constraints honored: auth first, validate before enrich")
+	fmt.Printf("search: %d nodes, %d Lemma-2 closures, %d Lemma-3 jumps\n",
+		bound.Stats.NodesExpanded, bound.Stats.Closures, bound.Stats.VJumps)
+}

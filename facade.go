@@ -1,0 +1,146 @@
+package serviceordering
+
+import (
+	"context"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/choreo"
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+	"serviceordering/internal/sim"
+)
+
+// Core problem types, re-exported from the internal model.
+type (
+	// Service describes one web service: per-tuple cost and selectivity.
+	Service = model.Service
+
+	// Query is a problem instance: services, the pairwise transfer-cost
+	// matrix, and optional source/sink/precedence extensions.
+	Query = model.Query
+
+	// Plan is a linear ordering of a query's services.
+	Plan = model.Plan
+
+	// Breakdown is a per-stage decomposition of a plan's bottleneck
+	// cost.
+	Breakdown = model.Breakdown
+
+	// Instance is the JSON interchange document used by the CLI tools.
+	Instance = model.Instance
+)
+
+// Optimizer types, re-exported from the branch-and-bound core.
+type (
+	// Options tunes the branch-and-bound search (pruning-rule toggles,
+	// budgets, incumbent seeding).
+	Options = core.Options
+
+	// Result is an optimization outcome: plan, cost, optimality proof
+	// flag, and search statistics.
+	Result = core.Result
+
+	// SearchStats counts the work a search performed and what each
+	// pruning rule contributed.
+	SearchStats = core.Stats
+)
+
+// Execution types, re-exported from the simulator and the choreography
+// runtime.
+type (
+	// SimConfig parameterizes the discrete-event simulator.
+	SimConfig = sim.Config
+
+	// SimReport is a simulation outcome (measured vs predicted period,
+	// per-stage metrics).
+	SimReport = sim.Report
+
+	// ChoreoConfig parameterizes the real concurrent choreography
+	// runtime.
+	ChoreoConfig = choreo.Config
+
+	// ChoreoReport is a choreography run outcome (wall-clock makespan,
+	// per-node reports).
+	ChoreoReport = choreo.Report
+
+	// TransportKind selects the choreography link implementation.
+	TransportKind = choreo.TransportKind
+
+	// GenParams describes a random instance distribution for workload
+	// generation.
+	GenParams = gen.Params
+)
+
+// Choreography transports.
+const (
+	// TransportInProc connects service nodes with buffered channels.
+	TransportInProc = choreo.TransportInProc
+
+	// TransportTCP connects service nodes with loopback TCP sockets.
+	TransportTCP = choreo.TransportTCP
+)
+
+// NewQuery builds and validates a query from services and a transfer-cost
+// matrix.
+func NewQuery(services []Service, transfer [][]float64) (*Query, error) {
+	return model.NewQuery(services, transfer)
+}
+
+// Optimize finds a provably optimal plan with the paper's full
+// branch-and-bound algorithm.
+func Optimize(q *Query) (Result, error) { return core.Optimize(q) }
+
+// OptimizeWithOptions runs the branch-and-bound search with explicit
+// options (ablation toggles, node/time budgets, incumbent seed).
+func OptimizeWithOptions(q *Query, opts Options) (Result, error) {
+	return core.OptimizeWithOptions(q, opts)
+}
+
+// Baselines returns the comparison algorithms keyed by name: exhaustive,
+// greedy variants, the Srivastava et al. uniform-communication optimum,
+// random sampling, local search, and simulated annealing. Each returns
+// its best plan and cost.
+func Baselines() map[string]func(*Query) (Plan, float64, error) {
+	out := make(map[string]func(*Query) (Plan, float64, error))
+	for name, algo := range baseline.Registry() {
+		algo := algo
+		out[name] = func(q *Query) (Plan, float64, error) {
+			res, err := algo(q)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Plan, res.Cost, nil
+		}
+	}
+	return out
+}
+
+// Simulate runs the discrete-event simulator: plan p executed as a
+// pipelined decentralized query, reporting the measured per-tuple period
+// against Eq. (1)'s prediction.
+func Simulate(q *Query, p Plan, cfg SimConfig) (*SimReport, error) {
+	return sim.Run(q, p, cfg)
+}
+
+// DefaultSimConfig returns the simulator settings used by the experiment
+// suite.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Execute runs plan p on the real concurrent choreography runtime (one
+// goroutine per service, blocks streamed over channels or loopback TCP).
+func Execute(ctx context.Context, q *Query, p Plan, cfg ChoreoConfig) (*ChoreoReport, error) {
+	return choreo.Run(ctx, q, p, cfg)
+}
+
+// DefaultChoreoConfig returns moderate choreography settings for examples
+// and tests.
+func DefaultChoreoConfig() ChoreoConfig { return choreo.DefaultConfig() }
+
+// Generate builds a random problem instance from the given distribution
+// parameters; same parameters, same instance.
+func Generate(p GenParams) (*Query, error) { return p.Generate() }
+
+// DefaultGenParams returns the experiment suite's base distribution for n
+// services.
+func DefaultGenParams(n int, seed int64) GenParams { return gen.Default(n, seed) }

@@ -1,0 +1,92 @@
+package serviceordering_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"serviceordering"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: build, optimize,
+// compare against baselines, simulate, and execute.
+func TestFacadeEndToEnd(t *testing.T) {
+	q, err := serviceordering.NewQuery(
+		[]serviceordering.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+
+	res, err := serviceordering.Optimize(q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if !res.Optimal || math.Abs(res.Cost-2.5) > 1e-9 {
+		t.Fatalf("Optimize = (%v, cost %v, optimal %v)", res.Plan, res.Cost, res.Optimal)
+	}
+
+	baselines := serviceordering.Baselines()
+	ex, ok := baselines["exhaustive"]
+	if !ok {
+		t.Fatalf("exhaustive baseline missing; have %d baselines", len(baselines))
+	}
+	_, cost, err := ex(q)
+	if err != nil {
+		t.Fatalf("exhaustive: %v", err)
+	}
+	if math.Abs(cost-res.Cost) > 1e-9 {
+		t.Fatalf("facade baseline disagrees with optimizer: %v vs %v", cost, res.Cost)
+	}
+
+	simCfg := serviceordering.DefaultSimConfig()
+	simCfg.Tuples = 5000
+	simRep, err := serviceordering.Simulate(q, res.Plan, simCfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rel := math.Abs(simRep.MeasuredPeriod/simRep.PredictedBottleneck - 1); rel > 0.05 {
+		t.Fatalf("simulated period off by %.3f", rel)
+	}
+
+	chCfg := serviceordering.DefaultChoreoConfig()
+	chCfg.Tuples = 100
+	chCfg.UnitDuration = 0
+	chRep, err := serviceordering.Execute(context.Background(), q, res.Plan, chCfg)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if chRep.TuplesOut <= 0 {
+		t.Fatalf("choreography produced no tuples")
+	}
+}
+
+func TestFacadeGenerate(t *testing.T) {
+	p := serviceordering.DefaultGenParams(6, 9)
+	q, err := serviceordering.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if q.N() != 6 {
+		t.Fatalf("N = %d", q.N())
+	}
+	res, err := serviceordering.OptimizeWithOptions(q, serviceordering.Options{StrongLowerBound: true})
+	if err != nil {
+		t.Fatalf("OptimizeWithOptions: %v", err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	bd := q.CostBreakdown(res.Plan)
+	if math.Abs(bd.Cost-res.Cost) > 1e-9 {
+		t.Fatalf("breakdown cost %v != result cost %v", bd.Cost, res.Cost)
+	}
+}

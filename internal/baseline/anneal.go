@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serviceordering/internal/model"
+)
+
+// AnnealConfig parameterizes simulated annealing. All fields must be
+// positive; DefaultAnnealConfig gives settings that work well across the
+// experiment suite's instance sizes.
+type AnnealConfig struct {
+	// Seed drives the run's PRNG; equal seeds give identical runs.
+	Seed int64
+
+	// InitialTemp is the starting temperature, as a multiple of the seed
+	// plan's cost (so the schedule is scale-free).
+	InitialTemp float64
+
+	// CoolingRate is the geometric decay applied after each sweep,
+	// in (0, 1).
+	CoolingRate float64
+
+	// SweepsPerTemp is the number of proposed moves per temperature
+	// level, as a multiple of N.
+	SweepsPerTemp int
+
+	// MinTemp stops the schedule, as a multiple of the seed plan's cost.
+	MinTemp float64
+}
+
+// DefaultAnnealConfig returns the tuned default schedule.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{Seed: 1, InitialTemp: 1.0, CoolingRate: 0.95, SweepsPerTemp: 8, MinTemp: 1e-4}
+}
+
+func (c AnnealConfig) validate() error {
+	if c.InitialTemp <= 0 || c.MinTemp <= 0 || c.MinTemp >= c.InitialTemp {
+		return fmt.Errorf("baseline: anneal temperatures invalid: initial %v, min %v", c.InitialTemp, c.MinTemp)
+	}
+	if c.CoolingRate <= 0 || c.CoolingRate >= 1 {
+		return fmt.Errorf("baseline: anneal cooling rate %v outside (0,1)", c.CoolingRate)
+	}
+	if c.SweepsPerTemp <= 0 {
+		return fmt.Errorf("baseline: anneal sweeps per temperature %d must be positive", c.SweepsPerTemp)
+	}
+	return nil
+}
+
+// Anneal runs simulated annealing over the swap/relocate neighborhood,
+// starting from the greedy plan. It never returns a plan worse than its
+// seed. Deterministic for a fixed config.
+func Anneal(q *model.Query, cfg AnnealConfig) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if _, err := validateForSearch(q); err != nil {
+		return Result{}, err
+	}
+	greedy, err := GreedyMinEpsilon(q)
+	if err != nil {
+		return Result{}, err
+	}
+	n := q.N()
+	if n < 3 {
+		return greedy, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur := greedy.Plan.Clone()
+	curCost := greedy.Cost
+	best := cur.Clone()
+	bestCost := curCost
+	evaluated := greedy.Evaluated
+
+	scale := math.Max(curCost, 1e-12)
+	temp := cfg.InitialTemp * scale
+	minTemp := cfg.MinTemp * scale
+	cand := make(model.Plan, n)
+
+	for temp > minTemp {
+		for sweep := 0; sweep < cfg.SweepsPerTemp*n; sweep++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if rng.Intn(2) == 0 {
+				copy(cand, cur)
+				cand[i], cand[j] = cand[j], cand[i]
+			} else {
+				relocate(cand, cur, i, j)
+			}
+			if cand.Validate(q) != nil {
+				continue
+			}
+			evaluated++
+			cost := q.Cost(cand)
+			delta := cost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				copy(cur, cand)
+				curCost = cost
+				if cost < bestCost {
+					bestCost = cost
+					copy(best, cur)
+				}
+			}
+		}
+		temp *= cfg.CoolingRate
+	}
+	return Result{Plan: best, Cost: bestCost, Evaluated: evaluated}, nil
+}

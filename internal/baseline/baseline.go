@@ -1,0 +1,79 @@
+// Package baseline implements the comparison algorithms the branch-and-bound
+// optimizer is evaluated against:
+//
+//   - Exhaustive enumeration — the optimality oracle for small N.
+//   - Greedy constructions — cheap heuristics (nearest-neighbor by transfer
+//     cost, and minimum-partial-cost insertion).
+//   - The Srivastava et al. (VLDB 2006) polynomial algorithm, optimal when
+//     all services are filters and inter-service transfer costs are uniform
+//     (the centralized / intermediary-service setting the paper generalizes).
+//   - Randomized search and bottleneck-aware local search / simulated
+//     annealing for instances beyond exact reach.
+//
+// All algorithms consume a model.Query and produce a Result. Algorithms
+// honor the query's precedence constraints.
+package baseline
+
+import (
+	"fmt"
+
+	"serviceordering/internal/model"
+)
+
+// Result is the outcome of one ordering algorithm run.
+type Result struct {
+	// Plan is the best ordering found.
+	Plan model.Plan
+
+	// Cost is the bottleneck cost of Plan under Eq. (1).
+	Cost float64
+
+	// Evaluated counts complete plans whose cost was computed. For
+	// exhaustive search this is the full feasible-permutation count; for
+	// heuristics it measures work performed.
+	Evaluated int64
+}
+
+// Algorithm is the common signature of every baseline, keyed by name in
+// Registry so that the experiment harness and CLI can select them
+// uniformly.
+type Algorithm func(q *model.Query) (Result, error)
+
+// Registry maps algorithm names to implementations. Callers must not
+// mutate it.
+func Registry() map[string]Algorithm {
+	return map[string]Algorithm{
+		"exhaustive":      Exhaustive,
+		"greedy-epsilon":  GreedyMinEpsilon,
+		"greedy-transfer": GreedyNearestNeighbor,
+		"srivastava":      SrivastavaUniform,
+		"random-best":     func(q *model.Query) (Result, error) { return BestOfRandom(q, 64, 1) },
+		"local-search":    func(q *model.Query) (Result, error) { return LocalSearch(q, nil) },
+		"anneal":          func(q *model.Query) (Result, error) { return Anneal(q, DefaultAnnealConfig()) },
+		"identity":        Identity,
+	}
+}
+
+// Identity returns the trivial plan [0..n-1] (or a topological order when
+// precedence constraints exist). It is the "no optimizer" strawman.
+func Identity(q *model.Query) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	prec := q.CompiledPrecedence()
+	var p model.Plan
+	if prec.HasConstraints() {
+		p = prec.TopologicalPlan()
+	} else {
+		p = model.IdentityPlan(q.N())
+	}
+	return Result{Plan: p, Cost: q.Cost(p), Evaluated: 1}, nil
+}
+
+// validateForSearch performs the shared pre-flight checks.
+func validateForSearch(q *model.Query) (*model.Precedence, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: invalid query: %w", err)
+	}
+	return q.CompiledPrecedence(), nil
+}

@@ -1,0 +1,428 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+// mustQuery builds a query or fails the test.
+func mustQuery(t *testing.T, services []model.Service, transfer [][]float64) *model.Query {
+	t.Helper()
+	q, err := model.NewQuery(services, transfer)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+// fixture3 is the hand-checked 3-service instance shared with the model
+// tests: the optimum ordering is [a b c] with cost 2.5.
+func fixture3(t *testing.T) *model.Query {
+	t.Helper()
+	return mustQuery(t,
+		[]model.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+}
+
+// randQuery builds a random valid query; filtersOnly restricts
+// selectivities to [0,1] and uniformT forces a single transfer cost.
+func randQuery(rng *rand.Rand, n int, filtersOnly, uniformT bool) *model.Query {
+	services := make([]model.Service, n)
+	for i := range services {
+		sigma := rng.Float64()
+		if !filtersOnly {
+			sigma *= 1.8
+		}
+		services[i] = model.Service{Cost: 0.1 + rng.Float64()*5, Selectivity: sigma}
+	}
+	uniform := 0.1 + rng.Float64()*3
+	transfer := make([][]float64, n)
+	for i := range transfer {
+		transfer[i] = make([]float64, n)
+		for j := range transfer[i] {
+			if i == j {
+				continue
+			}
+			if uniformT {
+				transfer[i][j] = uniform
+			} else {
+				transfer[i][j] = rng.Float64() * 5
+			}
+		}
+	}
+	return &model.Query{Services: services, Transfer: transfer}
+}
+
+func TestExhaustiveFindsHandComputedOptimum(t *testing.T) {
+	q := fixture3(t)
+	res, err := Exhaustive(q)
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if res.Evaluated != 6 {
+		t.Errorf("Evaluated = %d, want 6 (3!)", res.Evaluated)
+	}
+	if !res.Plan.Equal(model.Plan{0, 1, 2}) {
+		t.Errorf("Plan = %v, want [0 1 2]", res.Plan)
+	}
+	if math.Abs(res.Cost-2.5) > 1e-12 {
+		t.Errorf("Cost = %v, want 2.5", res.Cost)
+	}
+}
+
+func TestExhaustiveRespectsPrecedence(t *testing.T) {
+	q := fixture3(t)
+	// Force c before a: the unconstrained optimum [a b c] is infeasible.
+	q.Precedence = [][2]int{{2, 0}}
+	res, err := Exhaustive(q)
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Fatalf("returned infeasible plan %v: %v", res.Plan, err)
+	}
+	if res.Evaluated != 3 {
+		t.Errorf("Evaluated = %d, want 3 feasible plans", res.Evaluated)
+	}
+	// Feasible plans: [2 0 1]=4.5, [2 1 0]: 1*(4+0.25*5)=5.25.., [1 2 0]: 3.6.
+	if !res.Plan.Equal(model.Plan{1, 2, 0}) {
+		t.Errorf("Plan = %v, want [1 2 0]", res.Plan)
+	}
+}
+
+func TestExhaustiveSizeLimit(t *testing.T) {
+	n := MaxExhaustiveN + 1
+	services := make([]model.Service, n)
+	transfer := make([][]float64, n)
+	for i := range services {
+		services[i] = model.Service{Cost: 1, Selectivity: 0.5}
+		transfer[i] = make([]float64, n)
+	}
+	q := mustQuery(t, services, transfer)
+	if _, err := Exhaustive(q); err == nil {
+		t.Fatalf("Exhaustive accepted %d services, want size-limit error", n)
+	}
+}
+
+func TestGreedyVariantsProduceValidPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	algos := map[string]Algorithm{
+		"greedy-epsilon":  GreedyMinEpsilon,
+		"greedy-transfer": GreedyNearestNeighbor,
+	}
+	for name, algo := range algos {
+		for trial := 0; trial < 25; trial++ {
+			q := randQuery(rng, 2+rng.Intn(7), false, false)
+			res, err := algo(q)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			if err := res.Plan.Validate(q); err != nil {
+				t.Fatalf("%s trial %d: invalid plan %v: %v", name, trial, res.Plan, err)
+			}
+			if want := q.Cost(res.Plan); math.Abs(res.Cost-want) > 1e-9 {
+				t.Fatalf("%s trial %d: reported cost %v, actual %v", name, trial, res.Cost, want)
+			}
+		}
+	}
+}
+
+func TestGreedyRespectsPrecedence(t *testing.T) {
+	q := fixture3(t)
+	q.Precedence = [][2]int{{2, 0}, {2, 1}} // c first
+	for name, algo := range map[string]Algorithm{
+		"greedy-epsilon":  GreedyMinEpsilon,
+		"greedy-transfer": GreedyNearestNeighbor,
+	} {
+		res, err := algo(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Plan[0] != 2 {
+			t.Errorf("%s: plan %v does not start with the constrained root", name, res.Plan)
+		}
+		if err := res.Plan.Validate(q); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGreedySingleService(t *testing.T) {
+	q := mustQuery(t, []model.Service{{Cost: 3, Selectivity: 0.5}}, [][]float64{{0}})
+	for name, algo := range map[string]Algorithm{
+		"greedy-epsilon":  GreedyMinEpsilon,
+		"greedy-transfer": GreedyNearestNeighbor,
+		"srivastava":      SrivastavaUniform,
+	} {
+		res, err := algo(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Plan.Equal(model.Plan{0}) || res.Cost != 3 {
+			t.Errorf("%s: (%v, %v), want ([0], 3)", name, res.Plan, res.Cost)
+		}
+	}
+}
+
+func TestSrivastavaOptimalOnUniformFilters(t *testing.T) {
+	// On uniform-transfer, all-filter instances the VLDB'06 rule must
+	// match the exhaustive optimum — this is the polynomial special case
+	// the paper generalizes.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		q := randQuery(rng, 2+rng.Intn(6), true, true)
+		want, err := Exhaustive(q)
+		if err != nil {
+			t.Fatalf("Exhaustive: %v", err)
+		}
+		got, err := SrivastavaUniform(q)
+		if err != nil {
+			t.Fatalf("SrivastavaUniform: %v", err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+			t.Fatalf("trial %d: srivastava cost %v, optimum %v (plan %v vs %v)",
+				trial, got.Cost, want.Cost, got.Plan, want.Plan)
+		}
+	}
+}
+
+func TestSrivastavaHeterogeneousStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		q := randQuery(rng, 2+rng.Intn(6), false, false)
+		res, err := SrivastavaUniform(q)
+		if err != nil {
+			t.Fatalf("SrivastavaUniform: %v", err)
+		}
+		if err := res.Plan.Validate(q); err != nil {
+			t.Fatalf("invalid plan: %v", err)
+		}
+	}
+}
+
+func TestSrivastavaPrecedence(t *testing.T) {
+	q := fixture3(t)
+	q.Precedence = [][2]int{{2, 1}}
+	res, err := SrivastavaUniform(q)
+	if err != nil {
+		t.Fatalf("SrivastavaUniform: %v", err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Fatalf("plan %v violates constraints: %v", res.Plan, err)
+	}
+}
+
+func TestRandomPlanDeterministicBySeed(t *testing.T) {
+	q := fixture3(t)
+	p1, err := RandomPlan(q, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("RandomPlan: %v", err)
+	}
+	p2, err := RandomPlan(q, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("RandomPlan: %v", err)
+	}
+	if !p1.Equal(p2) {
+		t.Fatalf("same seed produced %v and %v", p1, p2)
+	}
+	if err := p1.Validate(q); err != nil {
+		t.Fatalf("invalid random plan: %v", err)
+	}
+}
+
+func TestRandomPlanWithPrecedence(t *testing.T) {
+	q := fixture3(t)
+	q.Precedence = [][2]int{{1, 0}, {1, 2}}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		p, err := RandomPlan(q, rng)
+		if err != nil {
+			t.Fatalf("RandomPlan: %v", err)
+		}
+		if p[0] != 1 {
+			t.Fatalf("plan %v does not start with constrained root", p)
+		}
+	}
+}
+
+func TestBestOfRandom(t *testing.T) {
+	q := fixture3(t)
+	res, err := BestOfRandom(q, 200, 9)
+	if err != nil {
+		t.Fatalf("BestOfRandom: %v", err)
+	}
+	if res.Evaluated != 200 {
+		t.Errorf("Evaluated = %d, want 200", res.Evaluated)
+	}
+	// 200 samples over 6 permutations will find the optimum (2.5).
+	if math.Abs(res.Cost-2.5) > 1e-12 {
+		t.Errorf("Cost = %v, want 2.5", res.Cost)
+	}
+	if _, err := BestOfRandom(q, 0, 1); err == nil {
+		t.Errorf("BestOfRandom(k=0) = nil error")
+	}
+}
+
+func TestLocalSearchImprovesOnSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		q := randQuery(rng, 3+rng.Intn(5), false, false)
+		seed, err := RandomPlan(q, rng)
+		if err != nil {
+			t.Fatalf("RandomPlan: %v", err)
+		}
+		seedCost := q.Cost(seed)
+		res, err := LocalSearch(q, seed)
+		if err != nil {
+			t.Fatalf("LocalSearch: %v", err)
+		}
+		if res.Cost > seedCost+1e-12 {
+			t.Fatalf("trial %d: local search worsened %v -> %v", trial, seedCost, res.Cost)
+		}
+		if err := res.Plan.Validate(q); err != nil {
+			t.Fatalf("invalid plan: %v", err)
+		}
+	}
+}
+
+func TestLocalSearchNilSeedUsesGreedy(t *testing.T) {
+	q := fixture3(t)
+	res, err := LocalSearch(q, nil)
+	if err != nil {
+		t.Fatalf("LocalSearch: %v", err)
+	}
+	greedy, err := GreedyMinEpsilon(q)
+	if err != nil {
+		t.Fatalf("GreedyMinEpsilon: %v", err)
+	}
+	if res.Cost > greedy.Cost+1e-12 {
+		t.Fatalf("local search (%v) worse than its greedy seed (%v)", res.Cost, greedy.Cost)
+	}
+}
+
+func TestLocalSearchRejectsBadSeed(t *testing.T) {
+	q := fixture3(t)
+	if _, err := LocalSearch(q, model.Plan{0, 0, 1}); err == nil {
+		t.Fatalf("LocalSearch accepted an invalid seed")
+	}
+}
+
+func TestAnnealNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cfg := DefaultAnnealConfig()
+	cfg.SweepsPerTemp = 2 // keep the test fast
+	for trial := 0; trial < 10; trial++ {
+		q := randQuery(rng, 3+rng.Intn(5), false, false)
+		greedy, err := GreedyMinEpsilon(q)
+		if err != nil {
+			t.Fatalf("GreedyMinEpsilon: %v", err)
+		}
+		res, err := Anneal(q, cfg)
+		if err != nil {
+			t.Fatalf("Anneal: %v", err)
+		}
+		if res.Cost > greedy.Cost+1e-12 {
+			t.Fatalf("trial %d: anneal %v worse than greedy %v", trial, res.Cost, greedy.Cost)
+		}
+		if err := res.Plan.Validate(q); err != nil {
+			t.Fatalf("invalid plan: %v", err)
+		}
+	}
+}
+
+func TestAnnealDeterministicBySeed(t *testing.T) {
+	q := randQuery(rand.New(rand.NewSource(2)), 7, false, false)
+	cfg := DefaultAnnealConfig()
+	cfg.SweepsPerTemp = 2
+	r1, err := Anneal(q, cfg)
+	if err != nil {
+		t.Fatalf("Anneal: %v", err)
+	}
+	r2, err := Anneal(q, cfg)
+	if err != nil {
+		t.Fatalf("Anneal: %v", err)
+	}
+	if !r1.Plan.Equal(r2.Plan) || r1.Cost != r2.Cost {
+		t.Fatalf("same config produced (%v,%v) and (%v,%v)", r1.Plan, r1.Cost, r2.Plan, r2.Cost)
+	}
+}
+
+func TestAnnealConfigValidation(t *testing.T) {
+	q := fixture3(t)
+	bad := []AnnealConfig{
+		{InitialTemp: 0, CoolingRate: 0.9, SweepsPerTemp: 1, MinTemp: 1e-4},
+		{InitialTemp: 1, CoolingRate: 0, SweepsPerTemp: 1, MinTemp: 1e-4},
+		{InitialTemp: 1, CoolingRate: 1, SweepsPerTemp: 1, MinTemp: 1e-4},
+		{InitialTemp: 1, CoolingRate: 0.9, SweepsPerTemp: 0, MinTemp: 1e-4},
+		{InitialTemp: 1, CoolingRate: 0.9, SweepsPerTemp: 1, MinTemp: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Anneal(q, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRelocate(t *testing.T) {
+	src := model.Plan{0, 1, 2, 3}
+	tests := []struct {
+		i, j int
+		want model.Plan
+	}{
+		{0, 3, model.Plan{1, 2, 3, 0}},
+		{3, 0, model.Plan{3, 0, 1, 2}},
+		{1, 2, model.Plan{0, 2, 1, 3}},
+		{2, 0, model.Plan{2, 0, 1, 3}},
+	}
+	for _, tt := range tests {
+		dst := make(model.Plan, len(src))
+		relocate(dst, src, tt.i, tt.j)
+		if !dst.Equal(tt.want) {
+			t.Errorf("relocate(%d,%d) = %v, want %v", tt.i, tt.j, dst, tt.want)
+		}
+	}
+}
+
+func TestIdentityBaseline(t *testing.T) {
+	q := fixture3(t)
+	res, err := Identity(q)
+	if err != nil {
+		t.Fatalf("Identity: %v", err)
+	}
+	if !res.Plan.Equal(model.Plan{0, 1, 2}) {
+		t.Errorf("Plan = %v", res.Plan)
+	}
+	q.Precedence = [][2]int{{2, 0}}
+	res, err = Identity(q)
+	if err != nil {
+		t.Fatalf("Identity with precedence: %v", err)
+	}
+	if err := res.Plan.Validate(q); err != nil {
+		t.Errorf("identity plan infeasible: %v", err)
+	}
+}
+
+func TestRegistryAllRun(t *testing.T) {
+	q := fixture3(t)
+	for name, algo := range Registry() {
+		res, err := algo(q)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := res.Plan.Validate(q); err != nil {
+			t.Errorf("%s: invalid plan %v: %v", name, res.Plan, err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"serviceordering/internal/model"
+)
+
+// MaxExhaustiveN caps exhaustive enumeration: 12! ≈ 4.8e8 permutations is
+// the largest search that completes in reasonable laptop time.
+const MaxExhaustiveN = 12
+
+// Exhaustive enumerates every feasible permutation and returns a plan of
+// minimum bottleneck cost. It is the optimality oracle used by the test
+// suite and the F1/F2 experiments; it refuses queries larger than
+// MaxExhaustiveN.
+//
+// Ties are broken toward the lexicographically smallest plan so the result
+// is deterministic.
+func Exhaustive(q *model.Query) (Result, error) {
+	prec, err := validateForSearch(q)
+	if err != nil {
+		return Result{}, err
+	}
+	n := q.N()
+	if n > MaxExhaustiveN {
+		return Result{}, fmt.Errorf("baseline: exhaustive search limited to %d services, got %d", MaxExhaustiveN, n)
+	}
+
+	e := &exhaustiveSearch{q: q, prec: prec, n: n, prefix: make(model.Plan, 0, n)}
+	e.best.Cost = inf()
+	e.recurse(model.EmptyPrefix(), 0)
+	if e.best.Plan == nil {
+		return Result{}, fmt.Errorf("baseline: no feasible plan (unsatisfiable precedence constraints)")
+	}
+	return e.best, nil
+}
+
+type exhaustiveSearch struct {
+	q      *model.Query
+	prec   *model.Precedence
+	n      int
+	prefix model.Plan
+	placed uint64
+	best   Result
+}
+
+func (e *exhaustiveSearch) recurse(st model.PrefixState, depth int) {
+	if depth == e.n {
+		e.best.Evaluated++
+		cost := st.Complete(e.q)
+		if cost < e.best.Cost || (cost == e.best.Cost && lexLess(e.prefix, e.best.Plan)) {
+			e.best.Cost = cost
+			e.best.Plan = e.prefix.Clone()
+		}
+		return
+	}
+	for s := 0; s < e.n; s++ {
+		bit := uint64(1) << uint(s)
+		if e.placed&bit != 0 || !e.prec.CanPlace(s, e.placed) {
+			continue
+		}
+		e.placed |= bit
+		e.prefix = append(e.prefix, s)
+		e.recurse(st.Append(e.q, s), depth+1)
+		e.prefix = e.prefix[:len(e.prefix)-1]
+		e.placed &^= bit
+	}
+}
+
+// lexLess reports whether a is lexicographically smaller than b; a nil b
+// compares as larger so the first plan found wins.
+func lexLess(a, b model.Plan) bool {
+	if b == nil {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"serviceordering/internal/model"
+)
+
+// GreedyMinEpsilon constructs a plan by repeatedly appending the feasible
+// service that minimizes the partial plan's bottleneck cost (epsilon). The
+// first service is chosen as the head of the cheapest feasible pair,
+// mirroring the paper's pair seeding, so the construction is a one-branch
+// walk of the branch-and-bound search tree.
+func GreedyMinEpsilon(q *model.Query) (Result, error) {
+	prec, err := validateForSearch(q)
+	if err != nil {
+		return Result{}, err
+	}
+	n := q.N()
+	if n == 1 {
+		p := model.Plan{0}
+		return Result{Plan: p, Cost: q.Cost(p), Evaluated: 1}, nil
+	}
+
+	plan := make(model.Plan, 0, n)
+	var placed uint64
+	st := model.EmptyPrefix()
+	var evaluated int64
+
+	// Seed with the cheapest feasible ordered pair.
+	bestA, bestB, bestCost := -1, -1, math.Inf(1)
+	for a := 0; a < n; a++ {
+		if !prec.CanPlace(a, 0) {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if b == a || !prec.CanPlace(b, 1<<uint(a)) {
+				continue
+			}
+			evaluated++
+			if c := q.PairCost(a, b); c < bestCost {
+				bestA, bestB, bestCost = a, b, c
+			}
+		}
+	}
+	if bestA < 0 {
+		return Result{}, fmt.Errorf("baseline: no feasible pair (unsatisfiable precedence constraints)")
+	}
+	for _, s := range []int{bestA, bestB} {
+		plan = append(plan, s)
+		placed |= 1 << uint(s)
+		st = st.Append(q, s)
+	}
+
+	for len(plan) < n {
+		next, nextEps := -1, math.Inf(1)
+		for s := 0; s < n; s++ {
+			bit := uint64(1) << uint(s)
+			if placed&bit != 0 || !prec.CanPlace(s, placed) {
+				continue
+			}
+			evaluated++
+			if eps := st.Append(q, s).Epsilon(q); eps < nextEps {
+				next, nextEps = s, eps
+			}
+		}
+		if next < 0 {
+			return Result{}, fmt.Errorf("baseline: stuck at %v (unsatisfiable precedence constraints)", plan)
+		}
+		plan = append(plan, next)
+		placed |= 1 << uint(next)
+		st = st.Append(q, next)
+	}
+	return Result{Plan: plan, Cost: st.Complete(q), Evaluated: evaluated}, nil
+}
+
+// GreedyNearestNeighbor constructs a plan nearest-neighbor style: the next
+// service is the feasible one with the cheapest transfer cost from the
+// current last service (the paper's expansion policy applied greedily with
+// no backtracking). The start service minimizes its provisional term
+// c + source transfer.
+func GreedyNearestNeighbor(q *model.Query) (Result, error) {
+	prec, err := validateForSearch(q)
+	if err != nil {
+		return Result{}, err
+	}
+	n := q.N()
+
+	start, startCost := -1, math.Inf(1)
+	for s := 0; s < n; s++ {
+		if !prec.CanPlace(s, 0) {
+			continue
+		}
+		c := q.Services[s].Cost
+		if q.SourceTransfer != nil && q.SourceTransfer[s] > c {
+			c = q.SourceTransfer[s]
+		}
+		if c < startCost {
+			start, startCost = s, c
+		}
+	}
+	if start < 0 {
+		return Result{}, fmt.Errorf("baseline: no feasible first service")
+	}
+
+	plan := model.Plan{start}
+	placed := uint64(1) << uint(start)
+	st := model.EmptyPrefix().Append(q, start)
+	var evaluated int64
+
+	for len(plan) < n {
+		last := plan[len(plan)-1]
+		next, nextT := -1, math.Inf(1)
+		for s := 0; s < n; s++ {
+			bit := uint64(1) << uint(s)
+			if placed&bit != 0 || !prec.CanPlace(s, placed) {
+				continue
+			}
+			evaluated++
+			if t := q.Transfer[last][s]; t < nextT {
+				next, nextT = s, t
+			}
+		}
+		if next < 0 {
+			return Result{}, fmt.Errorf("baseline: stuck at %v (unsatisfiable precedence constraints)", plan)
+		}
+		plan = append(plan, next)
+		placed |= 1 << uint(next)
+		st = st.Append(q, next)
+	}
+	return Result{Plan: plan, Cost: st.Complete(q), Evaluated: evaluated}, nil
+}

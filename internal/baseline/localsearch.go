@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"serviceordering/internal/model"
+)
+
+// LocalSearch performs steepest-descent hill climbing on the bottleneck
+// cost with a swap + relocate neighborhood:
+//
+//   - swap(i, j): exchange the services at positions i and j;
+//   - relocate(i, j): remove the service at position i and reinsert it at
+//     position j.
+//
+// Moves violating precedence constraints are skipped. The search starts
+// from the provided seed plan (GreedyMinEpsilon's result when seed is nil)
+// and stops at a local optimum. It terminates because the cost strictly
+// decreases at every accepted move.
+func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
+	if _, err := validateForSearch(q); err != nil {
+		return Result{}, err
+	}
+	if seed == nil {
+		greedy, err := GreedyMinEpsilon(q)
+		if err != nil {
+			return Result{}, err
+		}
+		seed = greedy.Plan
+	} else if err := seed.Validate(q); err != nil {
+		return Result{}, err
+	}
+
+	cur := seed.Clone()
+	curCost := q.Cost(cur)
+	var evaluated int64
+	n := len(cur)
+	scratch := make(model.Plan, n)
+
+	for {
+		bestCost := curCost
+		var bestPlan model.Plan
+
+		try := func(candidate model.Plan) {
+			if candidate.Validate(q) != nil {
+				return
+			}
+			evaluated++
+			if cost := q.Cost(candidate); cost < bestCost {
+				bestCost = cost
+				bestPlan = candidate.Clone()
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				copy(scratch, cur)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+				try(scratch)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				relocate(scratch, cur, i, j)
+				try(scratch)
+			}
+		}
+
+		if bestPlan == nil {
+			return Result{Plan: cur, Cost: curCost, Evaluated: evaluated}, nil
+		}
+		cur = bestPlan
+		curCost = bestCost
+	}
+}
+
+// relocate writes into dst the plan src with the element at position i
+// moved to position j.
+func relocate(dst, src model.Plan, i, j int) {
+	dst = dst[:0]
+	moved := src[i]
+	for k, s := range src {
+		if k == i {
+			continue
+		}
+		dst = append(dst, s)
+	}
+	// dst now has n-1 elements; insert moved at j (clamped).
+	if j > len(dst) {
+		j = len(dst)
+	}
+	dst = append(dst, 0)
+	copy(dst[j+1:], dst[j:])
+	dst[j] = moved
+}

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serviceordering/internal/model"
+)
+
+// RandomPlan returns a uniformly random feasible plan. Without precedence
+// constraints this is a uniform permutation; with constraints it is a
+// random topological order (uniform over linear extensions is not required
+// by any experiment, so the simpler available-set sampling is used).
+func RandomPlan(q *model.Query, rng *rand.Rand) (model.Plan, error) {
+	prec, err := validateForSearch(q)
+	if err != nil {
+		return nil, err
+	}
+	n := q.N()
+	if !prec.HasConstraints() {
+		p := model.IdentityPlan(n)
+		rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+		return p, nil
+	}
+	plan := make(model.Plan, 0, n)
+	var placed uint64
+	avail := make([]int, 0, n)
+	for len(plan) < n {
+		avail = avail[:0]
+		for s := 0; s < n; s++ {
+			bit := uint64(1) << uint(s)
+			if placed&bit == 0 && prec.CanPlace(s, placed) {
+				avail = append(avail, s)
+			}
+		}
+		if len(avail) == 0 {
+			return nil, fmt.Errorf("baseline: unsatisfiable precedence constraints at %v", plan)
+		}
+		s := avail[rng.Intn(len(avail))]
+		plan = append(plan, s)
+		placed |= 1 << uint(s)
+	}
+	return plan, nil
+}
+
+// BestOfRandom samples k feasible plans with the given seed and returns
+// the cheapest. It is the "random restarts, zero intelligence" baseline.
+func BestOfRandom(q *model.Query, k int, seed int64) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("baseline: BestOfRandom needs k > 0, got %d", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best Result
+	best.Cost = inf()
+	for i := 0; i < k; i++ {
+		p, err := RandomPlan(q, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		best.Evaluated++
+		if cost := q.Cost(p); cost < best.Cost {
+			best.Cost = cost
+			best.Plan = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,108 @@
+// Package btsp implements the bottleneck traveling-salesman substrate the
+// paper uses to establish hardness: setting every selectivity to 1 and
+// every processing cost to 0 turns the optimal service-ordering problem
+// into the bottleneck Hamiltonian-path problem (minimize the maximum edge
+// weight along a path visiting every vertex), the path variant of the
+// bottleneck TSP.
+//
+// The package provides the instance type, the reduction in both directions
+// (a BTSP instance as an ordering query, and the recognition of
+// BTSP-shaped queries), an exact solver (threshold search over edge
+// weights combined with a bitmask Hamiltonian-path reachability DP), and a
+// nearest-neighbor heuristic. The T2 experiment runs the branch-and-bound
+// optimizer on reduced instances and checks it against the exact solver.
+package btsp
+
+import (
+	"fmt"
+	"math"
+
+	"serviceordering/internal/model"
+)
+
+// Instance is a bottleneck Hamiltonian-path instance: Weights[i][j] is the
+// weight of the directed edge i -> j. The matrix need not be symmetric.
+type Instance struct {
+	weights [][]float64
+}
+
+// New validates the weight matrix (square, zero diagonal, finite
+// non-negative weights) and builds an instance.
+func New(weights [][]float64) (*Instance, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("btsp: empty instance")
+	}
+	for i, row := range weights {
+		if len(row) != n {
+			return nil, fmt.Errorf("btsp: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return nil, fmt.Errorf("btsp: weight[%d][%d] = %v out of range [0, +inf)", i, j, w)
+			}
+			if i == j && w != 0 {
+				return nil, fmt.Errorf("btsp: weight[%d][%d] = %v, diagonal must be zero", i, j, w)
+			}
+		}
+	}
+	return &Instance{weights: weights}, nil
+}
+
+// N returns the number of vertices.
+func (in *Instance) N() int { return len(in.weights) }
+
+// Weight returns the weight of edge i -> j.
+func (in *Instance) Weight(i, j int) float64 { return in.weights[i][j] }
+
+// PathCost returns the bottleneck (maximum) edge weight along the path
+// visiting the vertices in the given order. A single-vertex path costs 0.
+func (in *Instance) PathCost(order []int) float64 {
+	cost := 0.0
+	for i := 0; i+1 < len(order); i++ {
+		if w := in.weights[order[i]][order[i+1]]; w > cost {
+			cost = w
+		}
+	}
+	return cost
+}
+
+// ToQuery applies the paper's reduction: the instance becomes an ordering
+// query with unit selectivities, zero processing costs, and the edge
+// weights as transfer costs. The bottleneck cost of any plan then equals
+// the bottleneck edge weight of the corresponding path.
+func (in *Instance) ToQuery() *model.Query {
+	n := in.N()
+	services := make([]model.Service, n)
+	for i := range services {
+		services[i] = model.Service{Name: fmt.Sprintf("v%d", i), Cost: 0, Selectivity: 1}
+	}
+	transfer := make([][]float64, n)
+	for i := range transfer {
+		transfer[i] = append([]float64(nil), in.weights[i]...)
+	}
+	return &model.Query{Services: services, Transfer: transfer}
+}
+
+// FromQuery recognizes a BTSP-shaped query (all selectivities 1, all
+// processing costs 0, no source/sink stages) and extracts the instance.
+// The second return value reports whether the query has that shape.
+func FromQuery(q *model.Query) (*Instance, bool) {
+	if q.SourceTransfer != nil || q.SinkTransfer != nil || len(q.Precedence) > 0 {
+		return nil, false
+	}
+	for _, s := range q.Services {
+		if s.Cost != 0 || s.Selectivity != 1 {
+			return nil, false
+		}
+	}
+	weights := make([][]float64, q.N())
+	for i := range weights {
+		weights[i] = append([]float64(nil), q.Transfer[i]...)
+	}
+	inst, err := New(weights)
+	if err != nil {
+		return nil, false
+	}
+	return inst, true
+}

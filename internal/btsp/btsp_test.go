@@ -1,0 +1,263 @@
+package btsp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/btsp"
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+)
+
+func mustInstance(t *testing.T, w [][]float64) *btsp.Instance {
+	t.Helper()
+	in, err := btsp.New(w)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return in
+}
+
+func randWeights(rng *rand.Rand, n int, symmetric bool) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if symmetric && j < i {
+				w[i][j] = w[j][i]
+				continue
+			}
+			w[i][j] = math.Round(rng.Float64()*100) / 10 // coarse grid forces ties
+		}
+	}
+	return w
+}
+
+// bruteForce enumerates all paths (n <= 8).
+func bruteForce(in *btsp.Instance) float64 {
+	n := in.N()
+	best := math.Inf(1)
+	order := make([]int, n)
+	var recurse func(depth int, used uint32)
+	recurse = func(depth int, used uint32) {
+		if depth == n {
+			if c := in.PathCost(order); c < best {
+				best = c
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used&(1<<uint(v)) != 0 {
+				continue
+			}
+			order[depth] = v
+			recurse(depth+1, used|1<<uint(v))
+		}
+	}
+	recurse(0, 0)
+	return best
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		w    [][]float64
+	}{
+		{name: "empty", w: nil},
+		{name: "ragged", w: [][]float64{{0, 1}, {1}}},
+		{name: "negative", w: [][]float64{{0, -1}, {1, 0}}},
+		{name: "NaN", w: [][]float64{{0, math.NaN()}, {1, 0}}},
+		{name: "diagonal", w: [][]float64{{1, 1}, {1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := btsp.New(tt.w); err == nil {
+				t.Fatalf("New accepted invalid matrix")
+			}
+		})
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	in := mustInstance(t, [][]float64{
+		{0, 1, 9},
+		{2, 0, 3},
+		{9, 4, 0},
+	})
+	if got := in.PathCost([]int{0, 1, 2}); got != 3 {
+		t.Errorf("PathCost(0-1-2) = %v, want 3", got)
+	}
+	if got := in.PathCost([]int{2, 1, 0}); got != 4 {
+		t.Errorf("PathCost(2-1-0) = %v, want 4", got)
+	}
+	if got := in.PathCost([]int{1}); got != 0 {
+		t.Errorf("PathCost single = %v, want 0", got)
+	}
+}
+
+func TestSolveExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(6)
+		in := mustInstance(t, randWeights(rng, n, trial%2 == 0))
+		path, cost, err := btsp.SolveExact(in)
+		if err != nil {
+			t.Fatalf("SolveExact: %v", err)
+		}
+		if len(path) != n {
+			t.Fatalf("path %v does not visit all %d vertices", path, n)
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range path {
+			if seen[v] {
+				t.Fatalf("path %v revisits %d", path, v)
+			}
+			seen[v] = true
+		}
+		if got := in.PathCost(path); math.Abs(got-cost) > 1e-12 {
+			t.Fatalf("reported cost %v but path costs %v", cost, got)
+		}
+		if want := bruteForce(in); math.Abs(cost-want) > 1e-12 {
+			t.Fatalf("trial %d (n=%d): exact %v, brute force %v", trial, n, cost, want)
+		}
+	}
+}
+
+func TestSolveExactSingleVertex(t *testing.T) {
+	in := mustInstance(t, [][]float64{{0}})
+	path, cost, err := btsp.SolveExact(in)
+	if err != nil || len(path) != 1 || cost != 0 {
+		t.Fatalf("SolveExact single = (%v, %v, %v)", path, cost, err)
+	}
+}
+
+func TestSolveExactSizeLimit(t *testing.T) {
+	n := btsp.MaxExactN + 1
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	in := mustInstance(t, w)
+	if _, _, err := btsp.SolveExact(in); err == nil {
+		t.Fatalf("SolveExact accepted %d vertices", n)
+	}
+}
+
+func TestNearestNeighborNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(7)
+		in := mustInstance(t, randWeights(rng, n, false))
+		_, exact, err := btsp.SolveExact(in)
+		if err != nil {
+			t.Fatalf("SolveExact: %v", err)
+		}
+		path, nn := btsp.SolveNearestNeighbor(in)
+		if len(path) != n {
+			t.Fatalf("NN path %v incomplete", path)
+		}
+		if nn < exact-1e-12 {
+			t.Fatalf("trial %d: NN %v beat exact %v", trial, nn, exact)
+		}
+		if got := in.PathCost(path); math.Abs(got-nn) > 1e-12 {
+			t.Fatalf("NN reported %v but path costs %v", nn, got)
+		}
+	}
+}
+
+// TestReductionToOrdering is the paper's hardness argument run forward:
+// optimizing the reduced query with the branch-and-bound core yields
+// exactly the optimal bottleneck Hamiltonian path cost.
+func TestReductionToOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(6)
+		in := mustInstance(t, randWeights(rng, n, false))
+		q := in.ToQuery()
+		if err := q.Validate(); err != nil {
+			t.Fatalf("reduced query invalid: %v", err)
+		}
+
+		res, err := core.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		_, exact, err := btsp.SolveExact(in)
+		if err != nil {
+			t.Fatalf("SolveExact: %v", err)
+		}
+		if math.Abs(res.Cost-exact) > 1e-9 {
+			t.Fatalf("trial %d: ordering optimum %v != BTSP optimum %v", trial, res.Cost, exact)
+		}
+		// The plan's path cost in the instance must agree too.
+		if got := in.PathCost([]int(res.Plan)); math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("trial %d: plan path cost %v != %v", trial, got, exact)
+		}
+	}
+}
+
+func TestFromQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := mustInstance(t, randWeights(rng, 5, false))
+	q := in.ToQuery()
+	back, ok := btsp.FromQuery(q)
+	if !ok {
+		t.Fatalf("FromQuery rejected a reduced query")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if back.Weight(i, j) != in.Weight(i, j) {
+				t.Fatalf("weight[%d][%d] changed in round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestFromQueryRejectsNonBTSP(t *testing.T) {
+	base := func() *model.Query {
+		return mustInstanceQuery(t)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*model.Query)
+	}{
+		{"nonzero cost", func(q *model.Query) { q.Services[0].Cost = 1 }},
+		{"non-unit selectivity", func(q *model.Query) { q.Services[1].Selectivity = 0.5 }},
+		{"source", func(q *model.Query) { q.SourceTransfer = []float64{0, 0, 0} }},
+		{"sink", func(q *model.Query) { q.SinkTransfer = []float64{0, 0, 0} }},
+		{"precedence", func(q *model.Query) { q.Precedence = [][2]int{{0, 1}} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := base()
+			tt.mutate(q)
+			if _, ok := btsp.FromQuery(q); ok {
+				t.Fatalf("FromQuery accepted a non-BTSP query")
+			}
+		})
+	}
+}
+
+func mustInstanceQuery(t *testing.T) *model.Query {
+	t.Helper()
+	in := mustInstance(t, [][]float64{
+		{0, 1, 2},
+		{3, 0, 1},
+		{2, 5, 0},
+	})
+	return in.ToQuery()
+}

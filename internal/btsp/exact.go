@@ -1,0 +1,167 @@
+package btsp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxExactN bounds the exact solver: the reachability DP stores one word
+// per vertex subset, so 2^16 subsets is the practical ceiling.
+const MaxExactN = 16
+
+// SolveExact returns a minimum-bottleneck Hamiltonian path and its cost.
+//
+// It performs a binary search over the sorted distinct edge weights; for a
+// candidate threshold w it keeps only edges of weight <= w and asks
+// whether a directed Hamiltonian path exists, via a subset-reachability
+// DP: ends[mask] is the set of vertices at which some path covering
+// exactly mask can end. The optimal bottleneck is the smallest feasible
+// threshold, and the path is reconstructed by walking the DP backwards.
+func SolveExact(in *Instance) ([]int, float64, error) {
+	n := in.N()
+	if n > MaxExactN {
+		return nil, 0, fmt.Errorf("btsp: exact solver limited to %d vertices, got %d", MaxExactN, n)
+	}
+	if n == 1 {
+		return []int{0}, 0, nil
+	}
+
+	// Distinct weights, sorted: the answer is one of them.
+	weightSet := make(map[float64]struct{}, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				weightSet[in.weights[i][j]] = struct{}{}
+			}
+		}
+	}
+	weights := make([]float64, 0, len(weightSet))
+	for w := range weightSet {
+		weights = append(weights, w)
+	}
+	sort.Float64s(weights)
+
+	lo, hi := 0, len(weights)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in.pathExists(weights[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	best := weights[lo]
+	path := in.reconstruct(best)
+	if path == nil {
+		// Cannot happen: pathExists(weights[lo]) held (the full graph at
+		// the largest weight always has a Hamiltonian path).
+		return nil, 0, fmt.Errorf("btsp: internal error: no path at feasible threshold %v", best)
+	}
+	return path, best, nil
+}
+
+// adjacency returns adj[v] = bitmask of u with weight(v,u) <= thr.
+func (in *Instance) adjacency(thr float64) []uint32 {
+	n := in.N()
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if u != v && in.weights[v][u] <= thr {
+				adj[v] |= 1 << uint(u)
+			}
+		}
+	}
+	return adj
+}
+
+// pathExists reports whether the graph restricted to edges of weight <=
+// thr has a directed Hamiltonian path.
+func (in *Instance) pathExists(thr float64) bool {
+	n := in.N()
+	adj := in.adjacency(thr)
+	full := uint32(1)<<uint(n) - 1
+	ends := make([]uint32, full+1)
+	for v := 0; v < n; v++ {
+		ends[uint32(1)<<uint(v)] = 1 << uint(v)
+	}
+	for mask := uint32(1); mask <= full; mask++ {
+		e := ends[mask]
+		if e == 0 {
+			continue
+		}
+		if mask == full {
+			return true
+		}
+		rest := e
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &^= 1 << uint(v)
+			nexts := adj[v] &^ mask
+			for nexts != 0 {
+				u := bits.TrailingZeros32(nexts)
+				nexts &^= 1 << uint(u)
+				ends[mask|1<<uint(u)] |= 1 << uint(u)
+			}
+		}
+	}
+	return ends[full] != 0
+}
+
+// reconstruct rebuilds one Hamiltonian path using only edges of weight <=
+// thr, or nil when none exists.
+func (in *Instance) reconstruct(thr float64) []int {
+	n := in.N()
+	adj := in.adjacency(thr)
+	full := uint32(1)<<uint(n) - 1
+	ends := make([]uint32, full+1)
+	for v := 0; v < n; v++ {
+		ends[uint32(1)<<uint(v)] = 1 << uint(v)
+	}
+	for mask := uint32(1); mask <= full; mask++ {
+		e := ends[mask]
+		if e == 0 {
+			continue
+		}
+		rest := e
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &^= 1 << uint(v)
+			nexts := adj[v] &^ mask
+			for nexts != 0 {
+				u := bits.TrailingZeros32(nexts)
+				nexts &^= 1 << uint(u)
+				ends[mask|1<<uint(u)] |= 1 << uint(u)
+			}
+		}
+	}
+	if ends[full] == 0 {
+		return nil
+	}
+
+	// Walk backwards: pick any feasible end, then find a predecessor
+	// whose sub-path can end at it.
+	path := make([]int, n)
+	mask := full
+	last := bits.TrailingZeros32(ends[full])
+	path[n-1] = last
+	for i := n - 2; i >= 0; i-- {
+		mask &^= 1 << uint(last)
+		prevs := ends[mask]
+		found := -1
+		for rest := prevs; rest != 0; {
+			v := bits.TrailingZeros32(rest)
+			rest &^= 1 << uint(v)
+			if adj[v]&(1<<uint(last)) != 0 {
+				found = v
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		path[i] = found
+		last = found
+	}
+	return path
+}

@@ -1,0 +1,40 @@
+package btsp
+
+import "math"
+
+// SolveNearestNeighbor builds a Hamiltonian path greedily from every
+// possible start vertex — always following the lightest edge to an
+// unvisited vertex — and returns the best of the n constructions. It runs
+// in O(n^3) and carries no optimality guarantee; the T2 experiment uses it
+// as the scalable contrast to the exact solver.
+func SolveNearestNeighbor(in *Instance) ([]int, float64) {
+	n := in.N()
+	var bestPath []int
+	bestCost := math.Inf(1)
+	for start := 0; start < n; start++ {
+		path := make([]int, 1, n)
+		path[0] = start
+		visited := make([]bool, n)
+		visited[start] = true
+		cost := 0.0
+		for len(path) < n {
+			last := path[len(path)-1]
+			next, nextW := -1, math.Inf(1)
+			for u := 0; u < n; u++ {
+				if !visited[u] && in.weights[last][u] < nextW {
+					next, nextW = u, in.weights[last][u]
+				}
+			}
+			path = append(path, next)
+			visited[next] = true
+			if nextW > cost {
+				cost = nextW
+			}
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestPath = path
+		}
+	}
+	return bestPath, bestCost
+}

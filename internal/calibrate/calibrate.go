@@ -1,0 +1,213 @@
+// Package calibrate reconstructs cost-model parameters from observed
+// pipeline executions, closing the loop the paper's system setting
+// implies: profile the deployed services, fit c_i, sigma_i and t_ij, and
+// hand the fitted query to the optimizer.
+//
+// One executed plan exposes each service's processing cost and
+// selectivity, but only the n-1 transfer edges it used; full calibration
+// therefore aggregates observations from several plans. CoveringPlans
+// proposes a near-minimal set of plans that together traverse every
+// directed edge.
+package calibrate
+
+import (
+	"fmt"
+
+	"serviceordering/internal/model"
+	"serviceordering/internal/sim"
+)
+
+// Estimator accumulates per-service and per-edge observations across
+// executed plans and fits a query instance.
+type Estimator struct {
+	n int
+
+	procTime   []float64 // total busy processing time per service
+	procTuples []int64   // tuples processed per service
+	inTuples   []int64
+	outTuples  []int64
+
+	edgeTime   map[[2]int]float64 // total sending busy time per directed edge
+	edgeTuples map[[2]int]int64   // tuples sent per directed edge
+}
+
+// NewEstimator creates an estimator for n services.
+func NewEstimator(n int) (*Estimator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("calibrate: n = %d, want > 0", n)
+	}
+	return &Estimator{
+		n:          n,
+		procTime:   make([]float64, n),
+		procTuples: make([]int64, n),
+		inTuples:   make([]int64, n),
+		outTuples:  make([]int64, n),
+		edgeTime:   make(map[[2]int]float64, n*(n-1)),
+		edgeTuples: make(map[[2]int]int64, n*(n-1)),
+	}, nil
+}
+
+// ObserveSim folds one simulated execution into the estimate. The report
+// must come from running the given plan.
+func (e *Estimator) ObserveSim(plan model.Plan, rep *sim.Report) error {
+	if len(plan) != e.n {
+		return fmt.Errorf("calibrate: plan has %d services, estimator has %d", len(plan), e.n)
+	}
+	if len(rep.Stages) != e.n {
+		return fmt.Errorf("calibrate: report has %d stages, want %d", len(rep.Stages), e.n)
+	}
+	for pos, st := range rep.Stages {
+		s := plan[pos]
+		if st.Service != s {
+			return fmt.Errorf("calibrate: stage %d reports service %d, plan says %d", pos, st.Service, s)
+		}
+		e.procTime[s] += st.BusyProcessing
+		e.procTuples[s] += st.TuplesIn
+		e.inTuples[s] += st.TuplesIn
+		e.outTuples[s] += st.TuplesOut
+		if pos+1 < e.n && st.TuplesOut > 0 {
+			edge := [2]int{s, plan[pos+1]}
+			e.edgeTime[edge] += st.BusySending
+			e.edgeTuples[edge] += st.TuplesOut
+		}
+	}
+	return nil
+}
+
+// EdgeCoverage reports how many of the n(n-1) directed edges have at
+// least one observation.
+func (e *Estimator) EdgeCoverage() (observed, total int) {
+	return len(e.edgeTuples), e.n * (e.n - 1)
+}
+
+// Estimate fits a query from the accumulated observations. Services with
+// no observations are an error. Unobserved transfer edges are filled from
+// fallback when non-nil (e.g. a prior estimate or a default), and are an
+// error otherwise.
+func (e *Estimator) Estimate(fallback *model.Query) (*model.Query, error) {
+	services := make([]model.Service, e.n)
+	for s := 0; s < e.n; s++ {
+		if e.procTuples[s] == 0 {
+			return nil, fmt.Errorf("calibrate: service %d was never observed processing", s)
+		}
+		services[s] = model.Service{
+			Name:        fmt.Sprintf("ws%d", s),
+			Cost:        e.procTime[s] / float64(e.procTuples[s]),
+			Selectivity: float64(e.outTuples[s]) / float64(e.inTuples[s]),
+		}
+		if fallback != nil && s < fallback.N() && fallback.Services[s].Name != "" {
+			services[s].Name = fallback.Services[s].Name
+		}
+	}
+
+	transfer := make([][]float64, e.n)
+	for i := range transfer {
+		transfer[i] = make([]float64, e.n)
+	}
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.n; j++ {
+			if i == j {
+				continue
+			}
+			edge := [2]int{i, j}
+			if tuples := e.edgeTuples[edge]; tuples > 0 {
+				transfer[i][j] = e.edgeTime[edge] / float64(tuples)
+				continue
+			}
+			if fallback == nil {
+				return nil, fmt.Errorf("calibrate: edge %d->%d unobserved and no fallback provided", i, j)
+			}
+			transfer[i][j] = fallback.Transfer[i][j]
+		}
+	}
+	q := &model.Query{Services: services, Transfer: transfer}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("calibrate: fitted query invalid: %w", err)
+	}
+	return q, nil
+}
+
+// CoveringPlans returns a set of plans that together traverse every
+// directed edge of the complete graph on n services. Plans are built
+// greedily, always extending with an unvisited service whose incoming
+// edge is not yet covered when possible, so the set size stays close to
+// the lower bound of n plans.
+func CoveringPlans(n int) []model.Plan {
+	if n == 1 {
+		return []model.Plan{{0}}
+	}
+	covered := make(map[[2]int]bool, n*(n-1))
+	var plans []model.Plan
+	// A complete directed graph has n(n-1) edges; each plan covers n-1,
+	// so n+2 iterations bound the greedy comfortably; the loop exits as
+	// soon as coverage is complete.
+	for len(covered) < n*(n-1) && len(plans) < n*(n-1) {
+		plan := make(model.Plan, 0, n)
+		used := make([]bool, n)
+		// Start from the service with the fewest covered outgoing edges.
+		start, startCov := 0, n
+		for s := 0; s < n; s++ {
+			cov := 0
+			for t := 0; t < n; t++ {
+				if t != s && covered[[2]int{s, t}] {
+					cov++
+				}
+			}
+			if cov < startCov {
+				start, startCov = s, cov
+			}
+		}
+		plan = append(plan, start)
+		used[start] = true
+		for len(plan) < n {
+			last := plan[len(plan)-1]
+			next := -1
+			for t := 0; t < n; t++ {
+				if !used[t] && !covered[[2]int{last, t}] {
+					next = t
+					break
+				}
+			}
+			if next < 0 {
+				for t := 0; t < n; t++ {
+					if !used[t] {
+						next = t
+						break
+					}
+				}
+			}
+			plan = append(plan, next)
+			used[next] = true
+		}
+		for i := 0; i+1 < n; i++ {
+			covered[[2]int{plan[i], plan[i+1]}] = true
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// CalibrateFromSim profiles a ground-truth query end-to-end: it simulates
+// every covering plan with the given config and returns the fitted
+// instance. It is both a convenience for users and the harness for the
+// calibration tests: the fitted query should reproduce the true one up to
+// sampling noise.
+func CalibrateFromSim(truth *model.Query, cfg sim.Config) (*model.Query, error) {
+	if err := truth.Validate(); err != nil {
+		return nil, fmt.Errorf("calibrate: invalid query: %w", err)
+	}
+	est, err := NewEstimator(truth.N())
+	if err != nil {
+		return nil, err
+	}
+	for _, plan := range CoveringPlans(truth.N()) {
+		rep, err := sim.Run(truth, plan, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: simulating %v: %w", plan, err)
+		}
+		if err := est.ObserveSim(plan, rep); err != nil {
+			return nil, err
+		}
+	}
+	return est.Estimate(truth)
+}

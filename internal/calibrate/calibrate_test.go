@@ -1,0 +1,196 @@
+package calibrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+	"serviceordering/internal/sim"
+)
+
+func mustQuery(t *testing.T, services []model.Service, transfer [][]float64) *model.Query {
+	t.Helper()
+	q, err := model.NewQuery(services, transfer)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+func randTruth(t *testing.T, rng *rand.Rand, n int) *model.Query {
+	t.Helper()
+	services := make([]model.Service, n)
+	for i := range services {
+		// Selectivities bounded away from 0 so every stage sees tuples.
+		services[i] = model.Service{Cost: 0.2 + rng.Float64()*2, Selectivity: 0.5 + rng.Float64()*0.5}
+	}
+	transfer := make([][]float64, n)
+	for i := range transfer {
+		transfer[i] = make([]float64, n)
+		for j := range transfer[i] {
+			if i != j {
+				transfer[i][j] = 0.1 + rng.Float64()
+			}
+		}
+	}
+	return mustQuery(t, services, transfer)
+}
+
+func TestCoveringPlansCoverAllEdges(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		plans := CoveringPlans(n)
+		covered := make(map[[2]int]bool)
+		for _, p := range plans {
+			if err := p.Validate(&model.Query{
+				Services: make([]model.Service, n),
+				Transfer: zeroMatrix(n),
+			}); err != nil {
+				t.Fatalf("n=%d: invalid covering plan %v: %v", n, p, err)
+			}
+			for i := 0; i+1 < len(p); i++ {
+				covered[[2]int{p[i], p[i+1]}] = true
+			}
+		}
+		if want := n * (n - 1); len(covered) != want {
+			t.Fatalf("n=%d: %d plans cover %d edges, want %d", n, len(plans), len(covered), want)
+		}
+		// The greedy should stay near the lower bound of n plans.
+		if n >= 2 && len(plans) > 2*n {
+			t.Errorf("n=%d: %d covering plans, want <= %d", n, len(plans), 2*n)
+		}
+	}
+}
+
+func zeroMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// TestCalibrationRecoversTruth is the headline test: simulate the truth
+// across covering plans, fit, and compare parameters. With deterministic
+// filtering the fit is nearly exact.
+func TestCalibrationRecoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(4)
+		truth := randTruth(t, rng, n)
+		cfg := sim.DefaultConfig()
+		cfg.Tuples = 5000
+		fitted, err := CalibrateFromSim(truth, cfg)
+		if err != nil {
+			t.Fatalf("CalibrateFromSim: %v", err)
+		}
+		for i := range truth.Services {
+			if rel := math.Abs(fitted.Services[i].Cost/truth.Services[i].Cost - 1); rel > 0.01 {
+				t.Errorf("trial %d: service %d cost fitted %v, truth %v",
+					trial, i, fitted.Services[i].Cost, truth.Services[i].Cost)
+			}
+			if diff := math.Abs(fitted.Services[i].Selectivity - truth.Services[i].Selectivity); diff > 0.02 {
+				t.Errorf("trial %d: service %d selectivity fitted %v, truth %v",
+					trial, i, fitted.Services[i].Selectivity, truth.Services[i].Selectivity)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if rel := math.Abs(fitted.Transfer[i][j]/truth.Transfer[i][j] - 1); rel > 0.01 {
+					t.Errorf("trial %d: transfer %d->%d fitted %v, truth %v",
+						trial, i, j, fitted.Transfer[i][j], truth.Transfer[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestCalibratedOptimizationMatchesTruth closes the loop: optimizing the
+// fitted model must yield a plan that is (near-)optimal on the truth.
+func TestCalibratedOptimizationMatchesTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		truth := randTruth(t, rng, 5)
+		cfg := sim.DefaultConfig()
+		cfg.Tuples = 5000
+		fitted, err := CalibrateFromSim(truth, cfg)
+		if err != nil {
+			t.Fatalf("CalibrateFromSim: %v", err)
+		}
+		fromFit, err := core.Optimize(fitted)
+		if err != nil {
+			t.Fatalf("Optimize(fitted): %v", err)
+		}
+		fromTruth, err := core.Optimize(truth)
+		if err != nil {
+			t.Fatalf("Optimize(truth): %v", err)
+		}
+		// The fitted plan, costed on the TRUTH, must be within 1% of the
+		// true optimum.
+		if ratio := truth.Cost(fromFit.Plan) / fromTruth.Cost; ratio > 1.01 {
+			t.Errorf("trial %d: fitted plan is %.3fx the true optimum", trial, ratio)
+		}
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0); err == nil {
+		t.Errorf("zero services accepted")
+	}
+	est, err := NewEstimator(3)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if err := est.ObserveSim(model.Plan{0, 1}, &sim.Report{}); err == nil {
+		t.Errorf("short plan accepted")
+	}
+	if err := est.ObserveSim(model.Plan{0, 1, 2}, &sim.Report{}); err == nil {
+		t.Errorf("empty report accepted")
+	}
+	// Unobserved services must fail estimation.
+	if _, err := est.Estimate(nil); err == nil {
+		t.Errorf("estimate with no observations accepted")
+	}
+}
+
+func TestEstimateFallbackForUnobservedEdges(t *testing.T) {
+	truth := randTruth(t, rand.New(rand.NewSource(4)), 3)
+	est, err := NewEstimator(3)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Tuples = 2000
+	// Observe only one plan: edges (0,1) and (1,2).
+	plan := model.Plan{0, 1, 2}
+	rep, err := sim.Run(truth, plan, cfg)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	if err := est.ObserveSim(plan, rep); err != nil {
+		t.Fatalf("ObserveSim: %v", err)
+	}
+	observed, total := est.EdgeCoverage()
+	if observed != 2 || total != 6 {
+		t.Fatalf("EdgeCoverage = (%d, %d), want (2, 6)", observed, total)
+	}
+	if _, err := est.Estimate(nil); err == nil {
+		t.Errorf("partial coverage without fallback accepted")
+	}
+	fitted, err := est.Estimate(truth)
+	if err != nil {
+		t.Fatalf("Estimate with fallback: %v", err)
+	}
+	// Unobserved edge (2,0) must come from the fallback.
+	if fitted.Transfer[2][0] != truth.Transfer[2][0] {
+		t.Errorf("fallback edge not used: %v vs %v", fitted.Transfer[2][0], truth.Transfer[2][0])
+	}
+	// Observed edge (0,1) must come from measurement (close to truth).
+	if rel := math.Abs(fitted.Transfer[0][1]/truth.Transfer[0][1] - 1); rel > 0.01 {
+		t.Errorf("observed edge poorly fitted: %v vs %v", fitted.Transfer[0][1], truth.Transfer[0][1])
+	}
+}

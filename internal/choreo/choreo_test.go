@@ -1,0 +1,298 @@
+package choreo
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+func mustQuery(t *testing.T, services []model.Service, transfer [][]float64) *model.Query {
+	t.Helper()
+	q, err := model.NewQuery(services, transfer)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+// passthroughQuery has unit selectivities so tuple counts are exact.
+func passthroughQuery(t *testing.T) *model.Query {
+	t.Helper()
+	return mustQuery(t,
+		[]model.Service{
+			{Name: "a", Cost: 1, Selectivity: 1},
+			{Name: "b", Cost: 0.5, Selectivity: 1},
+			{Name: "c", Cost: 0.25, Selectivity: 1},
+		},
+		[][]float64{
+			{0, 0.5, 1},
+			{0.5, 0, 0.25},
+			{1, 0.25, 0},
+		})
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Tuples = 200
+	cfg.BlockSize = 8
+	cfg.UnitDuration = 0 // functional mode: no sleeps
+	return cfg
+}
+
+func TestRunPassthroughCounts(t *testing.T) {
+	q := passthroughQuery(t)
+	rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, fastConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 200 {
+		t.Errorf("TuplesOut = %d, want 200", rep.TuplesOut)
+	}
+	for _, st := range rep.Stages {
+		if st.TuplesIn != 200 || st.TuplesOut != 200 {
+			t.Errorf("stage %d counts = %+v, want 200/200", st.Position, st)
+		}
+	}
+}
+
+func TestRunFilteringApproximatesSelectivity(t *testing.T) {
+	q := mustQuery(t,
+		[]model.Service{
+			{Cost: 0, Selectivity: 0.5},
+			{Cost: 0, Selectivity: 0.5},
+		},
+		[][]float64{{0, 0}, {0, 0}})
+	cfg := fastConfig()
+	cfg.Tuples = 4000
+	rep, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := 1000.0 // 4000 * 0.5 * 0.5
+	if math.Abs(float64(rep.TuplesOut)-want) > 0.15*want {
+		t.Errorf("TuplesOut = %d, want about %v", rep.TuplesOut, want)
+	}
+}
+
+func TestRunDeterministicFiltering(t *testing.T) {
+	q := mustQuery(t,
+		[]model.Service{{Cost: 0, Selectivity: 0.7}, {Cost: 0, Selectivity: 0.4}},
+		[][]float64{{0, 0}, {0, 0}})
+	cfg := fastConfig()
+	cfg.Tuples = 1000
+	r1, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1.TuplesOut != r2.TuplesOut {
+		t.Errorf("same seed gave %d and %d tuples", r1.TuplesOut, r2.TuplesOut)
+	}
+}
+
+func TestRunTimedMatchesPrediction(t *testing.T) {
+	q := passthroughQuery(t)
+	plan := model.Plan{2, 1, 0} // bottleneck: stage a at the end
+	cfg := DefaultConfig()
+	cfg.Tuples = 80
+	cfg.BlockSize = 8
+	// Coarse unit: sleep quantization (~0.1ms on older kernels) must be
+	// small relative to one cost unit.
+	cfg.UnitDuration = time.Millisecond
+	rep, err := Run(context.Background(), q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.PredictedPeriod <= 0 {
+		t.Fatalf("PredictedPeriod = %v", rep.PredictedPeriod)
+	}
+	// Real sleeps only ever overshoot; the measured period must be at
+	// least ~the prediction and within a loose factor of it.
+	ratio := float64(rep.MeasuredPeriod) / float64(rep.PredictedPeriod)
+	if ratio < 0.8 || ratio > 3 {
+		t.Errorf("measured/predicted = %.2f (measured %v, predicted %v)",
+			ratio, rep.MeasuredPeriod, rep.PredictedPeriod)
+	}
+	for _, st := range rep.Stages {
+		if st.Busy <= 0 {
+			t.Errorf("stage %d reported no busy time", st.Position)
+		}
+	}
+}
+
+func TestRunPlanOrderingVisibleInWallClock(t *testing.T) {
+	// A query where plan quality differs hugely: service h is slow and
+	// expensive to reach; putting it first costs 8 units/tuple, after
+	// the filter only 0.8.
+	q := mustQuery(t,
+		[]model.Service{
+			{Name: "filter", Cost: 0.2, Selectivity: 0.1},
+			{Name: "heavy", Cost: 8, Selectivity: 1},
+		},
+		[][]float64{{0, 0.1}, {0.1, 0}})
+	cfg := DefaultConfig()
+	cfg.Tuples = 120
+	cfg.BlockSize = 8
+	cfg.UnitDuration = 100 * time.Microsecond
+
+	good, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run(good): %v", err)
+	}
+	bad, err := Run(context.Background(), q, model.Plan{1, 0}, cfg)
+	if err != nil {
+		t.Fatalf("Run(bad): %v", err)
+	}
+	// Model predicts 8x; real scheduling noise shrinks it, but the gap
+	// must remain unmistakable.
+	if float64(bad.Makespan) < 2*float64(good.Makespan) {
+		t.Errorf("bad plan %v not clearly slower than good plan %v", bad.Makespan, good.Makespan)
+	}
+}
+
+func TestRunTCPTransportMatchesInProc(t *testing.T) {
+	q := mustQuery(t,
+		[]model.Service{{Cost: 0, Selectivity: 0.6}, {Cost: 0, Selectivity: 0.9}},
+		[][]float64{{0, 0}, {0, 0}})
+	cfg := fastConfig()
+	cfg.Tuples = 600
+
+	inproc, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run(inproc): %v", err)
+	}
+	cfg.Transport = TransportTCP
+	tcp, err := Run(context.Background(), q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run(tcp): %v", err)
+	}
+	if inproc.TuplesOut != tcp.TuplesOut {
+		t.Errorf("transports disagree: inproc %d, tcp %d", inproc.TuplesOut, tcp.TuplesOut)
+	}
+	for i := range inproc.Stages {
+		if inproc.Stages[i].TuplesIn != tcp.Stages[i].TuplesIn {
+			t.Errorf("stage %d: inproc in %d, tcp in %d", i, inproc.Stages[i].TuplesIn, tcp.Stages[i].TuplesIn)
+		}
+	}
+}
+
+func TestRunWithSourceAndSink(t *testing.T) {
+	q := passthroughQuery(t)
+	q.SourceTransfer = []float64{0.1, 0.1, 0.1}
+	q.SinkTransfer = []float64{0.2, 0.2, 0.2}
+	rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, fastConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 200 {
+		t.Errorf("TuplesOut = %d, want 200", rep.TuplesOut)
+	}
+}
+
+func TestRunFailureInjection(t *testing.T) {
+	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
+		q := passthroughQuery(t)
+		cfg := fastConfig()
+		cfg.Transport = transport
+		cfg.FailAfter = map[int]int{1: 50}
+		done := make(chan struct{})
+		var runErr error
+		go func() {
+			defer close(done)
+			_, runErr = Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("transport %d: run deadlocked after injected failure", transport)
+		}
+		if runErr == nil || !strings.Contains(runErr.Error(), "injected failure") {
+			t.Errorf("transport %d: err = %v, want injected failure", transport, runErr)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	q := passthroughQuery(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 100000
+	cfg.UnitDuration = 100 * time.Microsecond // would take many seconds
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, q, model.Plan{0, 1, 2}, cfg)
+	if err == nil {
+		t.Fatalf("Run survived cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	q := passthroughQuery(t)
+	ctx := context.Background()
+	if _, err := Run(ctx, q, model.Plan{0, 1}, fastConfig()); err == nil {
+		t.Errorf("short plan accepted")
+	}
+	bad := fastConfig()
+	bad.Tuples = 0
+	if _, err := Run(ctx, q, model.Plan{0, 1, 2}, bad); err == nil {
+		t.Errorf("zero tuples accepted")
+	}
+	bad = fastConfig()
+	bad.BlockSize = 0
+	if _, err := Run(ctx, q, model.Plan{0, 1, 2}, bad); err == nil {
+		t.Errorf("zero block size accepted")
+	}
+	bad = fastConfig()
+	bad.QueueBlocks = 0
+	if _, err := Run(ctx, q, model.Plan{0, 1, 2}, bad); err == nil {
+		t.Errorf("zero queue accepted")
+	}
+	bad = fastConfig()
+	bad.Transport = TransportKind(99)
+	if _, err := Run(ctx, q, model.Plan{0, 1, 2}, bad); err == nil {
+		t.Errorf("unknown transport accepted")
+	}
+}
+
+func TestCopiesSemantics(t *testing.T) {
+	if got := copies(1, 0, 1, 1); got != 1 {
+		t.Errorf("copies(sigma=1) = %d, want 1", got)
+	}
+	if got := copies(1, 0, 1, 0); got != 0 {
+		t.Errorf("copies(sigma=0) = %d, want 0", got)
+	}
+	if got := copies(5, 2, 9, 3); got != 3 {
+		t.Errorf("copies(sigma=3) = %d, want 3", got)
+	}
+	for id := int64(0); id < 50; id++ {
+		k := copies(id, 1, 7, 2.5)
+		if k != 2 && k != 3 {
+			t.Fatalf("copies(sigma=2.5) = %d, want 2 or 3", k)
+		}
+		if again := copies(id, 1, 7, 2.5); again != k {
+			t.Fatalf("copies not deterministic for id %d", id)
+		}
+	}
+	// Long-run rate.
+	total := 0
+	const n = 100000
+	for id := int64(0); id < n; id++ {
+		total += copies(id, 3, 11, 0.3)
+	}
+	if rate := float64(total) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("empirical rate %v, want 0.3", rate)
+	}
+}

@@ -1,0 +1,473 @@
+package choreo
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// nodeState is one service node's wiring and accounting. Each node is the
+// only writer of its fields while running; the coordinator reads them
+// after all goroutines have exited.
+type nodeState struct {
+	service   int
+	position  int
+	procCost  float64 // model cost units per tuple
+	sendCost  float64 // model cost units per tuple sent to the successor
+	sigma     float64
+	seed      int64
+	failAfter int // abort after this many tuples (0 = never)
+	threads   int // worker goroutines (the multi-threaded relaxation)
+
+	in  link
+	out link
+
+	tuplesIn  atomic.Int64
+	tuplesOut atomic.Int64
+
+	mu   sync.Mutex
+	busy time.Duration
+}
+
+// runPipeline wires links, launches one goroutine per node plus source and
+// sink, and waits for completion.
+func runPipeline(ctx context.Context, q *model.Query, p model.Plan, cfg Config) (*Report, error) {
+	n := len(p)
+	links := make([]link, n+1)
+	for i := range links {
+		switch cfg.Transport {
+		case TransportTCP:
+			l, err := newTCPLink()
+			if err != nil {
+				for _, made := range links[:i] {
+					if tl, okTCP := made.(*tcpLink); okTCP {
+						tl.CloseSend()
+						tl.closeRecv()
+					}
+				}
+				return nil, err
+			}
+			links[i] = l
+		default:
+			links[i] = newInprocLink(cfg.QueueBlocks)
+		}
+	}
+	defer func() {
+		for _, l := range links {
+			if tl, okTCP := l.(*tcpLink); okTCP {
+				tl.CloseSend()
+				tl.closeRecv()
+			}
+		}
+	}()
+
+	nodes := make([]*nodeState, n)
+	for pos, s := range p {
+		send := 0.0
+		if pos+1 < n {
+			send = q.Transfer[s][p[pos+1]]
+		} else if q.SinkTransfer != nil {
+			send = q.SinkTransfer[s]
+		}
+		nodes[pos] = &nodeState{
+			service:   s,
+			position:  pos,
+			procCost:  q.Services[s].Cost,
+			sendCost:  send,
+			sigma:     q.Services[s].Selectivity,
+			seed:      cfg.Seed,
+			failAfter: cfg.FailAfter[s],
+			threads:   int(q.Services[s].ThreadCount()),
+			in:        links[pos],
+			out:       links[pos+1],
+		}
+	}
+	srcCost := 0.0
+	if q.SourceTransfer != nil {
+		srcCost = q.SourceTransfer[p[0]]
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// TCP reads block inside json.Decoder and cannot observe runCtx, so a
+	// watcher per link tears the sockets down on cancellation, unblocking
+	// any node stuck in Recv.
+	var watcherWg sync.WaitGroup
+	for _, l := range links {
+		tl, okTCP := l.(*tcpLink)
+		if !okTCP {
+			continue
+		}
+		watcherWg.Add(1)
+		go func(tl *tcpLink) {
+			defer watcherWg.Done()
+			<-runCtx.Done()
+			tl.CloseSend()
+			tl.closeRecv()
+		}(tl)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	var sinkCount int64
+	start := time.Now()
+	var finish time.Time
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fail(runSource(runCtx, links[0], cfg, srcCost))
+	}()
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *nodeState) {
+			defer wg.Done()
+			fail(runNode(runCtx, nd, cfg))
+		}(nd)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		count, err := runSink(runCtx, links[n])
+		sinkCount = count
+		finish = time.Now()
+		fail(err)
+	}()
+
+	wg.Wait()
+	cancel()
+	watcherWg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	makespan := finish.Sub(start)
+	rep := &Report{
+		Makespan:        makespan,
+		TuplesOut:       sinkCount,
+		MeasuredPeriod:  makespan / time.Duration(cfg.Tuples),
+		PredictedPeriod: time.Duration(q.Cost(p) * float64(cfg.UnitDuration)),
+	}
+	for _, nd := range nodes {
+		rep.Stages = append(rep.Stages, StageReport{
+			Service:   nd.service,
+			Position:  nd.position,
+			TuplesIn:  nd.tuplesIn.Load(),
+			TuplesOut: nd.tuplesOut.Load(),
+			Busy:      nd.busy,
+		})
+	}
+	return rep, nil
+}
+
+// runSource streams cfg.Tuples tuple IDs in blocks, paying the source
+// transfer cost per block, then sends EOS.
+func runSource(ctx context.Context, out link, cfg Config, srcCost float64) error {
+	buf := make([]int64, 0, cfg.BlockSize)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := busySleep(ctx, srcCost*float64(len(buf)), cfg.UnitDuration, nil); err != nil {
+			return err
+		}
+		block := Block{Tuples: append([]int64(nil), buf...)}
+		buf = buf[:0]
+		return out.Send(ctx, block)
+	}
+	for id := int64(0); id < int64(cfg.Tuples); id++ {
+		buf = append(buf, id)
+		if len(buf) == cfg.BlockSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := out.Send(ctx, Block{EOS: true}); err != nil {
+		return err
+	}
+	return out.CloseSend()
+}
+
+// runNode is one service's loop. A single-threaded node (the paper's base
+// model) receives a block, processes it (sleeping its cost), filters each
+// tuple, batches survivors, and streams full blocks to the successor; on
+// EOS it flushes and forwards. A node with m > 1 threads (the paper's
+// multi-threaded relaxation) runs m such workers over a shared dispatch
+// channel, multiplying its throughput by m.
+func runNode(ctx context.Context, nd *nodeState, cfg Config) error {
+	m := nd.threads
+	if m <= 1 {
+		if err := nodeWorker(ctx, nd, cfg, nd.in.Recv); err != nil {
+			return err
+		}
+		return nd.finishStream(ctx)
+	}
+
+	// Dispatcher: the only reader of the inbound link; workers consume
+	// from the internal channel. The EOS block closes the channel.
+	internal := make(chan Block, 1)
+	workCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	// A TCP dispatcher blocks inside json.Decoder and cannot observe
+	// workCtx; tear its socket down on node-local cancellation so a
+	// failing worker unblocks it.
+	var nodeWatcherWg sync.WaitGroup
+	if tl, isTCP := nd.in.(*tcpLink); isTCP {
+		nodeWatcherWg.Add(1)
+		go func() {
+			defer nodeWatcherWg.Done()
+			<-workCtx.Done()
+			tl.closeRecv()
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(internal)
+		for {
+			b, ok, err := nd.in.Recv(workCtx)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !ok {
+				fail(fmt.Errorf("choreo: node %d: stream closed before EOS", nd.service))
+				return
+			}
+			eos := b.EOS
+			select {
+			case internal <- b:
+			case <-workCtx.Done():
+				fail(workCtx.Err())
+				return
+			}
+			if eos {
+				return
+			}
+		}
+	}()
+
+	recvInternal := func(ctx context.Context) (Block, bool, error) {
+		select {
+		case b, ok := <-internal:
+			return b, ok, nil
+		case <-ctx.Done():
+			return Block{}, false, fmt.Errorf("choreo: recv cancelled: %w", ctx.Err())
+		}
+	}
+	for w := 0; w < m; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail(workerLoop(workCtx, nd, cfg, recvInternal))
+		}()
+	}
+	wg.Wait()
+	cancel()
+	nodeWatcherWg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nd.finishStream(ctx)
+}
+
+// recvFunc abstracts where a worker gets blocks from: the inbound link
+// directly (single thread) or the node's dispatch channel (multi-thread).
+type recvFunc func(ctx context.Context) (Block, bool, error)
+
+// nodeWorker is the single-threaded body: it terminates after the EOS
+// block, leaving EOS forwarding to finishStream.
+func nodeWorker(ctx context.Context, nd *nodeState, cfg Config, recv recvFunc) error {
+	err := workerLoop(ctx, nd, cfg, func(ctx context.Context) (Block, bool, error) {
+		b, ok, rerr := recv(ctx)
+		if rerr != nil || !ok {
+			if rerr == nil {
+				rerr = fmt.Errorf("choreo: node %d: stream closed before EOS", nd.service)
+			}
+			return Block{}, false, rerr
+		}
+		return b, true, nil
+	})
+	return err
+}
+
+// workerLoop processes blocks until the source closes (ok == false after
+// EOS in multi-thread mode) or an EOS block arrives (single-thread mode),
+// flushing its private output buffer before returning.
+func workerLoop(ctx context.Context, nd *nodeState, cfg Config, recv recvFunc) error {
+	var busy time.Duration
+	defer func() {
+		nd.mu.Lock()
+		nd.busy += busy
+		nd.mu.Unlock()
+	}()
+
+	out := make([]int64, 0, cfg.BlockSize)
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		if err := busySleep(ctx, nd.sendCost*float64(len(out)), cfg.UnitDuration, &busy); err != nil {
+			return err
+		}
+		block := Block{Tuples: append([]int64(nil), out...)}
+		out = out[:0]
+		return nd.out.Send(ctx, block)
+	}
+	for {
+		b, ok, err := recv(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return flush()
+		}
+		// One sleep per block instead of per tuple: the modeled time is
+		// identical (cost * tuples) and OS timer quantization amortizes
+		// across the block, mirroring how block transmission batches the
+		// per-tuple transfer cost.
+		if err := busySleep(ctx, nd.procCost*float64(len(b.Tuples)), cfg.UnitDuration, &busy); err != nil {
+			return err
+		}
+		for _, id := range b.Tuples {
+			seen := nd.tuplesIn.Add(1)
+			if nd.failAfter > 0 && seen >= int64(nd.failAfter) {
+				return fmt.Errorf("choreo: node %d: injected failure after %d tuples", nd.service, seen)
+			}
+			for k := copies(id, nd.service, nd.seed, nd.sigma); k > 0; k-- {
+				nd.tuplesOut.Add(1)
+				out = append(out, id)
+				if len(out) == cfg.BlockSize {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if b.EOS {
+			return flush()
+		}
+	}
+}
+
+// finishStream forwards EOS downstream after all of the node's workers
+// have flushed, then releases the outbound link.
+func (nd *nodeState) finishStream(ctx context.Context) error {
+	if err := nd.out.Send(ctx, Block{EOS: true}); err != nil {
+		return err
+	}
+	return nd.out.CloseSend()
+}
+
+// runSink drains the final link, counting result tuples until EOS.
+func runSink(ctx context.Context, in link) (int64, error) {
+	var count int64
+	for {
+		b, ok, err := in.Recv(ctx)
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			return count, fmt.Errorf("choreo: sink: stream closed before EOS")
+		}
+		count += int64(len(b.Tuples))
+		if b.EOS {
+			return count, nil
+		}
+	}
+}
+
+// busySleep sleeps for cost model units scaled by unit, honoring ctx, and
+// accounts the time into busy when non-nil.
+func busySleep(ctx context.Context, costUnits float64, unit time.Duration, busy *time.Duration) error {
+	if costUnits <= 0 || unit <= 0 {
+		return nil
+	}
+	d := time.Duration(costUnits * float64(unit))
+	if busy != nil {
+		*busy += d
+	}
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("choreo: cancelled: %w", ctx.Err())
+	}
+}
+
+// copies deterministically decides how many output tuples an input tuple
+// yields at a service: floor(sigma) guaranteed copies plus one more with
+// probability frac(sigma), decided by a hash of (tuple, service, seed) so
+// reruns and transports agree.
+func copies(id int64, service int, seed int64, sigma float64) int {
+	whole := int(math.Floor(sigma))
+	frac := sigma - math.Floor(sigma)
+	if frac == 0 {
+		return whole
+	}
+	h := mix64(uint64(id)*0x9E3779B97F4A7C15 ^ uint64(service)*0xC2B2AE3D27D4EB4F ^ uint64(seed))
+	u := float64(h>>11) / float64(1<<53)
+	if u < frac {
+		return whole + 1
+	}
+	return whole
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,112 @@
+package choreo
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpLink carries JSON-encoded blocks over a loopback TCP connection. Each
+// link owns its own listener/dial pair, mirroring a deployment where every
+// service exposes one ingress socket and dials its successor directly.
+type tcpLink struct {
+	sendConn net.Conn
+	recvConn net.Conn
+	enc      *json.Encoder
+	sendBuf  *bufio.Writer
+	dec      *json.Decoder
+
+	// sendMu serializes writers: a multi-threaded node's workers share
+	// the outbound link.
+	sendMu sync.Mutex
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newTCPLink establishes one loopback connection: it listens on an
+// ephemeral port, dials itself, and hands the two ends to the sender and
+// receiver sides.
+func newTCPLink() (*tcpLink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("choreo: listen: %w", err)
+	}
+	defer ln.Close()
+
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		conn, aerr := ln.Accept()
+		acceptCh <- acceptResult{conn: conn, err: aerr}
+	}()
+
+	sendConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("choreo: dial: %w", err)
+	}
+	ar := <-acceptCh
+	if ar.err != nil {
+		sendConn.Close()
+		return nil, fmt.Errorf("choreo: accept: %w", ar.err)
+	}
+
+	l := &tcpLink{
+		sendConn: sendConn,
+		recvConn: ar.conn,
+		sendBuf:  bufio.NewWriter(sendConn),
+		dec:      json.NewDecoder(bufio.NewReader(ar.conn)),
+	}
+	l.enc = json.NewEncoder(l.sendBuf)
+	return l, nil
+}
+
+func (l *tcpLink) Send(ctx context.Context, b Block) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("choreo: send cancelled: %w", err)
+	}
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	if err := l.enc.Encode(b); err != nil {
+		return fmt.Errorf("choreo: tcp send: %w", err)
+	}
+	if err := l.sendBuf.Flush(); err != nil {
+		return fmt.Errorf("choreo: tcp flush: %w", err)
+	}
+	return nil
+}
+
+func (l *tcpLink) Recv(ctx context.Context) (Block, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Block{}, false, fmt.Errorf("choreo: recv cancelled: %w", err)
+	}
+	var b Block
+	if err := l.dec.Decode(&b); err != nil {
+		// The peer closing after EOS shows up as a read error; the node
+		// protocol stops reading after EOS, so any error here is real.
+		return Block{}, false, fmt.Errorf("choreo: tcp recv: %w", err)
+	}
+	return b, true, nil
+}
+
+func (l *tcpLink) CloseSend() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.sendConn.Close()
+}
+
+// closeRecv releases the receiving end; the coordinator calls it during
+// teardown.
+func (l *tcpLink) closeRecv() error {
+	return l.recvConn.Close()
+}

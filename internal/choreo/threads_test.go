@@ -1,0 +1,105 @@
+package choreo
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// threadFixture is a pipeline whose middle service dominates; threading
+// it should visibly raise throughput.
+func threadFixture(t *testing.T, threads int) *model.Query {
+	t.Helper()
+	return mustQuery(t,
+		[]model.Service{
+			{Name: "light", Cost: 0.1, Selectivity: 1},
+			{Name: "heavy", Cost: 2, Selectivity: 1, Threads: threads},
+			{Name: "tail", Cost: 0.1, Selectivity: 1},
+		},
+		[][]float64{
+			{0, 0.05, 0.05},
+			{0.05, 0, 0.05},
+			{0.05, 0.05, 0},
+		})
+}
+
+func TestMultiThreadedNodePreservesCounts(t *testing.T) {
+	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
+		q := threadFixture(t, 3)
+		cfg := fastConfig()
+		cfg.Transport = transport
+		cfg.Tuples = 500
+		rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
+		if err != nil {
+			t.Fatalf("transport %d: Run: %v", transport, err)
+		}
+		if rep.TuplesOut != 500 {
+			t.Errorf("transport %d: TuplesOut = %d, want 500", transport, rep.TuplesOut)
+		}
+		if rep.Stages[1].TuplesIn != 500 || rep.Stages[1].TuplesOut != 500 {
+			t.Errorf("transport %d: threaded stage counts = %+v", transport, rep.Stages[1])
+		}
+	}
+}
+
+func TestMultiThreadedNodeRaisesThroughput(t *testing.T) {
+	run := func(threads int) time.Duration {
+		q := threadFixture(t, threads)
+		cfg := DefaultConfig()
+		cfg.Tuples = 96
+		cfg.BlockSize = 8
+		cfg.UnitDuration = 500 * time.Microsecond
+		rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
+		if err != nil {
+			t.Fatalf("Run(threads=%d): %v", threads, err)
+		}
+		return rep.Makespan
+	}
+	single := run(1)
+	quad := run(4)
+	// Model predicts 4x on the dominating stage; require a clear win to
+	// stay robust against scheduler noise.
+	if float64(quad) > 0.6*float64(single) {
+		t.Errorf("4 threads gave %v, single %v: no clear speedup", quad, single)
+	}
+}
+
+func TestMultiThreadedPredictedPeriod(t *testing.T) {
+	q := threadFixture(t, 4)
+	cfg := fastConfig()
+	rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_ = rep
+	// Eq.(1) with the divisor: heavy contributes (2+0.05)/4.
+	want := q.Cost(model.Plan{0, 1, 2})
+	if diff := want - (2+1*0.05)/4; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("threaded cost model: got %v", want)
+	}
+}
+
+func TestMultiThreadedFailureInjection(t *testing.T) {
+	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
+		q := threadFixture(t, 3)
+		cfg := fastConfig()
+		cfg.Transport = transport
+		cfg.FailAfter = map[int]int{1: 40}
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "injected failure") {
+				t.Errorf("transport %d: err = %v, want injected failure", transport, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("transport %d: multi-threaded failure deadlocked", transport)
+		}
+	}
+}

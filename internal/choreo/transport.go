@@ -1,0 +1,61 @@
+package choreo
+
+import (
+	"context"
+	"fmt"
+)
+
+// Block is the unit of transfer between adjacent nodes: a batch of tuple
+// IDs, with EOS marking the final (possibly empty) block of the stream.
+type Block struct {
+	Tuples []int64 `json:"tuples"`
+	EOS    bool    `json:"eos"`
+}
+
+// link is one directed edge of the choreography. Send blocks until the
+// receiver has capacity (backpressure), the stream is shut down, or the
+// context is cancelled; Recv returns ok == false once the stream is
+// exhausted after an EOS block.
+type link interface {
+	Send(ctx context.Context, b Block) error
+	Recv(ctx context.Context) (Block, bool, error)
+
+	// CloseSend releases sender-side resources; it must be called
+	// exactly once by the sending node after the EOS block.
+	CloseSend() error
+}
+
+// inprocLink carries blocks over a buffered channel.
+type inprocLink struct {
+	ch chan Block
+}
+
+func newInprocLink(capacityBlocks int) *inprocLink {
+	return &inprocLink{ch: make(chan Block, capacityBlocks)}
+}
+
+func (l *inprocLink) Send(ctx context.Context, b Block) error {
+	select {
+	case l.ch <- b:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("choreo: send cancelled: %w", ctx.Err())
+	}
+}
+
+func (l *inprocLink) Recv(ctx context.Context) (Block, bool, error) {
+	select {
+	case b, ok := <-l.ch:
+		if !ok {
+			return Block{}, false, nil
+		}
+		return b, true, nil
+	case <-ctx.Done():
+		return Block{}, false, fmt.Errorf("choreo: recv cancelled: %w", ctx.Err())
+	}
+}
+
+func (l *inprocLink) CloseSend() error {
+	close(l.ch)
+	return nil
+}

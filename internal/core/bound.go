@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+
+	"serviceordering/internal/model"
+)
+
+// This file computes the two bounds that drive pruning:
+//
+//   - epsilonBar: an upper bound on the cost any not-yet-placed service
+//     (or the finalization of the prefix's last service) can contribute in
+//     ANY completion of the prefix. When epsilon >= epsilonBar, Lemma 2
+//     closes the prefix: all completions cost exactly epsilon.
+//   - completionLB: an admissible lower bound on the cost of the BEST
+//     completion, used by the optional strong-lower-bound extension.
+//
+// Tight bounds compute transfer maxima/minima over the services still
+// unplaced (O(R^2) per node); loose bounds use maxima/minima precomputed
+// over all services (O(R) per node, Options.LooseBounds).
+
+// epsilonBar returns the Lemma 2 upper bound for the current prefix state.
+// rem holds the unplaced service indices; it must be non-empty.
+func (s *search) epsilonBar(st model.PrefixState, rem []int) float64 {
+	q := s.q
+	last := st.Last()
+	pBefore := st.ProductBeforeLast()
+	p := pBefore * q.Services[last].Selectivity
+
+	// Finalizing the last service: its successor is one of the remaining
+	// services.
+	var lastOut float64
+	if s.opts.LooseBounds {
+		lastOut = s.maxTransferAll[last]
+	} else {
+		for _, r := range rem {
+			if t := q.Transfer[last][r]; t > lastOut {
+				lastOut = t
+			}
+		}
+	}
+	sl := q.Services[last]
+	bar := pBefore * (sl.Cost + sl.Selectivity*lastOut) / sl.ThreadCount()
+
+	// Proliferation factor: in the worst case every remaining service
+	// with sigma > 1 precedes r. prefixG/suffixG give the product over
+	// rem excluding r itself without a division (float division could
+	// round the bound down, which would be unsound).
+	g := s.growthScratch[:len(rem)+1]
+	g[0] = 1
+	for i, r := range rem {
+		g[i+1] = g[i] * math.Max(q.Services[r].Selectivity, 1)
+	}
+	suffix := 1.0
+	for i := len(rem) - 1; i >= 0; i-- {
+		r := rem[i]
+		svc := q.Services[r]
+		var out float64
+		if s.opts.LooseBounds {
+			out = s.maxOutAll[r] // max transfer to any service, or to the sink
+		} else {
+			out = s.sink[r]
+			for _, o := range rem {
+				if o == r {
+					continue
+				}
+				if t := q.Transfer[r][o]; t > out {
+					out = t
+				}
+			}
+		}
+		term := p * g[i] * suffix * (svc.Cost + svc.Selectivity*out) / svc.ThreadCount()
+		if term > bar {
+			bar = term
+		}
+		suffix *= math.Max(svc.Selectivity, 1)
+	}
+	return bar
+}
+
+// completionLB returns an admissible lower bound on the cost of any
+// completion of the prefix: every remaining service r must eventually be
+// placed, with a prefix product no smaller than the all-filters product of
+// the other remaining services, paying at least its cheapest possible
+// outgoing transfer; and the last service of the prefix must be finalized
+// with at least its cheapest transfer to a remaining service.
+func (s *search) completionLB(st model.PrefixState, rem []int) float64 {
+	q := s.q
+	last := st.Last()
+	pBefore := st.ProductBeforeLast()
+	p := pBefore * q.Services[last].Selectivity
+
+	lastOut := math.Inf(1)
+	if s.opts.LooseBounds {
+		lastOut = s.minTransferAll[last]
+	} else {
+		for _, r := range rem {
+			if t := q.Transfer[last][r]; t < lastOut {
+				lastOut = t
+			}
+		}
+	}
+	sl := q.Services[last]
+	lb := pBefore * (sl.Cost + sl.Selectivity*lastOut) / sl.ThreadCount()
+
+	// Shrink factor: the smallest possible prefix product uses every
+	// remaining filter, r's own factor included (slightly loose, division
+	// free — a smaller factor keeps the bound admissible).
+	shrink := 1.0
+	for _, r := range rem {
+		shrink *= math.Min(q.Services[r].Selectivity, 1)
+	}
+	for _, r := range rem {
+		svc := q.Services[r]
+		var out float64
+		if s.opts.LooseBounds {
+			out = s.minOutAll[r]
+		} else {
+			out = s.sink[r]
+			for _, o := range rem {
+				if o == r {
+					continue
+				}
+				if t := q.Transfer[r][o]; t < out {
+					out = t
+				}
+			}
+		}
+		term := p * shrink * (svc.Cost + svc.Selectivity*out) / svc.ThreadCount()
+		if term > lb {
+			lb = term
+		}
+	}
+	return lb
+}

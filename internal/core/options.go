@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"serviceordering/internal/model"
+	"serviceordering/internal/trace"
+)
+
+// Options configures a branch-and-bound run. The zero value runs the full
+// paper algorithm: all three lemmas enabled, tight completion bounds, no
+// budget, no incumbent seed.
+type Options struct {
+	// DisableIncumbentPruning turns off the Lemma 1 rule (pruning
+	// prefixes whose epsilon already reaches the best complete cost, and
+	// the pair-level termination test). Ablation only: the search then
+	// visits every prefix not closed by Lemma 2.
+	DisableIncumbentPruning bool
+
+	// DisableClosure turns off the Lemma 2 rule (closing a prefix when
+	// epsilon >= epsilonBar). Ablation only.
+	DisableClosure bool
+
+	// DisableVPruning turns off the Lemma 3 rule: closures then backtrack
+	// a single level instead of jumping to the bottleneck position.
+	// Ablation only.
+	DisableVPruning bool
+
+	// LooseBounds computes epsilonBar from transfer maxima precomputed
+	// over all services instead of the exact maxima over the services
+	// still unplaced. Loose bounds are O(R) per node instead of O(R^2)
+	// but close fewer prefixes. Ablation / large-instance tuning.
+	LooseBounds bool
+
+	// StrongLowerBound additionally prunes prefixes whose admissible
+	// completion lower bound reaches rho. This rule is an extension of
+	// ours, not part of the paper; it is measured in the F7 ablation.
+	StrongLowerBound bool
+
+	// InitialIncumbent seeds rho with a known feasible plan (for example
+	// a greedy result), tightening Lemma 1 from the start. The plan must
+	// be valid for the query.
+	InitialIncumbent model.Plan
+
+	// NodeLimit aborts the search after this many expanded nodes
+	// (0 = unlimited). An aborted search reports Optimal == false and
+	// returns the best incumbent found.
+	NodeLimit int64
+
+	// TimeLimit aborts the search after this wall-clock duration
+	// (0 = unlimited).
+	TimeLimit time.Duration
+
+	// Tracer, when non-nil, receives one event per search action
+	// (expansion, prune, closure, V-jump, incumbent update). Use a fresh
+	// recorder per run; recorders are not safe for concurrent use.
+	Tracer *trace.Recorder
+}
+
+func (o Options) validate() error {
+	if o.NodeLimit < 0 {
+		return fmt.Errorf("core: NodeLimit %d must be >= 0", o.NodeLimit)
+	}
+	if o.TimeLimit < 0 {
+		return fmt.Errorf("core: TimeLimit %v must be >= 0", o.TimeLimit)
+	}
+	return nil
+}
+
+// Result is the outcome of a branch-and-bound run.
+type Result struct {
+	// Plan is the best ordering found; when Optimal is true it minimizes
+	// the bottleneck cost over all feasible orderings.
+	Plan model.Plan
+
+	// Cost is Plan's bottleneck cost under Eq. (1).
+	Cost float64
+
+	// Optimal reports whether the search ran to completion, proving
+	// optimality. It is false when a node or time budget aborted the
+	// search early.
+	Optimal bool
+
+	// Stats describes the work the search performed.
+	Stats Stats
+}
+
+// Stats counts the work performed and the effect of each pruning rule
+// during one search; the F2/F7 experiments report these counters.
+type Stats struct {
+	// NodesExpanded counts search-tree nodes visited (prefixes of length
+	// >= 2; the pair roots are included).
+	NodesExpanded int64
+
+	// PairsTried counts root pairs from which a descent was started.
+	PairsTried int64
+
+	// IncumbentPrunes counts prefixes discarded because epsilon >= rho
+	// (Lemma 1).
+	IncumbentPrunes int64
+
+	// Closures counts prefixes closed because epsilon >= epsilonBar
+	// (Lemma 2).
+	Closures int64
+
+	// VJumps counts closures whose bottleneck was not at the last
+	// position, triggering a multi-level backtrack (Lemma 3), and
+	// LevelsSkipped the total levels skipped by those jumps.
+	VJumps        int64
+	LevelsSkipped int64
+
+	// StrongLBPrunes counts prefixes discarded by the optional strong
+	// lower bound extension.
+	StrongLBPrunes int64
+
+	// IncumbentUpdates counts improvements of rho.
+	IncumbentUpdates int64
+
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// This file implements parallel branch-and-bound: workers claim root
+// pairs from the shared cost-sorted list and explore their subtrees
+// concurrently, publishing incumbents through an atomically readable
+// global bound. All pruning rules remain sound under concurrency:
+//
+//   - rho only decreases, so a Lemma 1 prune against a stale (larger)
+//     bound is merely conservative;
+//   - the Lemma 3 root rule ("no plan starting with service a can beat
+//     rho") compares against the pair costs of *later* pairs in the
+//     sorted order, which does not depend on which worker explored the
+//     earlier ones;
+//   - V-jumps are entirely local to one pair's subtree, i.e. one worker.
+//
+// The result cost is deterministic (the optimum); the identity of the
+// returned plan may differ across runs when multiple optimal plans exist.
+
+// sharedIncumbent is the cross-worker bound: lock-free reads of rho on
+// the search hot path, mutex-serialized updates.
+type sharedIncumbent struct {
+	bits atomic.Uint64 // Float64bits(rho)
+
+	mu   sync.Mutex
+	plan model.Plan
+}
+
+func newSharedIncumbent() *sharedIncumbent {
+	si := &sharedIncumbent{}
+	si.bits.Store(math.Float64bits(math.Inf(1)))
+	return si
+}
+
+func (si *sharedIncumbent) load() float64 {
+	return math.Float64frombits(si.bits.Load())
+}
+
+// tryUpdate installs the plan if its cost improves the bound, reporting
+// whether it did.
+func (si *sharedIncumbent) tryUpdate(cost float64, plan model.Plan) bool {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if cost >= si.load() {
+		return false
+	}
+	si.bits.Store(math.Float64bits(cost))
+	si.plan = plan
+	return true
+}
+
+func (si *sharedIncumbent) snapshot() (model.Plan, float64) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return si.plan, si.load()
+}
+
+// OptimizeParallel runs the branch-and-bound search with the given number
+// of workers (0 = GOMAXPROCS). Workers claim root pairs in cost order and
+// share the incumbent bound. Options apply per worker, with two
+// deviations from the sequential semantics: NodeLimit is split evenly
+// across workers, and Tracer is ignored (recorders are single-threaded —
+// trace with the sequential optimizer).
+func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: invalid query: %w", err)
+	}
+	if q.N() > MaxServices {
+		return Result{}, fmt.Errorf("core: exact optimization supports at most %d services, got %d", MaxServices, q.N())
+	}
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if workers < 0 {
+		return Result{}, fmt.Errorf("core: workers = %d, want >= 0", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts.Tracer = nil
+
+	start := time.Now()
+	if q.N() == 1 {
+		p := model.Plan{0}
+		res := Result{Plan: p, Cost: q.Cost(p), Optimal: true}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	shared := newSharedIncumbent()
+	if opts.InitialIncumbent != nil {
+		if err := opts.InitialIncumbent.Validate(q); err != nil {
+			return Result{}, fmt.Errorf("core: initial incumbent: %w", err)
+		}
+		shared.tryUpdate(q.Cost(opts.InitialIncumbent), opts.InitialIncumbent.Clone())
+	}
+
+	pairs := buildRootPairs(q, q.CompiledPrecedence())
+	perWorkerOpts := opts
+	if opts.NodeLimit > 0 {
+		perWorkerOpts.NodeLimit = opts.NodeLimit / int64(workers)
+		if perWorkerOpts.NodeLimit == 0 {
+			perWorkerOpts.NodeLimit = 1
+		}
+	}
+
+	var (
+		nextPair  atomic.Int64
+		anyAbort  atomic.Bool
+		deadFirst = make([]atomic.Bool, q.N())
+		wg        sync.WaitGroup
+		statsMu   sync.Mutex
+		total     Stats
+	)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSearch(q, perWorkerOpts)
+			s.shared = shared
+			s.rho = shared.load()
+			for {
+				i := nextPair.Add(1) - 1
+				if i >= int64(len(pairs)) || s.aborted {
+					break
+				}
+				pr := pairs[i]
+				if deadFirst[pr.a].Load() {
+					continue
+				}
+				s.refreshRho()
+				// Lemma 1 termination: this and all later pairs are at
+				// least as expensive as the incumbent.
+				if !opts.DisableIncumbentPruning && pr.cost >= s.rho {
+					break
+				}
+				s.stats.PairsTried++
+				if ret := s.runPair(pr.a, pr.b); ret == 1 {
+					deadFirst[pr.a].Store(true)
+				}
+			}
+			if s.aborted {
+				anyAbort.Store(true)
+			}
+			statsMu.Lock()
+			total.NodesExpanded += s.stats.NodesExpanded
+			total.PairsTried += s.stats.PairsTried
+			total.IncumbentPrunes += s.stats.IncumbentPrunes
+			total.Closures += s.stats.Closures
+			total.VJumps += s.stats.VJumps
+			total.LevelsSkipped += s.stats.LevelsSkipped
+			total.StrongLBPrunes += s.stats.StrongLBPrunes
+			total.IncumbentUpdates += s.stats.IncumbentUpdates
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	total.Elapsed = time.Since(start)
+	plan, cost := shared.snapshot()
+	if plan == nil {
+		return Result{Optimal: false, Stats: total}, nil
+	}
+	return Result{Plan: plan, Cost: cost, Optimal: !anyAbort.Load(), Stats: total}, nil
+}

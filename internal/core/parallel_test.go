@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+)
+
+// TestParallelMatchesSequential is the parallel optimizer's headline
+// correctness test: same optimal cost as the sequential search across
+// random instances, worker counts, and instance families.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	kinds := instanceKinds()
+	for trial := 0; trial < trials; trial++ {
+		kind := kinds[trial%len(kinds)]
+		n := 3 + rng.Intn(6)
+		q := randInstance(rng, n, kind)
+		seq, err := core.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			par, perr := core.OptimizeParallel(q, core.Options{}, workers)
+			if perr != nil {
+				t.Fatalf("OptimizeParallel(%d): %v", workers, perr)
+			}
+			if !par.Optimal {
+				t.Fatalf("workers=%d: Optimal = false without budget", workers)
+			}
+			if err := par.Plan.Validate(q); err != nil {
+				t.Fatalf("workers=%d: invalid plan: %v", workers, err)
+			}
+			if !costsMatch(par.Cost, seq.Cost) {
+				t.Fatalf("trial %d (%s, n=%d, workers=%d): parallel %v != sequential %v",
+					trial, kind.name, n, workers, par.Cost, seq.Cost)
+			}
+			if !costsMatch(q.Cost(par.Plan), par.Cost) {
+				t.Fatalf("workers=%d: reported cost %v but plan costs %v", workers, par.Cost, q.Cost(par.Plan))
+			}
+		}
+	}
+}
+
+func TestParallelMatchesExhaustiveHardInstances(t *testing.T) {
+	// Weak filters force real concurrent work (thousands of nodes).
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		n := 7 + rng.Intn(2)
+		q := randInstance(rng, n, instanceKind{filtersOnly: true})
+		for i := range q.Services {
+			q.Services[i].Selectivity = 0.85 + 0.15*rng.Float64()
+		}
+		want, err := baseline.Exhaustive(q)
+		if err != nil {
+			t.Fatalf("Exhaustive: %v", err)
+		}
+		got, err := core.OptimizeParallel(q, core.Options{}, 4)
+		if err != nil {
+			t.Fatalf("OptimizeParallel: %v", err)
+		}
+		if !costsMatch(got.Cost, want.Cost) {
+			t.Fatalf("trial %d: parallel %v != optimum %v", trial, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestParallelSingleServiceAndErrors(t *testing.T) {
+	q := mustQuery(t, []model.Service{{Cost: 2, Selectivity: 0.5}}, [][]float64{{0}})
+	res, err := core.OptimizeParallel(q, core.Options{}, 3)
+	if err != nil || !res.Plan.Equal(model.Plan{0}) || !res.Optimal {
+		t.Fatalf("single service: (%+v, %v)", res, err)
+	}
+
+	if _, err := core.OptimizeParallel(q, core.Options{}, -1); err == nil {
+		t.Errorf("negative workers accepted")
+	}
+	if _, err := core.OptimizeParallel(&model.Query{}, core.Options{}, 2); err == nil {
+		t.Errorf("invalid query accepted")
+	}
+	bad := fixture3(t)
+	if _, err := core.OptimizeParallel(bad, core.Options{InitialIncumbent: model.Plan{0}}, 2); err == nil {
+		t.Errorf("invalid incumbent accepted")
+	}
+}
+
+func TestParallelRespectsBudget(t *testing.T) {
+	q := randInstance(rand.New(rand.NewSource(5)), 12, instanceKind{})
+	for i := range q.Services {
+		q.Services[i].Selectivity = 0.95
+	}
+	res, err := core.OptimizeParallel(q, core.Options{
+		NodeLimit:               40,
+		DisableClosure:          true,
+		DisableIncumbentPruning: true,
+	}, 4)
+	if err != nil {
+		t.Fatalf("OptimizeParallel: %v", err)
+	}
+	if res.Optimal {
+		t.Fatalf("Optimal = true under a 40-node budget with pruning disabled")
+	}
+}
+
+func TestParallelWithIncumbentSeed(t *testing.T) {
+	q := fixture3(t)
+	res, err := core.OptimizeParallel(q, core.Options{InitialIncumbent: model.Plan{0, 1, 2}}, 2)
+	if err != nil {
+		t.Fatalf("OptimizeParallel: %v", err)
+	}
+	if !costsMatch(res.Cost, 2.5) || !res.Optimal {
+		t.Fatalf("got (%v, optimal=%v)", res.Cost, res.Optimal)
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	q := fixture3(t)
+	res, err := core.OptimizeParallel(q, core.Options{}, 0)
+	if err != nil {
+		t.Fatalf("OptimizeParallel: %v", err)
+	}
+	if !costsMatch(res.Cost, 2.5) {
+		t.Fatalf("cost = %v, want 2.5", res.Cost)
+	}
+}
+
+func TestParallelPrecedence(t *testing.T) {
+	q := fixture3(t)
+	q.Precedence = [][2]int{{2, 0}}
+	want, err := baseline.Exhaustive(q)
+	if err != nil {
+		t.Fatalf("Exhaustive: %v", err)
+	}
+	got, err := core.OptimizeParallel(q, core.Options{}, 3)
+	if err != nil {
+		t.Fatalf("OptimizeParallel: %v", err)
+	}
+	if err := got.Plan.Validate(q); err != nil {
+		t.Fatalf("infeasible plan: %v", err)
+	}
+	if !costsMatch(got.Cost, want.Cost) {
+		t.Fatalf("parallel %v != optimum %v", got.Cost, want.Cost)
+	}
+}

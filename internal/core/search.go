@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"serviceordering/internal/model"
+	"serviceordering/internal/trace"
+)
+
+// search holds the mutable state of one branch-and-bound run.
+type search struct {
+	q    *model.Query
+	opts Options
+	prec *model.Precedence
+	n    int
+
+	// Precomputed static data.
+	sink            []float64 // sink transfer per service (zeros when absent)
+	maxTransferAll  []float64 // max_j Transfer[i][j], j != i
+	minTransferAll  []float64 // min_j Transfer[i][j], j != i
+	maxOutAll       []float64 // max(maxTransferAll[i], sink[i])
+	minOutAll       []float64 // min(minTransferAll[i], sink[i])
+	orderByTransfer [][]int   // orderByTransfer[l]: services sorted by Transfer[l][.] asc
+
+	// Mutable search state.
+	placed    uint64
+	prefix    []int
+	rho       float64
+	best      model.Plan
+	deadFirst []bool
+	aborted   bool
+	stats     Stats
+
+	// shared, when non-nil, coordinates the incumbent across parallel
+	// workers; rho is then a worker-local cache of the global bound.
+	shared *sharedIncumbent
+
+	deadline    time.Time
+	hasDeadline bool
+
+	// Scratch buffers (one allocation per run).
+	remScratch    []int
+	growthScratch []float64
+}
+
+// retNone is the "no jump" return value of dfs; any value larger than the
+// deepest possible depth works.
+const retNone = int(^uint(0) >> 1)
+
+func newSearch(q *model.Query, opts Options) *search {
+	n := q.N()
+	s := &search{
+		q:             q,
+		opts:          opts,
+		prec:          q.CompiledPrecedence(),
+		n:             n,
+		rho:           math.Inf(1),
+		prefix:        make([]int, 0, n),
+		deadFirst:     make([]bool, n),
+		remScratch:    make([]int, 0, n),
+		growthScratch: make([]float64, n+1),
+	}
+
+	s.sink = make([]float64, n)
+	if q.SinkTransfer != nil {
+		copy(s.sink, q.SinkTransfer)
+	}
+	s.maxTransferAll = make([]float64, n)
+	s.minTransferAll = make([]float64, n)
+	s.maxOutAll = make([]float64, n)
+	s.minOutAll = make([]float64, n)
+	for i := 0; i < n; i++ {
+		maxT, minT := 0.0, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			t := q.Transfer[i][j]
+			if t > maxT {
+				maxT = t
+			}
+			if t < minT {
+				minT = t
+			}
+		}
+		if n == 1 {
+			minT = 0
+		}
+		s.maxTransferAll[i] = maxT
+		s.minTransferAll[i] = minT
+		s.maxOutAll[i] = math.Max(maxT, s.sink[i])
+		s.minOutAll[i] = math.Min(minT, s.sink[i])
+	}
+
+	// The expansion policy: children of a node whose last service is l
+	// are tried in increasing Transfer[l][.], ties broken by index. The
+	// per-service order is static, so precompute it once.
+	s.orderByTransfer = make([][]int, n)
+	for l := 0; l < n; l++ {
+		order := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != l {
+				order = append(order, j)
+			}
+		}
+		row := q.Transfer[l]
+		sort.SliceStable(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
+		s.orderByTransfer[l] = order
+	}
+	return s
+}
+
+func (s *search) run() (Result, error) {
+	start := time.Now()
+	if s.opts.TimeLimit > 0 {
+		s.deadline = start.Add(s.opts.TimeLimit)
+		s.hasDeadline = true
+	}
+
+	if s.n == 1 {
+		p := model.Plan{0}
+		res := Result{Plan: p, Cost: s.q.Cost(p), Optimal: true}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	if s.opts.InitialIncumbent != nil {
+		if err := s.opts.InitialIncumbent.Validate(s.q); err != nil {
+			return Result{}, fmt.Errorf("core: initial incumbent: %w", err)
+		}
+		s.best = s.opts.InitialIncumbent.Clone()
+		s.rho = s.q.Cost(s.best)
+	}
+
+	pairs := buildRootPairs(s.q, s.prec)
+
+	for _, pr := range pairs {
+		if s.aborted {
+			break
+		}
+		// Lemma 1 termination: pairs are sorted by cost, and every plan
+		// costs at least its two-service prefix. No cheaper plan exists.
+		if !s.opts.DisableIncumbentPruning && pr.cost >= s.rho {
+			break
+		}
+		if s.deadFirst[pr.a] {
+			continue
+		}
+		s.stats.PairsTried++
+		if s.opts.Tracer != nil {
+			s.opts.Tracer.Record(trace.Event{Kind: trace.KindPairStart, Depth: 2, Service: pr.a, Epsilon: pr.cost})
+		}
+		if ret := s.runPair(pr.a, pr.b); ret == 1 {
+			// Lemma 3 with the bottleneck at position 0: no plan
+			// starting with pr.a can improve on rho.
+			s.deadFirst[pr.a] = true
+		}
+	}
+
+	s.stats.Elapsed = time.Since(start)
+	if s.best == nil {
+		// Only reachable when a budget aborted the run before the first
+		// complete plan was found.
+		return Result{Optimal: false, Stats: s.stats}, nil
+	}
+	return Result{
+		Plan:    s.best,
+		Cost:    s.rho,
+		Optimal: !s.aborted,
+		Stats:   s.stats,
+	}, nil
+}
+
+// dfs explores the subtree rooted at the current prefix (depth st.Len()).
+// Its return value implements the Lemma 3 jump: retNone for a normal
+// backtrack, or a depth d meaning "the subtree of the ancestor prefix of
+// length d is pruned"; every invocation deeper than d unwinds immediately
+// and the invocation at depth d stops trying children.
+func (s *search) dfs(st model.PrefixState) int {
+	depth := st.Len()
+	s.stats.NodesExpanded++
+	if !s.budgetOK() {
+		return retNone
+	}
+
+	if s.opts.Tracer != nil && depth > 2 {
+		s.opts.Tracer.Record(trace.Event{Kind: trace.KindExpand, Depth: depth, Service: st.Last()})
+	}
+	s.refreshRho()
+
+	if depth == s.n {
+		if cost := st.Complete(s.q); cost < s.rho {
+			s.commitIncumbent(cost, append(model.Plan(nil), s.prefix...))
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Record(trace.Event{Kind: trace.KindIncumbent, Depth: depth, Service: -1, Epsilon: cost})
+			}
+		}
+		return retNone
+	}
+
+	eps, bpos := st.EpsilonPos(s.q)
+
+	// Lemma 1: epsilon never decreases along a branch.
+	if !s.opts.DisableIncumbentPruning && eps >= s.rho {
+		s.stats.IncumbentPrunes++
+		if s.opts.Tracer != nil {
+			s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneIncumbent, Depth: depth, Service: st.Last(), Epsilon: eps, Bound: s.rho})
+		}
+		return retNone
+	}
+
+	rem := s.remaining()
+
+	// Lemma 2: when no remaining service can exceed epsilon, every
+	// completion costs exactly epsilon.
+	if !s.opts.DisableClosure {
+		if bar := s.epsilonBar(st, rem); eps >= bar {
+			s.stats.Closures++
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Record(trace.Event{Kind: trace.KindClosure, Depth: depth, Service: s.prefix[bpos], Epsilon: eps, Bound: bar})
+			}
+			if eps < s.rho {
+				s.commitIncumbent(eps, s.completePlan())
+				if s.opts.Tracer != nil {
+					s.opts.Tracer.Record(trace.Event{Kind: trace.KindIncumbent, Depth: depth, Service: -1, Epsilon: eps})
+				}
+			}
+			// Lemma 3: prune every plan sharing the prefix up to and
+			// including the bottleneck service.
+			if !s.opts.DisableVPruning && bpos < depth-1 {
+				s.stats.VJumps++
+				s.stats.LevelsSkipped += int64(depth - 1 - bpos)
+				if s.opts.Tracer != nil {
+					s.opts.Tracer.Record(trace.Event{Kind: trace.KindVJump, Depth: depth, Service: s.prefix[bpos], JumpTo: bpos + 1})
+				}
+				return bpos + 1
+			}
+			return retNone
+		}
+	}
+
+	if s.opts.StrongLowerBound && !s.opts.DisableIncumbentPruning {
+		if lb := s.completionLB(st, rem); lb >= s.rho {
+			s.stats.StrongLBPrunes++
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneStrongLB, Depth: depth, Service: st.Last(), Epsilon: lb, Bound: s.rho})
+			}
+			return retNone
+		}
+	}
+
+	last := st.Last()
+	for _, r := range s.orderByTransfer[last] {
+		if s.aborted {
+			return retNone
+		}
+		bit := uint64(1) << uint(r)
+		if s.placed&bit != 0 || !s.prec.CanPlace(r, s.placed) {
+			continue
+		}
+		s.placed |= bit
+		s.prefix = append(s.prefix, r)
+		ret := s.dfs(st.Append(s.q, r))
+		s.prefix = s.prefix[:len(s.prefix)-1]
+		s.placed &^= bit
+		if ret <= depth {
+			if ret == depth {
+				// This node's subtree is pruned; siblings of this node
+				// are still the parent's responsibility.
+				return retNone
+			}
+			return ret
+		}
+	}
+	return retNone
+}
+
+// rootPair is a candidate two-service prefix; the search seeds from pairs
+// in increasing cost order (required for the Lemma 3 root rule).
+type rootPair struct {
+	a, b int
+	cost float64
+}
+
+// buildRootPairs enumerates the feasible ordered pairs sorted by pair
+// cost, ties broken by indices for determinism.
+func buildRootPairs(q *model.Query, prec *model.Precedence) []rootPair {
+	n := q.N()
+	pairs := make([]rootPair, 0, n*(n-1))
+	for a := 0; a < n; a++ {
+		if !prec.CanPlace(a, 0) {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if b == a || !prec.CanPlace(b, 1<<uint(a)) {
+				continue
+			}
+			pairs = append(pairs, rootPair{a: a, b: b, cost: q.PairCost(a, b)})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].cost != pairs[j].cost {
+			return pairs[i].cost < pairs[j].cost
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	return pairs
+}
+
+// runPair descends into the subtree rooted at the two-service prefix
+// [a, b] and returns the dfs jump value.
+func (s *search) runPair(a, b int) int {
+	s.prefix = append(s.prefix[:0], a, b)
+	s.placed = 1<<uint(a) | 1<<uint(b)
+	st := model.EmptyPrefix().Append(s.q, a).Append(s.q, b)
+	return s.dfs(st)
+}
+
+// remaining collects the unplaced service indices into the shared scratch
+// slice (invalidated by the next call).
+func (s *search) remaining() []int {
+	rem := s.remScratch[:0]
+	for r := 0; r < s.n; r++ {
+		if s.placed&(1<<uint(r)) == 0 {
+			rem = append(rem, r)
+		}
+	}
+	s.remScratch = rem[:0]
+	return rem
+}
+
+// completePlan materializes the current prefix plus a feasible
+// (precedence-respecting) completion; under Lemma 2 any completion has the
+// same cost.
+func (s *search) completePlan() model.Plan {
+	plan := append(model.Plan(nil), s.prefix...)
+	placed := s.placed
+	for len(plan) < s.n {
+		for r := 0; r < s.n; r++ {
+			bit := uint64(1) << uint(r)
+			if placed&bit != 0 || !s.prec.CanPlace(r, placed) {
+				continue
+			}
+			plan = append(plan, r)
+			placed |= bit
+			break
+		}
+	}
+	return plan
+}
+
+// refreshRho pulls the global bound into the worker-local cache when the
+// search is part of a parallel run.
+func (s *search) refreshRho() {
+	if s.shared == nil {
+		return
+	}
+	if r := s.shared.load(); r < s.rho {
+		s.rho = r
+	}
+}
+
+// commitIncumbent records an improved complete plan, locally or through
+// the shared incumbent.
+func (s *search) commitIncumbent(cost float64, plan model.Plan) {
+	if s.shared != nil {
+		if s.shared.tryUpdate(cost, plan) {
+			s.stats.IncumbentUpdates++
+		}
+		s.refreshRho()
+		if cost < s.rho {
+			s.rho = cost
+		}
+		return
+	}
+	s.rho = cost
+	s.best = plan
+	s.stats.IncumbentUpdates++
+}
+
+// budgetOK enforces the node and time budgets; once either trips, the
+// search unwinds returning the incumbent.
+func (s *search) budgetOK() bool {
+	if s.aborted {
+		return false
+	}
+	if s.opts.NodeLimit > 0 && s.stats.NodesExpanded > s.opts.NodeLimit {
+		s.aborted = true
+		return false
+	}
+	if s.hasDeadline && s.stats.NodesExpanded&1023 == 0 && time.Now().After(s.deadline) {
+		s.aborted = true
+		return false
+	}
+	return true
+}

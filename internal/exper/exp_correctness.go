@@ -1,0 +1,179 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/stats"
+)
+
+// topologyCycle rotates instance topologies so every experiment covers
+// all four.
+var topologyCycle = []gen.Topology{
+	gen.TopologyRandom, gen.TopologyUniform, gen.TopologyEuclidean, gen.TopologyClustered,
+}
+
+// RunT1Optimality (table T1) verifies exactness: on every instance the
+// branch-and-bound cost equals the exhaustive optimum, while expanding a
+// fraction of the nodes.
+func RunT1Optimality(cfg Config) (*stats.Table, error) {
+	ns := []int{4, 5, 6, 7, 8, 9}
+	trials := 50
+	if cfg.Quick {
+		ns = []int{4, 5, 6}
+		trials = 10
+	}
+	table := stats.NewTable(
+		"T1: optimality of B&B vs exhaustive enumeration",
+		"N", "instances", "matches", "bnb nodes (mean)", "exhaustive plans (mean)", "nodes/plans")
+	table.Note = "matches must equal instances; instances rotate across all four topologies"
+
+	for _, n := range ns {
+		matches := 0
+		var nodes, plans []float64
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(n*1000+trial))
+			p.Topology = topologyCycle[trial%len(topologyCycle)]
+			q, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			want, err := baseline.Exhaustive(q)
+			if err != nil {
+				return nil, err
+			}
+			got, err := core.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			if math.Abs(got.Cost-want.Cost) <= 1e-9*math.Max(1, want.Cost) {
+				matches++
+			}
+			nodes = append(nodes, float64(got.Stats.NodesExpanded))
+			plans = append(plans, float64(want.Evaluated))
+		}
+		meanNodes, meanPlans := stats.Mean(nodes), stats.Mean(plans)
+		table.MustAddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", trials),
+			fmt.Sprintf("%d", matches),
+			stats.Fmt(meanNodes),
+			stats.Fmt(meanPlans),
+			stats.Fmt(meanNodes/meanPlans),
+		)
+	}
+	return table, nil
+}
+
+// RunF1TimeVsN (figure F1) measures wall-clock optimization time: B&B
+// stays in the microsecond-to-millisecond range while exhaustive search
+// grows factorially.
+func RunF1TimeVsN(cfg Config) (*stats.Table, error) {
+	ns := []int{4, 5, 6, 7, 8, 9, 10, 11, 12}
+	exhaustiveMax := 10
+	trials := 5
+	if cfg.Quick {
+		ns = []int{4, 5, 6, 7, 8}
+		exhaustiveMax = 8
+		trials = 3
+	}
+	table := stats.NewTable(
+		"F1: mean optimization time vs N",
+		"N", "bnb (ms)", "exhaustive (ms)", "speedup")
+	table.Note = "exhaustive search omitted beyond its practical limit"
+
+	for _, n := range ns {
+		var bnbTime, exTime time.Duration
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(n*100+trial))
+			p.Topology = topologyCycle[trial%len(topologyCycle)]
+			q, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := core.Optimize(q); err != nil {
+				return nil, err
+			}
+			bnbTime += time.Since(start)
+			if n <= exhaustiveMax {
+				start = time.Now()
+				if _, err := baseline.Exhaustive(q); err != nil {
+					return nil, err
+				}
+				exTime += time.Since(start)
+			}
+		}
+		bnbMean := bnbTime / time.Duration(trials)
+		row := []string{fmt.Sprintf("%d", n), msString(bnbMean)}
+		if n <= exhaustiveMax {
+			exMean := exTime / time.Duration(trials)
+			speedup := float64(exMean) / math.Max(float64(bnbMean), 1)
+			row = append(row, msString(exMean), stats.Fmt(speedup))
+		} else {
+			row = append(row, "-", "-")
+		}
+		table.MustAddRow(row...)
+	}
+	return table, nil
+}
+
+// RunF2NodesVsN (figure F2) reports the searched fraction of the n!
+// orderings: the lemmas prune orders of magnitude.
+func RunF2NodesVsN(cfg Config) (*stats.Table, error) {
+	ns := []int{4, 6, 8, 10, 12, 13}
+	trials := 10
+	if cfg.Quick {
+		ns = []int{4, 6, 8}
+		trials = 4
+	}
+	table := stats.NewTable(
+		"F2: search-space pruning vs N",
+		"N", "n!", "nodes easy (mean)", "nodes hard (mean)", "explored fraction (hard)", "closures (hard)", "v-jumps (hard)")
+	table.Note = "easy: selectivities in [0.1,1] (strong filters close fast); hard: [0.85,1] (little filtering leverage)"
+
+	for _, n := range ns {
+		var easyNodes, hardNodes, closures, vjumps []float64
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(n*177+trial))
+			p.Topology = topologyCycle[trial%len(topologyCycle)]
+			q, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			easyNodes = append(easyNodes, float64(res.Stats.NodesExpanded))
+
+			p.SelMin = 0.85
+			q, err = p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			res, err = core.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			hardNodes = append(hardNodes, float64(res.Stats.NodesExpanded))
+			closures = append(closures, float64(res.Stats.Closures))
+			vjumps = append(vjumps, float64(res.Stats.VJumps))
+		}
+		meanHard := stats.Mean(hardNodes)
+		table.MustAddRow(
+			fmt.Sprintf("%d", n),
+			stats.Fmt(factorial(n)),
+			stats.Fmt(stats.Mean(easyNodes)),
+			stats.Fmt(meanHard),
+			fmt.Sprintf("%.2e", meanHard/factorial(n)),
+			stats.Fmt(stats.Mean(closures)),
+			stats.Fmt(stats.Mean(vjumps)),
+		)
+	}
+	return table, nil
+}

@@ -1,0 +1,138 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+	"serviceordering/internal/robust"
+	"serviceordering/internal/stats"
+)
+
+// RunF9Parallel (figure F9, extension — not in the paper) measures the
+// parallel branch-and-bound's speedup over the sequential search on hard
+// instances (weak filters, where the search tree is large enough to
+// parallelize). Costs must agree exactly.
+func RunF9Parallel(cfg Config) (*stats.Table, error) {
+	n := 12
+	trials := 5
+	workerCounts := []int{1, 2, 4}
+	if cfg.Quick {
+		n = 10
+		trials = 3
+		workerCounts = []int{1, 2}
+	}
+	table := stats.NewTable(
+		"F9 (extension): parallel B&B speedup on hard instances",
+		"N", "workers", "time (ms, mean)", "speedup vs 1 worker", "nodes (mean)", "costs match")
+	table.Note = "selectivities in [0.85, 1]; parallel explores extra nodes (stale bounds) but shares incumbents"
+
+	queries := make([]*qp, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		p := gen.Default(n, cfg.Seed+int64(900+trial))
+		p.SelMin = 0.85
+		q, err := p.Generate()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := core.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		queries = append(queries, &qp{q: q, optCost: seq.Cost})
+	}
+
+	var baselineTime time.Duration
+	for _, workers := range workerCounts {
+		var elapsed time.Duration
+		var nodes []float64
+		matches := 0
+		for _, e := range queries {
+			start := time.Now()
+			res, err := core.OptimizeParallel(e.q, core.Options{}, workers)
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			nodes = append(nodes, float64(res.Stats.NodesExpanded))
+			if math.Abs(res.Cost-e.optCost) <= 1e-9*math.Max(1, e.optCost) {
+				matches++
+			}
+		}
+		if workers == workerCounts[0] {
+			baselineTime = elapsed
+		}
+		table.MustAddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", workers),
+			msString(elapsed/time.Duration(len(queries))),
+			fmt.Sprintf("%.2f", float64(baselineTime)/float64(elapsed)),
+			stats.Fmt(stats.Mean(nodes)),
+			fmt.Sprintf("%d/%d", matches, len(queries)),
+		)
+	}
+	return table, nil
+}
+
+type qp struct {
+	q       *model.Query
+	optCost float64
+}
+
+// RunF10Robustness (figure F10, extension — not in the paper) measures
+// how far the optimal plan survives parameter drift: the fraction of
+// perturbed instances on which it stays optimal, and its regret when it
+// does not.
+func RunF10Robustness(cfg Config) (*stats.Table, error) {
+	n := 8
+	instances := 6
+	rcfg := robust.Config{Deltas: []float64{0.02, 0.05, 0.1, 0.2, 0.4}, Samples: 25, Seed: cfg.Seed}
+	if cfg.Quick {
+		instances = 2
+		rcfg.Deltas = []float64{0.05, 0.2}
+		rcfg.Samples = 8
+	}
+	table := stats.NewTable(
+		"F10 (extension): optimal-plan stability under parameter drift",
+		"perturbation delta", "still optimal (frac)", "mean regret", "max regret")
+	table.Note = fmt.Sprintf("every c, sigma, t multiplied by U[1-d, 1+d]; %d instances x %d samples, exact re-optimization per sample", instances, rcfg.Samples)
+
+	agg := make(map[float64][]robust.Point, len(rcfg.Deltas))
+	for inst := 0; inst < instances; inst++ {
+		p := gen.Default(n, cfg.Seed+int64(1700+inst))
+		q, err := p.Generate()
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		points, err := robust.Analyze(q, opt.Plan, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			agg[pt.Delta] = append(agg[pt.Delta], pt)
+		}
+	}
+	for _, delta := range rcfg.Deltas {
+		pts := agg[delta]
+		var still, mean, maxR []float64
+		for _, pt := range pts {
+			still = append(still, pt.StillOptimal)
+			mean = append(mean, pt.MeanRegret)
+			maxR = append(maxR, pt.MaxRegret)
+		}
+		table.MustAddRow(
+			stats.Fmt(delta),
+			fmt.Sprintf("%.3f", stats.Mean(still)),
+			fmt.Sprintf("%.4f", stats.Mean(mean)),
+			fmt.Sprintf("%.4f", stats.Summarize(maxR).Max),
+		)
+	}
+	return table, nil
+}

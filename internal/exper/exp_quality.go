@@ -1,0 +1,228 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+	"serviceordering/internal/stats"
+)
+
+// RunF3Heterogeneity (figure F3) is the paper's motivation quantified: as
+// inter-service transfer costs become more heterogeneous, optimizers that
+// assume uniform communication (Srivastava et al.) drift away from the
+// decentralized optimum, while the B&B tracks it by construction. At
+// ratio 1 the uniform-communication algorithm is provably optimal — the
+// crossover point.
+func RunF3Heterogeneity(cfg Config) (*stats.Table, error) {
+	n := 9
+	ratios := []float64{1, 2, 4, 8, 16, 32, 64}
+	trials := 25
+	if cfg.Quick {
+		n = 7
+		ratios = []float64{1, 4, 16}
+		trials = 8
+	}
+	algos := []struct {
+		name string
+		run  baseline.Algorithm
+	}{
+		{"srivastava", baseline.SrivastavaUniform},
+		{"greedy-eps", baseline.GreedyMinEpsilon},
+		{"greedy-nn", baseline.GreedyNearestNeighbor},
+		{"random-64", func(q2 *model.Query) (baseline.Result, error) { return baseline.BestOfRandom(q2, 64, 7) }},
+		{"local-search", func(q2 *model.Query) (baseline.Result, error) { return baseline.LocalSearch(q2, nil) }},
+	}
+
+	cols := []string{"max/min transfer ratio"}
+	for _, a := range algos {
+		cols = append(cols, a.name)
+	}
+	table := stats.NewTable(
+		"F3: mean cost ratio to the decentralized optimum (B&B = 1.0)", cols...)
+	table.Note = "geometric mean over instances; 1.000 means optimal"
+
+	for _, ratio := range ratios {
+		ratioSamples := make(map[string][]float64, len(algos))
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(trial)*31+int64(ratio*7))
+			p.Topology = gen.TopologyRandom
+			p.Heterogeneity = ratio
+			q, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			opt, err := core.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range algos {
+				res, err := a.run(q)
+				if err != nil {
+					return nil, err
+				}
+				ratioSamples[a.name] = append(ratioSamples[a.name], res.Cost/opt.Cost)
+			}
+		}
+		row := []string{stats.Fmt(ratio)}
+		for _, a := range algos {
+			row = append(row, fmt.Sprintf("%.3f", stats.GeoMean(ratioSamples[a.name])))
+		}
+		table.MustAddRow(row...)
+	}
+	return table, nil
+}
+
+// RunF5Selectivity (figure F5) sweeps the selectivity distribution,
+// including proliferative mixes, and reports the optimizer's work.
+// Narrow, high selectivities leave little filtering leverage and make
+// closures rarer; proliferative services exercise the modified epsilonBar.
+func RunF5Selectivity(cfg Config) (*stats.Table, error) {
+	n := 9
+	trials := 15
+	if cfg.Quick {
+		n = 7
+		trials = 5
+	}
+	type sweep struct {
+		selMin, selMax float64
+		prolifFrac     float64
+	}
+	sweeps := []sweep{
+		{0.1, 0.5, 0},
+		{0.1, 1.0, 0},
+		{0.5, 1.0, 0},
+		{0.9, 1.0, 0},
+		{0.1, 1.0, 0.25},
+		{0.1, 1.0, 0.5},
+	}
+	if cfg.Quick {
+		sweeps = sweeps[:4]
+	}
+	table := stats.NewTable(
+		"F5: optimizer work vs selectivity distribution",
+		"selectivity range", "proliferative frac", "nodes (mean)", "closures (mean)", "time (ms)")
+
+	for _, sw := range sweeps {
+		var nodes, closures []float64
+		var elapsed time.Duration
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(trial)*53+int64(sw.selMin*100))
+			p.SelMin, p.SelMax = sw.selMin, sw.selMax
+			p.ProliferativeFraction = sw.prolifFrac
+			p.ProliferativeMax = 2
+			q, err := p.Generate()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Optimize(q)
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, float64(res.Stats.NodesExpanded))
+			closures = append(closures, float64(res.Stats.Closures))
+			elapsed += res.Stats.Elapsed
+		}
+		table.MustAddRow(
+			fmt.Sprintf("[%.1f, %.1f]", sw.selMin, sw.selMax),
+			fmt.Sprintf("%.2f", sw.prolifFrac),
+			stats.Fmt(stats.Mean(nodes)),
+			stats.Fmt(stats.Mean(closures)),
+			msString(elapsed/time.Duration(trials)),
+		)
+	}
+	return table, nil
+}
+
+// RunF6Heuristics (figure F6) measures quality and time of the heuristic
+// baselines where exact search is still available as the reference
+// (N <= 12) and beyond it (ratio to best-found).
+func RunF6Heuristics(cfg Config) (*stats.Table, error) {
+	exactNs := []int{10, 12}
+	bigNs := []int{20, 30, 40}
+	trials := 8
+	if cfg.Quick {
+		exactNs = []int{9}
+		bigNs = []int{16}
+		trials = 3
+	}
+	algos := []struct {
+		name string
+		run  baseline.Algorithm
+	}{
+		{"greedy-eps", baseline.GreedyMinEpsilon},
+		{"local-search", func(q *model.Query) (baseline.Result, error) { return baseline.LocalSearch(q, nil) }},
+		{"anneal", func(q *model.Query) (baseline.Result, error) {
+			ac := baseline.DefaultAnnealConfig()
+			ac.SweepsPerTemp = 4
+			return baseline.Anneal(q, ac)
+		}},
+	}
+	table := stats.NewTable(
+		"F6: heuristics vs reference (B&B optimum for small N, best-found beyond)",
+		"N", "reference", "algorithm", "cost ratio (geo)", "time (ms)")
+
+	addRows := func(n int, exact bool) error {
+		samples := make(map[string][]float64, len(algos))
+		times := make(map[string]time.Duration, len(algos))
+		for trial := 0; trial < trials; trial++ {
+			p := gen.Default(n, cfg.Seed+int64(n*71+trial))
+			q, err := p.Generate()
+			if err != nil {
+				return err
+			}
+			results := make(map[string]baseline.Result, len(algos))
+			ref := 0.0
+			if exact {
+				opt, err := core.Optimize(q)
+				if err != nil {
+					return err
+				}
+				ref = opt.Cost
+			}
+			for _, a := range algos {
+				start := time.Now()
+				res, err := a.run(q)
+				if err != nil {
+					return err
+				}
+				times[a.name] += time.Since(start)
+				results[a.name] = res
+				if !exact && (ref == 0 || res.Cost < ref) {
+					ref = res.Cost
+				}
+			}
+			for _, a := range algos {
+				samples[a.name] = append(samples[a.name], results[a.name].Cost/ref)
+			}
+		}
+		refName := "bnb-optimal"
+		if !exact {
+			refName = "best-found"
+		}
+		for _, a := range algos {
+			table.MustAddRow(
+				fmt.Sprintf("%d", n),
+				refName,
+				a.name,
+				fmt.Sprintf("%.3f", stats.GeoMean(samples[a.name])),
+				msString(times[a.name]/time.Duration(trials)),
+			)
+		}
+		return nil
+	}
+	for _, n := range exactNs {
+		if err := addRows(n, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range bigNs {
+		if err := addRows(n, false); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}

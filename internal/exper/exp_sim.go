@@ -1,0 +1,77 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/sim"
+	"serviceordering/internal/stats"
+)
+
+// RunF4ModelValidation (figure F4) checks that Eq.(1) predicts the
+// response time of actual pipelined execution: the discrete-event
+// simulator's measured per-tuple period converges to the model's
+// bottleneck cost as the input grows, under both deterministic and
+// Bernoulli filtering.
+func RunF4ModelValidation(cfg Config) (*stats.Table, error) {
+	ns := []int{6, 8, 10}
+	tupleCounts := []int{500, 5000, 20000}
+	trials := 5
+	if cfg.Quick {
+		ns = []int{6}
+		tupleCounts = []int{500, 5000}
+		trials = 3
+	}
+	table := stats.NewTable(
+		"F4: relative error of Eq.(1) vs simulated response time",
+		"N", "tuples", "rel err deterministic", "rel err bernoulli")
+	table.Note = "error = |measured period / predicted bottleneck - 1|, mean over instances; optimal plans"
+
+	for _, n := range ns {
+		for _, tuples := range tupleCounts {
+			var detErrs, bernErrs []float64
+			for trial := 0; trial < trials; trial++ {
+				p := gen.Default(n, cfg.Seed+int64(n*977+trial))
+				q, err := p.Generate()
+				if err != nil {
+					return nil, err
+				}
+				opt, err := core.Optimize(q)
+				if err != nil {
+					return nil, err
+				}
+				simCfg := sim.DefaultConfig()
+				simCfg.Tuples = tuples
+				rep, err := sim.Run(q, opt.Plan, simCfg)
+				if err != nil {
+					return nil, err
+				}
+				detErrs = append(detErrs, relErr(rep))
+
+				simCfg.Filtering = sim.FilterBernoulli
+				simCfg.Seed = int64(trial + 1)
+				rep, err = sim.Run(q, opt.Plan, simCfg)
+				if err != nil {
+					return nil, err
+				}
+				bernErrs = append(bernErrs, relErr(rep))
+			}
+			table.MustAddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", tuples),
+				fmt.Sprintf("%.4f", stats.Mean(detErrs)),
+				fmt.Sprintf("%.4f", stats.Mean(bernErrs)),
+			)
+		}
+	}
+	return table, nil
+}
+
+func relErr(rep *sim.Report) float64 {
+	if rep.PredictedBottleneck == 0 {
+		return 0
+	}
+	return math.Abs(rep.MeasuredPeriod/rep.PredictedBottleneck - 1)
+}

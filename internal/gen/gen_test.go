@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Default(8, 42)
+	q1, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	q2, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i := range q1.Services {
+		if q1.Services[i] != q2.Services[i] {
+			t.Fatalf("service %d differs across identical params", i)
+		}
+	}
+	for i := range q1.Transfer {
+		for j := range q1.Transfer[i] {
+			if q1.Transfer[i][j] != q2.Transfer[i][j] {
+				t.Fatalf("transfer[%d][%d] differs across identical params", i, j)
+			}
+		}
+	}
+
+	p.Seed = 43
+	q3, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same := true
+	for i := range q1.Services {
+		if q1.Services[i] != q3.Services[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical services")
+	}
+}
+
+func TestGenerateRangesRespected(t *testing.T) {
+	p := Default(20, 7)
+	p.CostMin, p.CostMax = 0.5, 1.5
+	p.SelMin, p.SelMax = 0.2, 0.8
+	q, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, s := range q.Services {
+		if s.Cost < 0.5 || s.Cost > 1.5 {
+			t.Errorf("service %d cost %v outside [0.5, 1.5]", i, s.Cost)
+		}
+		if s.Selectivity < 0.2 || s.Selectivity > 0.8 {
+			t.Errorf("service %d selectivity %v outside [0.2, 0.8]", i, s.Selectivity)
+		}
+	}
+}
+
+func TestGenerateProliferative(t *testing.T) {
+	p := Default(50, 11)
+	p.ProliferativeFraction = 0.5
+	p.ProliferativeMax = 3
+	q, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	count := 0
+	for _, s := range q.Services {
+		if s.Selectivity > 1 {
+			count++
+			if s.Selectivity > 3 {
+				t.Errorf("proliferative selectivity %v exceeds max 3", s.Selectivity)
+			}
+		}
+	}
+	if count < 10 || count > 40 {
+		t.Errorf("proliferative count = %d of 50, want around 25", count)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	t.Run("uniform", func(t *testing.T) {
+		p := Default(6, 3)
+		p.Topology = TopologyUniform
+		q, err := p.Generate()
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		got, ok := q.UniformTransfer()
+		if !ok || got != p.TransferBase {
+			t.Fatalf("UniformTransfer = (%v, %v)", got, ok)
+		}
+	})
+	t.Run("random heterogeneity", func(t *testing.T) {
+		p := Default(10, 3)
+		p.Topology = TopologyRandom
+		p.Heterogeneity = 4
+		q, err := p.Generate()
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for i := range q.Transfer {
+			for j := range q.Transfer[i] {
+				if i == j {
+					continue
+				}
+				v := q.Transfer[i][j]
+				if v < p.TransferBase || v > p.TransferBase*4 {
+					t.Fatalf("transfer[%d][%d] = %v outside [base, 4*base]", i, j, v)
+				}
+			}
+		}
+	})
+	t.Run("euclidean symmetric triangle", func(t *testing.T) {
+		p := Default(8, 5)
+		p.Topology = TopologyEuclidean
+		q, err := p.Generate()
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		n := q.N()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if q.Transfer[i][j] != q.Transfer[j][i] {
+					t.Fatalf("euclidean matrix asymmetric at (%d,%d)", i, j)
+				}
+				for k := 0; k < n; k++ {
+					if q.Transfer[i][j] > q.Transfer[i][k]+q.Transfer[k][j]+1e-12 {
+						t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+					}
+				}
+			}
+		}
+	})
+	t.Run("clustered two level", func(t *testing.T) {
+		p := Default(12, 9)
+		p.Topology = TopologyClustered
+		p.Clusters = 3
+		p.Heterogeneity = 10
+		q, err := p.Generate()
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		lo, hi := p.TransferBase, p.TransferBase*10
+		for i := range q.Transfer {
+			for j := range q.Transfer[i] {
+				if i == j {
+					continue
+				}
+				v := q.Transfer[i][j]
+				if v != lo && v != hi {
+					t.Fatalf("clustered transfer %v is neither intra (%v) nor inter (%v)", v, lo, hi)
+				}
+			}
+		}
+	})
+}
+
+func TestGenerateExtensions(t *testing.T) {
+	p := Default(7, 13)
+	p.WithSource = true
+	p.WithSink = true
+	p.PrecedenceEdges = 3
+	q, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if q.SourceTransfer == nil || q.SinkTransfer == nil {
+		t.Fatalf("extensions missing: %+v", q)
+	}
+	if len(q.Precedence) != 3 {
+		t.Fatalf("precedence edges = %d, want 3", len(q.Precedence))
+	}
+	// Validate() already ran inside Generate; a topological plan must
+	// exist.
+	plan := q.CompiledPrecedence().TopologicalPlan()
+	if err := model.Plan(plan).Validate(q); err != nil {
+		t.Fatalf("topological plan invalid: %v", err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.CostMin = -1 },
+		func(p *Params) { p.CostMax = p.CostMin - 1 },
+		func(p *Params) { p.SelMax = p.SelMin - 0.1 },
+		func(p *Params) { p.ProliferativeFraction = 2 },
+		func(p *Params) { p.ProliferativeFraction = 0.5; p.ProliferativeMax = 1 },
+		func(p *Params) { p.Heterogeneity = 0.5 },
+		func(p *Params) { p.TransferBase = -1 },
+		func(p *Params) { p.Topology = TopologyClustered; p.Clusters = 0 },
+		func(p *Params) { p.PrecedenceEdges = -1 },
+		func(p *Params) { p.Topology = Topology(42) },
+	}
+	for i, mutate := range bad {
+		p := Default(5, 1)
+		mutate(&p)
+		if _, err := p.Generate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	names := map[Topology]string{
+		TopologyRandom:    "random",
+		TopologyUniform:   "uniform",
+		TopologyEuclidean: "euclidean",
+		TopologyClustered: "clustered",
+	}
+	for topo, want := range names {
+		if got := topo.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(topo), got, want)
+		}
+	}
+	if got := Topology(9).String(); got == "" {
+		t.Errorf("unknown topology renders empty")
+	}
+}
+
+func TestGenerateMultiThreaded(t *testing.T) {
+	p := Default(60, 21)
+	p.MultiThreadFraction = 0.5
+	p.MaxThreads = 6
+	q, err := p.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	count := 0
+	for i, s := range q.Services {
+		if s.Threads != 0 {
+			count++
+			if s.Threads < 2 || s.Threads > 6 {
+				t.Errorf("service %d threads %d outside [2,6]", i, s.Threads)
+			}
+		}
+	}
+	if count < 15 || count > 45 {
+		t.Errorf("threaded count = %d of 60, want around 30", count)
+	}
+
+	p.MultiThreadFraction = 1.5
+	if _, err := p.Generate(); err == nil {
+		t.Errorf("fraction > 1 accepted")
+	}
+	p.MultiThreadFraction = 0.5
+	p.MaxThreads = -1
+	if _, err := p.Generate(); err == nil {
+		t.Errorf("negative MaxThreads accepted")
+	}
+}
+
+func TestGenerateSingleService(t *testing.T) {
+	q, err := Default(1, 2).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if q.N() != 1 || math.IsNaN(q.Services[0].Cost) {
+		t.Fatalf("bad single-service query: %+v", q)
+	}
+}

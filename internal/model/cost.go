@@ -1,0 +1,221 @@
+package model
+
+// This file implements the bottleneck cost metric of Eq. (1):
+//
+//	cost(S) = max_{i in S} ( prod_{k before i} sigma_k ) * ( c_i + sigma_i * t_{i, next(i)} )
+//
+// extended with the optional source stage (term SourceTransfer[S[0]]) and
+// sink transfer (the last service pays sigma * SinkTransfer instead of a
+// free final hop). PrefixState provides the O(1) incremental evaluation the
+// branch-and-bound optimizer depends on.
+
+// Breakdown is the per-stage decomposition of a complete plan's cost.
+type Breakdown struct {
+	// SourceTerm is the bottleneck term of the data source stage, zero
+	// when the query has no SourceTransfer vector.
+	SourceTerm float64
+
+	// Terms[i] is the bottleneck term of the service at plan position i:
+	// the average time that service is busy per query input tuple.
+	Terms []float64
+
+	// Cost is the plan's bottleneck cost: the maximum over SourceTerm
+	// and Terms.
+	Cost float64
+
+	// BottleneckPos is the plan position of the service realizing Cost.
+	// It is 0 when the source term dominates (the source and the first
+	// service are pruned together by the optimizer's Lemma 3 rule).
+	BottleneckPos int
+}
+
+// Cost returns the bottleneck cost of a complete plan. The plan must be a
+// valid permutation for the query; Cost panics on out-of-range indices but
+// performs no other validation (call Plan.Validate first when handling
+// untrusted input).
+func (q *Query) Cost(p Plan) float64 {
+	st := EmptyPrefix()
+	for _, s := range p {
+		st = st.Append(q, s)
+	}
+	return st.Complete(q)
+}
+
+// CostBreakdown returns the per-stage terms of a complete plan along with
+// the bottleneck cost and position.
+func (q *Query) CostBreakdown(p Plan) Breakdown {
+	n := len(p)
+	b := Breakdown{Terms: make([]float64, n), BottleneckPos: -1}
+	if n == 0 {
+		return b
+	}
+	b.SourceTerm = q.sourceTransferOf(p[0])
+	b.Cost = b.SourceTerm
+	b.BottleneckPos = 0
+	prod := 1.0
+	for i, s := range p {
+		out := q.sinkTransferOf(s)
+		if i+1 < n {
+			out = q.Transfer[s][p[i+1]]
+		}
+		svc := q.Services[s]
+		term := prod * (svc.Cost + svc.Selectivity*out) / svc.ThreadCount()
+		b.Terms[i] = term
+		if term > b.Cost {
+			b.Cost = term
+			b.BottleneckPos = i
+		}
+		prod *= q.Services[s].Selectivity
+	}
+	return b
+}
+
+// PrefixCost returns epsilon, the bottleneck cost of a partial plan: the
+// maximum over the finalized terms of all but the last service plus the
+// provisional term of the last service, whose outgoing transfer is not yet
+// fixed. By Lemma 1 of the paper, PrefixCost never decreases as the prefix
+// is extended, and Cost(p) >= PrefixCost(prefix) for every plan p extending
+// the prefix.
+func (q *Query) PrefixCost(prefix Plan) float64 {
+	st := EmptyPrefix()
+	for _, s := range prefix {
+		st = st.Append(q, s)
+	}
+	return st.Epsilon(q)
+}
+
+// PrefixState incrementally evaluates epsilon along a growing prefix. The
+// zero-cost way to explore a search tree is to keep one PrefixState per
+// depth: states are small value types, so Append returns a copy and never
+// mutates the receiver.
+type PrefixState struct {
+	size       int     // number of services in the prefix
+	last       int     // service index at the last position (undefined when size == 0)
+	prodBefore float64 // product of selectivities of all services before the last
+	maxDone    float64 // max over finalized terms (and the source term)
+	maxDonePos int     // plan position achieving maxDone, -1 when none
+}
+
+// EmptyPrefix returns the state of the empty prefix.
+func EmptyPrefix() PrefixState {
+	return PrefixState{prodBefore: 1, maxDonePos: -1}
+}
+
+// Len returns the number of services in the prefix.
+func (st PrefixState) Len() int { return st.size }
+
+// Last returns the service index at the last position of the prefix. It
+// must not be called on an empty prefix.
+func (st PrefixState) Last() int { return st.last }
+
+// ProductBeforeLast returns the product of the selectivities of every
+// service in the prefix except the last: the average number of tuples that
+// reach the last service per query input tuple.
+func (st PrefixState) ProductBeforeLast() float64 { return st.prodBefore }
+
+// Product returns the product of the selectivities of every service in the
+// prefix: the average number of tuples that leave the prefix per input
+// tuple.
+func (st PrefixState) Product(q *Query) float64 {
+	if st.size == 0 {
+		return 1
+	}
+	return st.prodBefore * q.Services[st.last].Selectivity
+}
+
+// Append returns the state of the prefix extended with service s. The term
+// of the previous last service becomes finalized with transfer cost
+// Transfer[last][s].
+func (st PrefixState) Append(q *Query, s int) PrefixState {
+	next := st
+	next.size++
+	next.last = s
+	if st.size == 0 {
+		next.prodBefore = 1
+		src := q.sourceTransferOf(s)
+		if src > next.maxDone || next.maxDonePos < 0 {
+			next.maxDone = src
+			next.maxDonePos = 0
+		}
+		return next
+	}
+	svc := q.Services[st.last]
+	final := st.prodBefore * (svc.Cost + svc.Selectivity*q.Transfer[st.last][s]) / svc.ThreadCount()
+	if final > next.maxDone {
+		next.maxDone = final
+		next.maxDonePos = st.size - 1
+	}
+	next.prodBefore = st.prodBefore * svc.Selectivity
+	return next
+}
+
+// Epsilon returns the bottleneck cost of the partial plan: the finalized
+// terms so far combined with the provisional (transfer-free) term of the
+// last service.
+func (st PrefixState) Epsilon(q *Query) float64 {
+	if st.size == 0 {
+		return 0
+	}
+	last := q.Services[st.last]
+	provisional := st.prodBefore * last.Cost / last.ThreadCount()
+	if provisional > st.maxDone {
+		return provisional
+	}
+	return st.maxDone
+}
+
+// EpsilonPos returns Epsilon together with the plan position of the
+// bottleneck stage, which Lemma 3 uses to decide how far to backtrack.
+func (st PrefixState) EpsilonPos(q *Query) (float64, int) {
+	if st.size == 0 {
+		return 0, -1
+	}
+	last := q.Services[st.last]
+	provisional := st.prodBefore * last.Cost / last.ThreadCount()
+	if provisional > st.maxDone {
+		return provisional, st.size - 1
+	}
+	return st.maxDone, st.maxDonePos
+}
+
+// Complete returns the bottleneck cost of the prefix interpreted as a
+// complete plan: the last service's outgoing transfer is the sink transfer
+// (zero without a sink vector), matching Eq. (1).
+func (st PrefixState) Complete(q *Query) float64 {
+	if st.size == 0 {
+		return 0
+	}
+	svc := q.Services[st.last]
+	final := st.prodBefore * (svc.Cost + svc.Selectivity*q.sinkTransferOf(st.last)) / svc.ThreadCount()
+	if final > st.maxDone {
+		return final
+	}
+	return st.maxDone
+}
+
+// PairCost returns the bottleneck cost of the two-service prefix [a, b]:
+// the maximum of a's finalized term and b's provisional term. The
+// optimizer seeds its search with pairs in increasing PairCost order.
+func (q *Query) PairCost(a, b int) float64 {
+	sa, sb := q.Services[a], q.Services[b]
+	termA := (sa.Cost + sa.Selectivity*q.Transfer[a][b]) / sa.ThreadCount()
+	if src := q.sourceTransferOf(a); src > termA {
+		termA = src
+	}
+	termB := sa.Selectivity * sb.Cost / sb.ThreadCount()
+	if termB > termA {
+		return termB
+	}
+	return termA
+}
+
+// TuplesReaching returns the average number of tuples per input tuple that
+// reach plan position pos, i.e. the product of the selectivities of the
+// services at positions 0..pos-1.
+func (q *Query) TuplesReaching(p Plan, pos int) float64 {
+	prod := 1.0
+	for i := 0; i < pos && i < len(p); i++ {
+		prod *= q.Services[p[i]].Selectivity
+	}
+	return prod
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+const costEps = 1e-12
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= costEps*math.Max(scale, 1)
+}
+
+func TestCostHandComputed(t *testing.T) {
+	q := testQuery3(t)
+	tests := []struct {
+		name     string
+		plan     Plan
+		wantCost float64
+		wantPos  int
+	}{
+		// [a b c]: terms 1*(2+0.5*1)=2.5, 0.5*(1+0.8*1)=0.9, 0.4*4=1.6.
+		{name: "abc", plan: Plan{0, 1, 2}, wantCost: 2.5, wantPos: 0},
+		// [b a c]: terms 1*(1+0.8*3)=3.4, 0.8*(2+0.5*2)=2.4, 0.4*4=1.6.
+		{name: "bac", plan: Plan{1, 0, 2}, wantCost: 3.4, wantPos: 0},
+		// [c a b]: terms 1*(4+0.25*2)=4.5, 0.25*(2+0.5*1)=0.625, 0.125*1.
+		{name: "cab", plan: Plan{2, 0, 1}, wantCost: 4.5, wantPos: 0},
+		// [b c a]: terms 1*(1+0.8*1)=1.8, 0.8*(4+0.25*2)=3.6, 0.2*2=0.4.
+		{name: "bca", plan: Plan{1, 2, 0}, wantCost: 3.6, wantPos: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := q.Cost(tt.plan)
+			if !almostEqual(got, tt.wantCost) {
+				t.Errorf("Cost(%v) = %v, want %v", tt.plan, got, tt.wantCost)
+			}
+			bd := q.CostBreakdown(tt.plan)
+			if !almostEqual(bd.Cost, tt.wantCost) || bd.BottleneckPos != tt.wantPos {
+				t.Errorf("CostBreakdown(%v) = (cost %v, pos %d), want (%v, %d)",
+					tt.plan, bd.Cost, bd.BottleneckPos, tt.wantCost, tt.wantPos)
+			}
+		})
+	}
+}
+
+func TestCostWithSourceAndSink(t *testing.T) {
+	q := testQuery3(t)
+	q.SourceTransfer = []float64{1, 3, 5}
+	q.SinkTransfer = []float64{2, 1, 3}
+
+	// Plan [a b c]: source term 1; a 2.5; b 0.9; c 0.4*(4+0.25*3)=1.9.
+	bd := q.CostBreakdown(Plan{0, 1, 2})
+	if !almostEqual(bd.SourceTerm, 1) {
+		t.Errorf("SourceTerm = %v, want 1", bd.SourceTerm)
+	}
+	if !almostEqual(bd.Terms[2], 1.9) {
+		t.Errorf("Terms[2] = %v, want 1.9 (sink transfer applied)", bd.Terms[2])
+	}
+	if !almostEqual(bd.Cost, 2.5) {
+		t.Errorf("Cost = %v, want 2.5", bd.Cost)
+	}
+
+	// Plan [b a c]: source term 3 < a-term... b term 3.4 still dominates.
+	// Make the source dominate to check BottleneckPos.
+	q.SourceTransfer = []float64{9, 9, 9}
+	bd = q.CostBreakdown(Plan{0, 1, 2})
+	if !almostEqual(bd.Cost, 9) || bd.BottleneckPos != 0 {
+		t.Errorf("source-dominated breakdown = (cost %v, pos %d), want (9, 0)", bd.Cost, bd.BottleneckPos)
+	}
+}
+
+func TestCostZeroSelectivityAnnihilates(t *testing.T) {
+	q := testQuery3(t)
+	q.Services[1].Selectivity = 0 // b drops every tuple
+	// [b a c]: term b = 1*(1+0*3) = 1, downstream terms are all zero.
+	got := q.Cost(Plan{1, 0, 2})
+	if !almostEqual(got, 1) {
+		t.Fatalf("Cost = %v, want 1 (zero selectivity annihilates downstream)", got)
+	}
+}
+
+func TestPrefixCostAndState(t *testing.T) {
+	q := testQuery3(t)
+
+	if got := q.PrefixCost(Plan{}); got != 0 {
+		t.Fatalf("PrefixCost(empty) = %v, want 0", got)
+	}
+	if got := q.PrefixCost(Plan{0}); !almostEqual(got, 2) {
+		t.Fatalf("PrefixCost([a]) = %v, want 2 (provisional term)", got)
+	}
+	if got := q.PrefixCost(Plan{0, 1}); !almostEqual(got, 2.5) {
+		t.Fatalf("PrefixCost([a b]) = %v, want 2.5", got)
+	}
+
+	st := EmptyPrefix()
+	if st.Len() != 0 || st.Epsilon(q) != 0 {
+		t.Fatalf("EmptyPrefix() = len %d eps %v", st.Len(), st.Epsilon(q))
+	}
+	st = st.Append(q, 1)
+	if st.Len() != 1 || st.Last() != 1 {
+		t.Fatalf("after Append(b): len %d last %d", st.Len(), st.Last())
+	}
+	if eps := st.Epsilon(q); !almostEqual(eps, 1) {
+		t.Fatalf("Epsilon([b]) = %v, want 1", eps)
+	}
+	st = st.Append(q, 0)
+	eps, pos := st.EpsilonPos(q)
+	if !almostEqual(eps, 3.4) || pos != 0 {
+		t.Fatalf("EpsilonPos([b a]) = (%v, %d), want (3.4, 0)", eps, pos)
+	}
+	if got := st.ProductBeforeLast(); !almostEqual(got, 0.8) {
+		t.Fatalf("ProductBeforeLast([b a]) = %v, want 0.8", got)
+	}
+	if got := st.Product(q); !almostEqual(got, 0.4) {
+		t.Fatalf("Product([b a]) = %v, want 0.4", got)
+	}
+	st = st.Append(q, 2)
+	if got := st.Complete(q); !almostEqual(got, 3.4) {
+		t.Fatalf("Complete([b a c]) = %v, want 3.4", got)
+	}
+	if got := q.Cost(Plan{1, 0, 2}); !almostEqual(got, st.Complete(q)) {
+		t.Fatalf("Cost and PrefixState.Complete disagree: %v vs %v", got, st.Complete(q))
+	}
+}
+
+func TestPrefixStateProvisionalBottleneck(t *testing.T) {
+	// A prefix whose epsilon comes from the *last* (provisional) term must
+	// report the last position.
+	q, err := NewQuery(
+		[]Service{{Cost: 1, Selectivity: 1}, {Cost: 50, Selectivity: 1}},
+		[][]float64{{0, 1}, {1, 0}},
+	)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	st := EmptyPrefix().Append(q, 0).Append(q, 1)
+	eps, pos := st.EpsilonPos(q)
+	if !almostEqual(eps, 50) || pos != 1 {
+		t.Fatalf("EpsilonPos = (%v, %d), want (50, 1)", eps, pos)
+	}
+}
+
+func TestPairCost(t *testing.T) {
+	q := testQuery3(t)
+	// pair (a,b): max(2+0.5*1, 0.5*1) = 2.5
+	if got := q.PairCost(0, 1); !almostEqual(got, 2.5) {
+		t.Errorf("PairCost(a,b) = %v, want 2.5", got)
+	}
+	// pair (c,b): max(4+0.25*5, 0.25*1) = 5.25
+	if got := q.PairCost(2, 1); !almostEqual(got, 5.25) {
+		t.Errorf("PairCost(c,b) = %v, want 5.25", got)
+	}
+	// pair cost equals PrefixCost of the two-element prefix.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a == b {
+				continue
+			}
+			if got, want := q.PairCost(a, b), q.PrefixCost(Plan{a, b}); !almostEqual(got, want) {
+				t.Errorf("PairCost(%d,%d) = %v, PrefixCost = %v", a, b, got, want)
+			}
+		}
+	}
+	// with a dominating source transfer on the first element.
+	q.SourceTransfer = []float64{10, 0, 0}
+	if got := q.PairCost(0, 1); !almostEqual(got, 10) {
+		t.Errorf("PairCost with source = %v, want 10", got)
+	}
+}
+
+func TestTuplesReaching(t *testing.T) {
+	q := testQuery3(t)
+	p := Plan{0, 1, 2}
+	want := []float64{1, 0.5, 0.4}
+	for pos, w := range want {
+		if got := q.TuplesReaching(p, pos); !almostEqual(got, w) {
+			t.Errorf("TuplesReaching(pos=%d) = %v, want %v", pos, got, w)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StageAnalysis describes one stage of a plan for human consumption.
+type StageAnalysis struct {
+	// Position and Service locate the stage.
+	Position int
+	Service  int
+
+	// TuplesPerInput is the average number of tuples reaching the stage
+	// per query input tuple (the prefix selectivity product).
+	TuplesPerInput float64
+
+	// Term is the stage's bottleneck term (busy time per input tuple).
+	Term float64
+
+	// Slack is the factor by which the stage's term could grow before
+	// it becomes the bottleneck (1.0 for the bottleneck itself).
+	Slack float64
+
+	// IsBottleneck marks the stage realizing the plan's cost.
+	IsBottleneck bool
+}
+
+// Analysis is a complete per-stage explanation of a plan's cost.
+type Analysis struct {
+	// Plan and Cost restate what is being explained.
+	Plan Plan
+	Cost float64
+
+	// SourceTerm is the data-source stage's term (0 without a source).
+	SourceTerm float64
+
+	// Stages holds the per-stage breakdown in plan order.
+	Stages []StageAnalysis
+
+	// BestAdjacentSwap is the largest relative cost reduction available
+	// from swapping two adjacent services (0 when no swap improves; for
+	// an optimal plan this is always 0). BestSwapPos is the left
+	// position of that swap, -1 when none improves.
+	BestAdjacentSwap float64
+	BestSwapPos      int
+}
+
+// Explain computes the per-stage analysis of a plan: terms, bottleneck,
+// slack factors, and the best adjacent-swap improvement. It is the
+// engine behind dqopt's -explain flag.
+func (q *Query) Explain(p Plan) (*Analysis, error) {
+	if err := p.Validate(q); err != nil {
+		return nil, err
+	}
+	bd := q.CostBreakdown(p)
+	a := &Analysis{
+		Plan:        p.Clone(),
+		Cost:        bd.Cost,
+		SourceTerm:  bd.SourceTerm,
+		BestSwapPos: -1,
+	}
+	for pos := range p {
+		term := bd.Terms[pos]
+		slack := 0.0
+		if term > 0 {
+			slack = bd.Cost / term
+		}
+		a.Stages = append(a.Stages, StageAnalysis{
+			Position:       pos,
+			Service:        p[pos],
+			TuplesPerInput: q.TuplesReaching(p, pos),
+			Term:           term,
+			Slack:          slack,
+			IsBottleneck:   pos == bd.BottleneckPos,
+		})
+	}
+
+	scratch := p.Clone()
+	for pos := 0; pos+1 < len(p); pos++ {
+		scratch[pos], scratch[pos+1] = scratch[pos+1], scratch[pos]
+		if scratch.Validate(q) == nil {
+			if cost := q.Cost(scratch); cost < bd.Cost {
+				if gain := 1 - cost/bd.Cost; gain > a.BestAdjacentSwap {
+					a.BestAdjacentSwap = gain
+					a.BestSwapPos = pos
+				}
+			}
+		}
+		scratch[pos], scratch[pos+1] = scratch[pos+1], scratch[pos]
+	}
+	return a, nil
+}
+
+// Render writes the analysis as an aligned plain-text report.
+func (a *Analysis) Render(q *Query, w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s costs %.6g per input tuple\n", a.Plan.Render(q), a.Cost)
+	if a.SourceTerm > 0 {
+		fmt.Fprintf(&b, "source stage term: %.6g\n", a.SourceTerm)
+	}
+	fmt.Fprintf(&b, "%-4s %-16s %-14s %-12s %-8s\n", "pos", "service", "tuples/input", "term", "slack")
+	for _, st := range a.Stages {
+		marker := "  "
+		if st.IsBottleneck {
+			marker = "* "
+		}
+		name := ""
+		if st.Service < q.N() {
+			name = q.Services[st.Service].Name
+		}
+		if name == "" {
+			name = fmt.Sprintf("WS%d", st.Service)
+		}
+		fmt.Fprintf(&b, "%s%-2d %-16s %-14.4g %-12.6g %.2fx\n",
+			marker, st.Position, name, st.TuplesPerInput, st.Term, st.Slack)
+	}
+	if a.BestSwapPos >= 0 {
+		fmt.Fprintf(&b, "improvement available: swapping positions %d and %d cuts cost by %.1f%%\n",
+			a.BestSwapPos, a.BestSwapPos+1, 100*a.BestAdjacentSwap)
+	} else {
+		fmt.Fprintf(&b, "no adjacent swap improves this plan\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

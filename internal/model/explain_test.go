@@ -1,0 +1,99 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainFixture(t *testing.T) {
+	q := testQuery3(t)
+	a, err := q.Explain(Plan{0, 1, 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !almostEqual(a.Cost, 2.5) {
+		t.Fatalf("Cost = %v, want 2.5", a.Cost)
+	}
+	if len(a.Stages) != 3 {
+		t.Fatalf("Stages = %d", len(a.Stages))
+	}
+	if !a.Stages[0].IsBottleneck || a.Stages[1].IsBottleneck {
+		t.Errorf("bottleneck misplaced: %+v", a.Stages)
+	}
+	if !almostEqual(a.Stages[0].Slack, 1) {
+		t.Errorf("bottleneck slack = %v, want 1", a.Stages[0].Slack)
+	}
+	// Stage b: term 0.9 -> slack 2.5/0.9.
+	if !almostEqual(a.Stages[1].Slack, 2.5/0.9) {
+		t.Errorf("slack = %v, want %v", a.Stages[1].Slack, 2.5/0.9)
+	}
+	if !almostEqual(a.Stages[1].TuplesPerInput, 0.5) {
+		t.Errorf("tuples/input = %v, want 0.5", a.Stages[1].TuplesPerInput)
+	}
+}
+
+func TestExplainOptimalPlanHasNoSwap(t *testing.T) {
+	q := testQuery3(t)
+	// [0 1 2] is the optimum (cost 2.5); no adjacent swap can improve.
+	a, err := q.Explain(Plan{0, 1, 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if a.BestSwapPos != -1 || a.BestAdjacentSwap != 0 {
+		t.Fatalf("optimal plan claims improvement: %+v", a)
+	}
+}
+
+func TestExplainFindsImprovingSwap(t *testing.T) {
+	q := testQuery3(t)
+	// [1 0 2] costs 3.4; swapping positions 0 and 1 yields [0 1 2] = 2.5.
+	a, err := q.Explain(Plan{1, 0, 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if a.BestSwapPos != 0 {
+		t.Fatalf("BestSwapPos = %d, want 0", a.BestSwapPos)
+	}
+	if want := 1 - 2.5/3.4; math.Abs(a.BestAdjacentSwap-want) > 1e-12 {
+		t.Fatalf("BestAdjacentSwap = %v, want %v", a.BestAdjacentSwap, want)
+	}
+}
+
+func TestExplainRespectsPrecedenceInSwaps(t *testing.T) {
+	q := testQuery3(t)
+	q.Precedence = [][2]int{{1, 0}} // the improving swap is now infeasible
+	a, err := q.Explain(Plan{1, 0, 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if a.BestSwapPos == 0 {
+		t.Fatalf("suggested a precedence-violating swap")
+	}
+}
+
+func TestExplainInvalidPlan(t *testing.T) {
+	q := testQuery3(t)
+	if _, err := q.Explain(Plan{0, 0, 1}); err == nil {
+		t.Fatalf("invalid plan accepted")
+	}
+}
+
+func TestAnalysisRender(t *testing.T) {
+	q := testQuery3(t)
+	q.SourceTransfer = []float64{0.5, 0.5, 0.5}
+	a, err := q.Explain(Plan{1, 0, 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	var b strings.Builder
+	if err := a.Render(q, &b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"costs 3.4", "source stage term", "* 0", "improvement available", "swapping positions 0 and 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file provides the on-disk interchange format used by the cmd/ tools:
+// a query instance is stored as a single JSON document matching the Query
+// struct tags, optionally bundled with a plan.
+
+// Instance bundles a query with an optional plan and free-form metadata; it
+// is the document the dqgen/dqopt/dqsim tools exchange.
+type Instance struct {
+	// Comment is free-form provenance (generator parameters, seed, ...).
+	Comment string `json:"comment,omitempty"`
+
+	// Query is the problem instance.
+	Query *Query `json:"query"`
+
+	// Plan optionally carries an ordering, e.g. the optimizer's output.
+	Plan Plan `json:"plan,omitempty"`
+
+	// Cost optionally records the plan's bottleneck cost.
+	Cost float64 `json:"cost,omitempty"`
+}
+
+// EncodeInstance writes the instance as indented JSON.
+func EncodeInstance(w io.Writer, inst *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(inst); err != nil {
+		return fmt.Errorf("model: encoding instance: %w", err)
+	}
+	return nil
+}
+
+// DecodeInstance reads and validates a JSON instance.
+func DecodeInstance(r io.Reader) (*Instance, error) {
+	var inst Instance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&inst); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	if inst.Query == nil {
+		return nil, fmt.Errorf("model: instance has no query")
+	}
+	if err := inst.Query.Validate(); err != nil {
+		return nil, fmt.Errorf("model: instance query invalid: %w", err)
+	}
+	if inst.Plan != nil {
+		if err := inst.Plan.Validate(inst.Query); err != nil {
+			return nil, fmt.Errorf("model: instance plan invalid: %w", err)
+		}
+	}
+	return &inst, nil
+}
+
+// LoadInstance reads an instance from a JSON file.
+func LoadInstance(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: opening instance: %w", err)
+	}
+	defer f.Close()
+	return DecodeInstance(f)
+}
+
+// SaveInstance writes an instance to a JSON file, creating or truncating
+// it.
+func SaveInstance(path string, inst *Instance) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: creating instance file: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("model: closing instance file: %w", cerr)
+		}
+	}()
+	return EncodeInstance(f, inst)
+}

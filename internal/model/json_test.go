@@ -1,0 +1,82 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	q := testQuery3(t)
+	q.SourceTransfer = []float64{1, 2, 3}
+	q.Precedence = [][2]int{{0, 2}}
+	inst := &Instance{
+		Comment: "unit test",
+		Query:   q,
+		Plan:    Plan{0, 1, 2},
+		Cost:    2.5,
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, inst); err != nil {
+		t.Fatalf("EncodeInstance: %v", err)
+	}
+	got, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatalf("DecodeInstance: %v", err)
+	}
+	if got.Comment != inst.Comment || got.Cost != inst.Cost {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if !got.Plan.Equal(inst.Plan) {
+		t.Errorf("plan lost: %v", got.Plan)
+	}
+	if got.Query.N() != 3 || got.Query.Services[2].Name != "c" {
+		t.Errorf("query lost: %+v", got.Query)
+	}
+	if got.Query.Transfer[2][1] != 5 {
+		t.Errorf("transfer lost: %v", got.Query.Transfer)
+	}
+	if got.Query.SourceTransfer[1] != 2 {
+		t.Errorf("source transfer lost: %v", got.Query.SourceTransfer)
+	}
+}
+
+func TestDecodeInstanceErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "garbage", in: "{nope"},
+		{name: "missing query", in: `{"comment":"x"}`},
+		{name: "invalid query", in: `{"query":{"services":[{"cost":-1,"selectivity":1}],"transfer":[[0]]}}`},
+		{name: "invalid plan", in: `{"query":{"services":[{"cost":1,"selectivity":1}],"transfer":[[0]]},"plan":[5]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeInstance(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("DecodeInstance(%q) = nil error", tt.in)
+			}
+		})
+	}
+}
+
+func TestSaveLoadInstance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	inst := &Instance{Query: testQuery3(t), Plan: Plan{2, 1, 0}}
+	if err := SaveInstance(path, inst); err != nil {
+		t.Fatalf("SaveInstance: %v", err)
+	}
+	got, err := LoadInstance(path)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if !got.Plan.Equal(inst.Plan) {
+		t.Fatalf("round-trip plan = %v, want %v", got.Plan, inst.Plan)
+	}
+	if _, err := LoadInstance(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("LoadInstance(missing) = nil error")
+	}
+}

@@ -1,0 +1,123 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a linear ordering of a query's services: a permutation of the
+// indices 0..N-1. Plan[0] is invoked first. Plans are plain slices so that
+// callers can build them with ordinary slice operations; use Validate to
+// check permutation-ness against a query.
+type Plan []int
+
+// Clone returns an independent copy of the plan.
+func (p Plan) Clone() Plan { return append(Plan(nil), p...) }
+
+// Equal reports whether two plans are the same ordering.
+func (p Plan) Equal(other Plan) bool {
+	if len(p) != len(other) {
+		return false
+	}
+	for i := range p {
+		if p[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Position returns the index of service s within the plan, or -1 when the
+// plan does not contain s.
+func (p Plan) Position(s int) int {
+	for i, v := range p {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that the plan is a permutation of the query's services
+// and satisfies the query's precedence constraints.
+func (p Plan) Validate(q *Query) error {
+	n := q.N()
+	if len(p) != n {
+		return fmt.Errorf("model: plan has %d services, query has %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for pos, s := range p {
+		if s < 0 || s >= n {
+			return fmt.Errorf("model: plan position %d references service %d, out of range [0,%d)", pos, s, n)
+		}
+		if seen[s] {
+			return fmt.Errorf("model: plan references service %d twice", s)
+		}
+		seen[s] = true
+	}
+	pos := make([]int, n)
+	for i, s := range p {
+		pos[s] = i
+	}
+	for _, e := range q.Precedence {
+		if pos[e[0]] > pos[e[1]] {
+			return fmt.Errorf("model: plan violates precedence %d -> %d", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// String renders the plan as "[2 -> 0 -> 1]".
+func (p Plan) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range p {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Render renders the plan with service names resolved against the query,
+// for example "[filter -> lookup -> score]".
+func (p Plan) Render(q *Query) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range p {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		name := ""
+		if s >= 0 && s < q.N() {
+			name = q.Services[s].Name
+		}
+		if name == "" {
+			fmt.Fprintf(&b, "WS%d", s)
+		} else {
+			b.WriteString(name)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// IdentityPlan returns the plan [0, 1, ..., n-1].
+func IdentityPlan(n int) Plan {
+	p := make(Plan, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// ReversedPlan returns the plan [n-1, ..., 1, 0].
+func ReversedPlan(n int) Plan {
+	p := make(Plan, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}

@@ -1,0 +1,86 @@
+package model
+
+import "testing"
+
+func TestPlanValidate(t *testing.T) {
+	q := testQuery3(t)
+	tests := []struct {
+		name    string
+		plan    Plan
+		prec    [][2]int
+		wantErr bool
+	}{
+		{name: "valid", plan: Plan{2, 0, 1}},
+		{name: "identity", plan: Plan{0, 1, 2}},
+		{name: "too short", plan: Plan{0, 1}, wantErr: true},
+		{name: "too long", plan: Plan{0, 1, 2, 2}, wantErr: true},
+		{name: "out of range", plan: Plan{0, 1, 3}, wantErr: true},
+		{name: "negative", plan: Plan{0, -1, 2}, wantErr: true},
+		{name: "duplicate", plan: Plan{0, 1, 1}, wantErr: true},
+		{name: "precedence ok", plan: Plan{1, 0, 2}, prec: [][2]int{{1, 2}}},
+		{name: "precedence violated", plan: Plan{2, 0, 1}, prec: [][2]int{{1, 2}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			qq := q.Clone()
+			qq.Precedence = tt.prec
+			err := tt.plan.Validate(qq)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("Validate(%v) error = %v, wantErr %v", tt.plan, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanCloneEqualPosition(t *testing.T) {
+	p := Plan{2, 0, 1}
+	cp := p.Clone()
+	cp[0] = 1
+	if p[0] != 2 {
+		t.Fatalf("Clone() shares storage")
+	}
+	if !p.Equal(Plan{2, 0, 1}) {
+		t.Fatalf("Equal() = false for identical plans")
+	}
+	if p.Equal(Plan{2, 0}) || p.Equal(Plan{2, 1, 0}) {
+		t.Fatalf("Equal() = true for differing plans")
+	}
+	if got := p.Position(0); got != 1 {
+		t.Fatalf("Position(0) = %d, want 1", got)
+	}
+	if got := p.Position(9); got != -1 {
+		t.Fatalf("Position(9) = %d, want -1", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := (Plan{2, 0, 1}).String(); got != "[2 -> 0 -> 1]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Plan{}).String(); got != "[]" {
+		t.Fatalf("String() of empty plan = %q", got)
+	}
+}
+
+func TestPlanRender(t *testing.T) {
+	q := testQuery3(t)
+	if got := (Plan{1, 2, 0}).Render(q); got != "[b -> c -> a]" {
+		t.Fatalf("Render() = %q", got)
+	}
+	q.Services[2].Name = ""
+	if got := (Plan{2}).Render(q); got != "[WS2]" {
+		t.Fatalf("Render() with unnamed service = %q", got)
+	}
+}
+
+func TestIdentityReversed(t *testing.T) {
+	if got := IdentityPlan(4); !got.Equal(Plan{0, 1, 2, 3}) {
+		t.Fatalf("IdentityPlan(4) = %v", got)
+	}
+	if got := ReversedPlan(4); !got.Equal(Plan{3, 2, 1, 0}) {
+		t.Fatalf("ReversedPlan(4) = %v", got)
+	}
+	if got := IdentityPlan(0); len(got) != 0 {
+		t.Fatalf("IdentityPlan(0) = %v", got)
+	}
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Precedence is the compiled form of a query's precedence constraints: for
+// each service, the bitmask of services that must already be placed before
+// it may be appended to a plan. Constraint-aware search uses it to filter
+// candidate children in O(1).
+//
+// Bitmask compilation limits constrained queries to 64 services, far above
+// anything exact optimization can reach; unconstrained queries have no size
+// limit.
+type Precedence struct {
+	n     int
+	edges int
+	pred  []uint64 // pred[i]: services that must precede service i
+	succ  []uint64 // succ[i]: services that must follow service i
+}
+
+// NewPrecedence compiles constraint edges {before, after} and verifies the
+// relation is acyclic. A nil result with nil error is never returned; an
+// empty edge set compiles to a constraint-free relation.
+func NewPrecedence(n int, edges [][2]int) (*Precedence, error) {
+	if len(edges) > 0 && n > 64 {
+		return nil, fmt.Errorf("model: precedence constraints support at most 64 services, got %d", n)
+	}
+	p := &Precedence{n: n, edges: len(edges)}
+	if len(edges) == 0 {
+		return p, nil
+	}
+	p.pred = make([]uint64, n)
+	p.succ = make([]uint64, n)
+	for k, e := range edges {
+		before, after := e[0], e[1]
+		if before < 0 || before >= n || after < 0 || after >= n || before == after {
+			return nil, fmt.Errorf("model: precedence edge %d = (%d,%d) invalid for %d services", k, before, after, n)
+		}
+		p.pred[after] |= 1 << uint(before)
+		p.succ[before] |= 1 << uint(after)
+	}
+	if err := p.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// checkAcyclic runs Kahn's algorithm over the direct edges.
+func (p *Precedence) checkAcyclic() error {
+	indeg := make([]int, p.n)
+	for i := 0; i < p.n; i++ {
+		indeg[i] = bits.OnesCount64(p.pred[i])
+	}
+	queue := make([]int, 0, p.n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		rest := p.succ[v]
+		for rest != 0 {
+			w := bits.TrailingZeros64(rest)
+			rest &^= 1 << uint(w)
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if removed != p.n {
+		return fmt.Errorf("model: precedence constraints contain a cycle")
+	}
+	return nil
+}
+
+// N returns the number of services the relation was compiled for.
+func (p *Precedence) N() int { return p.n }
+
+// HasConstraints reports whether any edges were compiled.
+func (p *Precedence) HasConstraints() bool { return p.edges > 0 }
+
+// CanPlace reports whether service s may be appended to a plan whose placed
+// services are given as a bitmask.
+func (p *Precedence) CanPlace(s int, placed uint64) bool {
+	if p.pred == nil {
+		return true
+	}
+	return p.pred[s]&^placed == 0
+}
+
+// MustPrecede reports whether service a is constrained (directly) to come
+// before service b.
+func (p *Precedence) MustPrecede(a, b int) bool {
+	if p.succ == nil {
+		return false
+	}
+	return p.succ[a]&(1<<uint(b)) != 0
+}
+
+// TopologicalPlan returns some plan consistent with the constraints,
+// breaking ties by ascending service index. It is used to seed searches
+// with a feasible incumbent.
+func (p *Precedence) TopologicalPlan() Plan {
+	plan := make(Plan, 0, p.n)
+	var placed uint64
+	for len(plan) < p.n {
+		for s := 0; s < p.n; s++ {
+			if placed&(1<<uint(s)) != 0 {
+				continue
+			}
+			if p.CanPlace(s, placed) {
+				plan = append(plan, s)
+				placed |= 1 << uint(s)
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// CompiledPrecedence returns the compiled precedence relation of the query.
+// It panics if Validate would fail; validate untrusted queries first.
+func (q *Query) CompiledPrecedence() *Precedence {
+	p, err := NewPrecedence(q.N(), q.Precedence)
+	if err != nil {
+		panic(fmt.Sprintf("model: invalid precedence in validated query: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package model
+
+import "testing"
+
+func TestNewPrecedence(t *testing.T) {
+	tests := []struct {
+		name    string
+		n       int
+		edges   [][2]int
+		wantErr bool
+	}{
+		{name: "empty", n: 5},
+		{name: "chain", n: 4, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{name: "diamond", n: 4, edges: [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}},
+		{name: "two-cycle", n: 3, edges: [][2]int{{0, 1}, {1, 0}}, wantErr: true},
+		{name: "long cycle", n: 4, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, wantErr: true},
+		{name: "self loop", n: 3, edges: [][2]int{{1, 1}}, wantErr: true},
+		{name: "out of range", n: 3, edges: [][2]int{{0, 5}}, wantErr: true},
+		{name: "negative", n: 3, edges: [][2]int{{-1, 0}}, wantErr: true},
+		{name: "over 64 services unconstrained", n: 100},
+		{name: "over 64 services constrained", n: 100, edges: [][2]int{{0, 1}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := NewPrecedence(tt.n, tt.edges)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("NewPrecedence error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && p == nil {
+				t.Fatalf("NewPrecedence returned nil without error")
+			}
+		})
+	}
+}
+
+func TestPrecedenceCanPlace(t *testing.T) {
+	p, err := NewPrecedence(4, [][2]int{{0, 2}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatalf("NewPrecedence: %v", err)
+	}
+	if !p.HasConstraints() {
+		t.Fatalf("HasConstraints() = false")
+	}
+	if !p.CanPlace(0, 0) || !p.CanPlace(1, 0) {
+		t.Fatalf("roots must be placeable in empty plan")
+	}
+	if p.CanPlace(2, 0) {
+		t.Fatalf("CanPlace(2, {}) = true, want false (needs 0 and 1)")
+	}
+	if p.CanPlace(2, 1<<0) {
+		t.Fatalf("CanPlace(2, {0}) = true, want false (needs 1 too)")
+	}
+	if !p.CanPlace(2, 1<<0|1<<1) {
+		t.Fatalf("CanPlace(2, {0,1}) = false, want true")
+	}
+	if p.CanPlace(3, 1<<0|1<<1) {
+		t.Fatalf("CanPlace(3, {0,1}) = true, want false (needs 2)")
+	}
+	if !p.MustPrecede(0, 2) || p.MustPrecede(2, 0) || p.MustPrecede(0, 3) {
+		t.Fatalf("MustPrecede direct-edge semantics violated")
+	}
+
+	free, err := NewPrecedence(3, nil)
+	if err != nil {
+		t.Fatalf("NewPrecedence: %v", err)
+	}
+	if free.HasConstraints() {
+		t.Fatalf("HasConstraints() = true for empty relation")
+	}
+	for s := 0; s < 3; s++ {
+		if !free.CanPlace(s, 0) {
+			t.Fatalf("unconstrained CanPlace(%d) = false", s)
+		}
+	}
+}
+
+func TestTopologicalPlan(t *testing.T) {
+	p, err := NewPrecedence(5, [][2]int{{3, 0}, {4, 1}, {0, 1}})
+	if err != nil {
+		t.Fatalf("NewPrecedence: %v", err)
+	}
+	plan := p.TopologicalPlan()
+	if len(plan) != 5 {
+		t.Fatalf("TopologicalPlan() length = %d, want 5", len(plan))
+	}
+	pos := make(map[int]int, 5)
+	for i, s := range plan {
+		pos[s] = i
+	}
+	for _, e := range [][2]int{{3, 0}, {4, 1}, {0, 1}} {
+		if pos[e[0]] > pos[e[1]] {
+			t.Fatalf("TopologicalPlan() = %v violates %v", plan, e)
+		}
+	}
+}
+
+func TestCompiledPrecedence(t *testing.T) {
+	q := testQuery3(t)
+	q.Precedence = [][2]int{{0, 1}}
+	p := q.CompiledPrecedence()
+	if !p.MustPrecede(0, 1) {
+		t.Fatalf("CompiledPrecedence lost the edge")
+	}
+	if p.N() != 3 {
+		t.Fatalf("CompiledPrecedence N = %d, want 3", p.N())
+	}
+}

@@ -1,0 +1,213 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Query is a complete problem instance: the set of services, the pairwise
+// transfer-cost matrix of the decentralized deployment, and the optional
+// extensions (source/sink transfer vectors and precedence constraints).
+//
+// The zero value is not usable; construct instances with NewQuery or by
+// populating the exported fields and calling Validate.
+type Query struct {
+	// Services holds the N participating services. Plan positions refer
+	// to indices into this slice.
+	Services []Service `json:"services"`
+
+	// Transfer[i][j] is t_ij, the per-tuple cost of shipping one tuple
+	// from service i to service j. The matrix need not be symmetric.
+	// Diagonal entries must be zero. When tuples are shipped in blocks,
+	// t_ij is the block cost divided by the block size (see
+	// BlockTransfer).
+	Transfer [][]float64 `json:"transfer"`
+
+	// SourceTransfer, when non-nil, gives the per-tuple cost of shipping
+	// an input tuple from the data source to each service. The source is
+	// then a pipeline stage of its own: a plan starting with service s
+	// incurs the additional bottleneck term SourceTransfer[s].
+	SourceTransfer []float64 `json:"sourceTransfer,omitempty"`
+
+	// SinkTransfer, when non-nil, gives the per-tuple cost of shipping a
+	// result tuple from each service to the consumer of the query result.
+	// The last service s of a plan then pays c_s + sigma_s*SinkTransfer[s]
+	// instead of c_s alone. When nil the final transfer is free, matching
+	// Eq. (1) of the paper.
+	SinkTransfer []float64 `json:"sinkTransfer,omitempty"`
+
+	// Precedence lists constraint edges {before, after}: service
+	// Precedence[k][0] must appear before service Precedence[k][1] in
+	// every valid plan. The paper's core analysis assumes no precedence
+	// constraints; they are supported as the "minor modifications"
+	// extension.
+	Precedence [][2]int `json:"precedence,omitempty"`
+}
+
+// NewQuery builds a query from services and a transfer matrix and validates
+// it.
+func NewQuery(services []Service, transfer [][]float64) (*Query, error) {
+	q := &Query{Services: services, Transfer: transfer}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// N returns the number of services in the query.
+func (q *Query) N() int { return len(q.Services) }
+
+// Validate checks the instance for structural and numeric soundness:
+// matching dimensions, in-domain parameters, zero diagonal, and an acyclic
+// precedence relation.
+func (q *Query) Validate() error {
+	n := len(q.Services)
+	if n == 0 {
+		return fmt.Errorf("model: query has no services")
+	}
+	for i, s := range q.Services {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("model: service %d: %w", i, err)
+		}
+	}
+	if len(q.Transfer) != n {
+		return fmt.Errorf("model: transfer matrix has %d rows, want %d", len(q.Transfer), n)
+	}
+	for i, row := range q.Transfer {
+		if len(row) != n {
+			return fmt.Errorf("model: transfer row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, t := range row {
+			if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+				return fmt.Errorf("model: transfer[%d][%d] = %v out of range [0, +inf)", i, j, t)
+			}
+			if i == j && t != 0 {
+				return fmt.Errorf("model: transfer[%d][%d] = %v, diagonal must be zero", i, j, t)
+			}
+		}
+	}
+	if err := validateVector("sourceTransfer", q.SourceTransfer, n); err != nil {
+		return err
+	}
+	if err := validateVector("sinkTransfer", q.SinkTransfer, n); err != nil {
+		return err
+	}
+	for k, e := range q.Precedence {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return fmt.Errorf("model: precedence edge %d = (%d,%d) out of range [0,%d)", k, e[0], e[1], n)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("model: precedence edge %d is a self-loop on service %d", k, e[0])
+		}
+	}
+	if _, err := NewPrecedence(n, q.Precedence); err != nil {
+		return err
+	}
+	return nil
+}
+
+func validateVector(name string, v []float64, n int) error {
+	if v == nil {
+		return nil
+	}
+	if len(v) != n {
+		return fmt.Errorf("model: %s has %d entries, want %d", name, len(v), n)
+	}
+	for i, t := range v {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("model: %s[%d] = %v out of range [0, +inf)", name, i, t)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the query. Mutating the copy never affects
+// the original.
+func (q *Query) Clone() *Query {
+	cp := &Query{Services: append([]Service(nil), q.Services...)}
+	cp.Transfer = make([][]float64, len(q.Transfer))
+	for i, row := range q.Transfer {
+		cp.Transfer[i] = append([]float64(nil), row...)
+	}
+	if q.SourceTransfer != nil {
+		cp.SourceTransfer = append([]float64(nil), q.SourceTransfer...)
+	}
+	if q.SinkTransfer != nil {
+		cp.SinkTransfer = append([]float64(nil), q.SinkTransfer...)
+	}
+	if q.Precedence != nil {
+		cp.Precedence = append([][2]int(nil), q.Precedence...)
+	}
+	return cp
+}
+
+// AllFilters reports whether every service is selective (sigma <= 1), the
+// restricted setting of the paper's Section 2.
+func (q *Query) AllFilters() bool {
+	for _, s := range q.Services {
+		if !s.IsFilter() {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformTransfer reports whether every off-diagonal transfer cost equals
+// the same value, and returns that value. In the uniform case the problem
+// is solvable in polynomial time (Srivastava et al., VLDB 2006), which the
+// baseline package exploits.
+func (q *Query) UniformTransfer() (float64, bool) {
+	n := q.N()
+	if n < 2 {
+		return 0, true
+	}
+	first := math.NaN()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if math.IsNaN(first) {
+				first = q.Transfer[i][j]
+				continue
+			}
+			if q.Transfer[i][j] != first {
+				return 0, false
+			}
+		}
+	}
+	return first, true
+}
+
+// sinkTransferOf returns the sink transfer cost of service i (zero when no
+// sink vector is configured).
+func (q *Query) sinkTransferOf(i int) float64 {
+	if q.SinkTransfer == nil {
+		return 0
+	}
+	return q.SinkTransfer[i]
+}
+
+// sourceTransferOf returns the source transfer cost of service i (zero when
+// no source vector is configured).
+func (q *Query) sourceTransferOf(i int) float64 {
+	if q.SourceTransfer == nil {
+		return 0
+	}
+	return q.SourceTransfer[i]
+}
+
+// BlockTransfer converts a block-shipping specification into the per-tuple
+// transfer cost used throughout the model: the cost of transmitting one
+// block divided by the number of tuples per block. It returns an error for
+// non-positive block sizes, following the paper's remark that in practice
+// tuples are transmitted in blocks.
+func BlockTransfer(blockCost float64, tuplesPerBlock int) (float64, error) {
+	if tuplesPerBlock <= 0 {
+		return 0, fmt.Errorf("model: tuplesPerBlock must be positive, got %d", tuplesPerBlock)
+	}
+	if math.IsNaN(blockCost) || math.IsInf(blockCost, 0) || blockCost < 0 {
+		return 0, fmt.Errorf("model: blockCost %v out of range [0, +inf)", blockCost)
+	}
+	return blockCost / float64(tuplesPerBlock), nil
+}

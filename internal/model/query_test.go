@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// testQuery3 builds a small valid 3-service instance used across the model
+// tests.
+func testQuery3(t *testing.T) *Query {
+	t.Helper()
+	q, err := NewQuery(
+		[]Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+func TestQueryValidate(t *testing.T) {
+	valid := func() *Query { return testQuery3(t).Clone() }
+
+	tests := []struct {
+		name   string
+		mutate func(*Query)
+	}{
+		{"no services", func(q *Query) { q.Services = nil }},
+		{"bad service", func(q *Query) { q.Services[1].Cost = -1 }},
+		{"missing transfer row", func(q *Query) { q.Transfer = q.Transfer[:2] }},
+		{"short transfer row", func(q *Query) { q.Transfer[0] = q.Transfer[0][:2] }},
+		{"negative transfer", func(q *Query) { q.Transfer[0][1] = -0.5 }},
+		{"NaN transfer", func(q *Query) { q.Transfer[2][1] = math.NaN() }},
+		{"nonzero diagonal", func(q *Query) { q.Transfer[1][1] = 1 }},
+		{"short source vector", func(q *Query) { q.SourceTransfer = []float64{1} }},
+		{"negative source", func(q *Query) { q.SourceTransfer = []float64{1, -1, 0} }},
+		{"short sink vector", func(q *Query) { q.SinkTransfer = []float64{1, 2} }},
+		{"inf sink", func(q *Query) { q.SinkTransfer = []float64{1, 2, math.Inf(1)} }},
+		{"precedence out of range", func(q *Query) { q.Precedence = [][2]int{{0, 3}} }},
+		{"precedence self loop", func(q *Query) { q.Precedence = [][2]int{{1, 1}} }},
+		{"precedence cycle", func(q *Query) { q.Precedence = [][2]int{{0, 1}, {1, 2}, {2, 0}} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := valid()
+			tt.mutate(q)
+			if err := q.Validate(); err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+
+	t.Run("valid with extensions", func(t *testing.T) {
+		q := valid()
+		q.SourceTransfer = []float64{0.1, 0.2, 0.3}
+		q.SinkTransfer = []float64{0, 0, 1}
+		q.Precedence = [][2]int{{0, 2}, {1, 2}}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Validate() = %v, want nil", err)
+		}
+	})
+}
+
+func TestQueryClone(t *testing.T) {
+	q := testQuery3(t)
+	q.SourceTransfer = []float64{1, 2, 3}
+	q.SinkTransfer = []float64{4, 5, 6}
+	q.Precedence = [][2]int{{0, 1}}
+
+	cp := q.Clone()
+	cp.Services[0].Cost = 99
+	cp.Transfer[1][2] = 99
+	cp.SourceTransfer[0] = 99
+	cp.SinkTransfer[2] = 99
+	cp.Precedence[0] = [2]int{1, 2}
+
+	if q.Services[0].Cost == 99 || q.Transfer[1][2] == 99 ||
+		q.SourceTransfer[0] == 99 || q.SinkTransfer[2] == 99 ||
+		q.Precedence[0] != [2]int{0, 1} {
+		t.Fatalf("Clone() shares storage with original: %+v", q)
+	}
+}
+
+func TestUniformTransfer(t *testing.T) {
+	q := testQuery3(t)
+	if _, ok := q.UniformTransfer(); ok {
+		t.Fatalf("UniformTransfer() = true for heterogeneous matrix")
+	}
+
+	for i := range q.Transfer {
+		for j := range q.Transfer[i] {
+			if i != j {
+				q.Transfer[i][j] = 7.5
+			}
+		}
+	}
+	got, ok := q.UniformTransfer()
+	if !ok || got != 7.5 {
+		t.Fatalf("UniformTransfer() = (%v, %v), want (7.5, true)", got, ok)
+	}
+
+	single, err := NewQuery([]Service{{Cost: 1, Selectivity: 1}}, [][]float64{{0}})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	if _, ok := single.UniformTransfer(); !ok {
+		t.Fatalf("UniformTransfer() = false for single-service query")
+	}
+}
+
+func TestAllFilters(t *testing.T) {
+	q := testQuery3(t)
+	if !q.AllFilters() {
+		t.Fatalf("AllFilters() = false for all-filter query")
+	}
+	q.Services[1].Selectivity = 2
+	if q.AllFilters() {
+		t.Fatalf("AllFilters() = true with a proliferative service")
+	}
+}
+
+func TestBlockTransfer(t *testing.T) {
+	got, err := BlockTransfer(10, 50)
+	if err != nil || got != 0.2 {
+		t.Fatalf("BlockTransfer(10, 50) = (%v, %v), want (0.2, nil)", got, err)
+	}
+	if _, err := BlockTransfer(10, 0); err == nil {
+		t.Fatalf("BlockTransfer with zero block size: want error")
+	}
+	if _, err := BlockTransfer(-1, 5); err == nil {
+		t.Fatalf("BlockTransfer with negative cost: want error")
+	}
+	if _, err := BlockTransfer(math.NaN(), 5); err == nil {
+		t.Fatalf("BlockTransfer with NaN cost: want error")
+	}
+}

@@ -1,0 +1,175 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randQueryForTest builds a random valid query with n in [1,8], occasional
+// zero selectivities, proliferative services, and optional source/sink
+// vectors — intentionally hitting edge cases of the cost model.
+func randQueryForTest(rng *rand.Rand) *Query {
+	n := 1 + rng.Intn(8)
+	services := make([]Service, n)
+	for i := range services {
+		sigma := rng.Float64() * 1.5
+		switch rng.Intn(10) {
+		case 0:
+			sigma = 0
+		case 1:
+			sigma = 1
+		}
+		services[i] = Service{Cost: rng.Float64() * 10, Selectivity: sigma, Threads: rng.Intn(3)}
+	}
+	transfer := make([][]float64, n)
+	for i := range transfer {
+		transfer[i] = make([]float64, n)
+		for j := range transfer[i] {
+			if i != j {
+				transfer[i][j] = rng.Float64() * 5
+			}
+		}
+	}
+	q := &Query{Services: services, Transfer: transfer}
+	if rng.Intn(2) == 0 {
+		q.SourceTransfer = make([]float64, n)
+		for i := range q.SourceTransfer {
+			q.SourceTransfer[i] = rng.Float64() * 3
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q.SinkTransfer = make([]float64, n)
+		for i := range q.SinkTransfer {
+			q.SinkTransfer[i] = rng.Float64() * 3
+		}
+	}
+	return q
+}
+
+// randPlanForTest returns a random permutation of the query's services.
+func randPlanForTest(rng *rand.Rand, n int) Plan {
+	p := IdentityPlan(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// bruteEpsilon recomputes a prefix's epsilon from scratch: the max over
+// source term, finalized terms, and the provisional last term.
+func bruteEpsilon(q *Query, prefix Plan) float64 {
+	if len(prefix) == 0 {
+		return 0
+	}
+	eps := q.sourceTransferOf(prefix[0])
+	prod := 1.0
+	for i, s := range prefix {
+		svc := q.Services[s]
+		var term float64
+		if i+1 < len(prefix) {
+			term = prod * (svc.Cost + svc.Selectivity*q.Transfer[s][prefix[i+1]]) / svc.ThreadCount()
+		} else {
+			term = prod * svc.Cost / svc.ThreadCount()
+		}
+		eps = math.Max(eps, term)
+		prod *= svc.Selectivity
+	}
+	return eps
+}
+
+func TestQuickPrefixStateMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQueryForTest(rng)
+		p := randPlanForTest(rng, q.N())
+		st := EmptyPrefix()
+		for i, s := range p {
+			st = st.Append(q, s)
+			want := bruteEpsilon(q, p[:i+1])
+			if !almostEqual(st.Epsilon(q), want) {
+				t.Logf("seed %d: prefix %v eps %v want %v", seed, p[:i+1], st.Epsilon(q), want)
+				return false
+			}
+		}
+		return almostEqual(st.Complete(q), q.Cost(p))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCostBreakdownConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQueryForTest(rng)
+		p := randPlanForTest(rng, q.N())
+		bd := q.CostBreakdown(p)
+		if len(bd.Terms) != q.N() {
+			return false
+		}
+		// The reported cost must equal the max over all stage terms and
+		// must be attained at BottleneckPos (or by the source term at 0).
+		maxTerm := bd.SourceTerm
+		for _, term := range bd.Terms {
+			maxTerm = math.Max(maxTerm, term)
+		}
+		if !almostEqual(bd.Cost, maxTerm) || !almostEqual(bd.Cost, q.Cost(p)) {
+			return false
+		}
+		attained := bd.Terms[bd.BottleneckPos]
+		if bd.BottleneckPos == 0 {
+			attained = math.Max(attained, bd.SourceTerm)
+		}
+		return almostEqual(bd.Cost, attained)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixCostMonotone(t *testing.T) {
+	// Lemma 1: epsilon never decreases as the prefix grows, and the
+	// complete cost dominates every prefix's epsilon.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQueryForTest(rng)
+		p := randPlanForTest(rng, q.N())
+		prev := 0.0
+		for i := 1; i <= len(p); i++ {
+			eps := q.PrefixCost(p[:i])
+			if eps < prev && !almostEqual(eps, prev) {
+				t.Logf("seed %d: eps decreased from %v to %v at prefix %v", seed, prev, eps, p[:i])
+				return false
+			}
+			prev = eps
+		}
+		full := q.Cost(p)
+		return full >= prev || almostEqual(full, prev)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEpsilonPosAttainsEpsilon(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randQueryForTest(rng)
+		p := randPlanForTest(rng, q.N())
+		st := EmptyPrefix()
+		for _, s := range p {
+			st = st.Append(q, s)
+			eps, pos := st.EpsilonPos(q)
+			if pos < 0 || pos >= st.Len() {
+				return false
+			}
+			if !almostEqual(eps, st.Epsilon(q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

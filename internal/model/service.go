@@ -1,0 +1,84 @@
+// Package model defines the problem model shared by every other package in
+// this repository: services, queries (a set of services plus pairwise
+// transfer costs), linear plans, and the bottleneck cost metric of Eq. (1)
+// of Tsamoura, Gounaris and Manolopoulos, "Brief Announcement: On the Quest
+// of Optimal Service Ordering in Decentralized Queries", PODC 2010.
+//
+// A query holds N services. Service i is characterized by a per-tuple
+// processing cost c_i and a selectivity sigma_i (average output tuples per
+// input tuple). Transfer[i][j] is the per-tuple cost of shipping a tuple
+// from service i directly to service j (decentralized execution). A plan is
+// a permutation of the service indices; its response time under pipelined
+// execution is the bottleneck cost computed by Query.Cost.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Service describes a single web service participating in a query.
+//
+// Cost is the average wall-clock time the service spends processing one
+// input tuple. Selectivity is the average ratio of output tuples to input
+// tuples: filters have Selectivity <= 1, proliferative services (for
+// example an id-to-credit-card-numbers lookup) have Selectivity > 1.
+// The unit of Cost is arbitrary but must be consistent with the transfer
+// costs of the enclosing Query; the experiment suite uses seconds.
+type Service struct {
+	// Name is an optional human-readable identifier used in rendered
+	// plans and error messages. It does not affect optimization.
+	Name string `json:"name,omitempty"`
+
+	// Cost is c_i, the average per-tuple processing time. Must be >= 0
+	// and finite.
+	Cost float64 `json:"cost"`
+
+	// Selectivity is sigma_i, the average number of output tuples per
+	// input tuple. Must be >= 0 and finite. Values above 1 are allowed
+	// (proliferative services); the optimizer handles them with the
+	// modified completion bound described in the paper.
+	Selectivity float64 `json:"selectivity"`
+
+	// Threads is the service's degree of intra-service parallelism: m
+	// threads process and ship tuples concurrently, dividing the
+	// service's bottleneck term by m. Zero and one both mean the
+	// paper's base model of a single-threaded service; larger values
+	// are the paper's "multi-threaded services" relaxation.
+	Threads int `json:"threads,omitempty"`
+}
+
+// ThreadCount returns the effective parallelism (1 for the zero value).
+func (s Service) ThreadCount() float64 {
+	if s.Threads <= 1 {
+		return 1
+	}
+	return float64(s.Threads)
+}
+
+// Validate reports whether the service parameters are in-domain.
+func (s Service) Validate() error {
+	if math.IsNaN(s.Cost) || math.IsInf(s.Cost, 0) || s.Cost < 0 {
+		return fmt.Errorf("model: service %q: cost %v out of range [0, +inf)", s.Name, s.Cost)
+	}
+	if math.IsNaN(s.Selectivity) || math.IsInf(s.Selectivity, 0) || s.Selectivity < 0 {
+		return fmt.Errorf("model: service %q: selectivity %v out of range [0, +inf)", s.Name, s.Selectivity)
+	}
+	if s.Threads < 0 {
+		return fmt.Errorf("model: service %q: threads %d out of range [0, +inf)", s.Name, s.Threads)
+	}
+	return nil
+}
+
+// IsFilter reports whether the service is selective (sigma <= 1), the
+// restricted case analyzed in Section 2 of the paper.
+func (s Service) IsFilter() bool { return s.Selectivity <= 1 }
+
+// String renders the service as "name(c=…, sigma=…)".
+func (s Service) String() string {
+	name := s.Name
+	if name == "" {
+		name = "WS"
+	}
+	return fmt.Sprintf("%s(c=%g, sigma=%g)", name, s.Cost, s.Selectivity)
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestServiceValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		svc     Service
+		wantErr bool
+	}{
+		{name: "valid filter", svc: Service{Name: "f", Cost: 1, Selectivity: 0.5}},
+		{name: "valid proliferative", svc: Service{Cost: 0.1, Selectivity: 3.5}},
+		{name: "zero cost", svc: Service{Cost: 0, Selectivity: 1}},
+		{name: "zero selectivity", svc: Service{Cost: 1, Selectivity: 0}},
+		{name: "negative cost", svc: Service{Cost: -1, Selectivity: 0.5}, wantErr: true},
+		{name: "negative selectivity", svc: Service{Cost: 1, Selectivity: -0.1}, wantErr: true},
+		{name: "NaN cost", svc: Service{Cost: math.NaN(), Selectivity: 0.5}, wantErr: true},
+		{name: "inf cost", svc: Service{Cost: math.Inf(1), Selectivity: 0.5}, wantErr: true},
+		{name: "NaN selectivity", svc: Service{Cost: 1, Selectivity: math.NaN()}, wantErr: true},
+		{name: "inf selectivity", svc: Service{Cost: 1, Selectivity: math.Inf(1)}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.svc.Validate()
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestServiceIsFilter(t *testing.T) {
+	tests := []struct {
+		sigma float64
+		want  bool
+	}{
+		{0, true},
+		{0.5, true},
+		{1, true},
+		{1.0001, false},
+		{10, false},
+	}
+	for _, tt := range tests {
+		svc := Service{Cost: 1, Selectivity: tt.sigma}
+		if got := svc.IsFilter(); got != tt.want {
+			t.Errorf("IsFilter() with sigma=%v = %v, want %v", tt.sigma, got, tt.want)
+		}
+	}
+}
+
+func TestServiceString(t *testing.T) {
+	got := Service{Name: "lookup", Cost: 0.25, Selectivity: 2}.String()
+	if !strings.Contains(got, "lookup") || !strings.Contains(got, "0.25") || !strings.Contains(got, "2") {
+		t.Errorf("String() = %q, want name, cost and selectivity rendered", got)
+	}
+	anon := Service{Cost: 1, Selectivity: 1}.String()
+	if !strings.Contains(anon, "WS") {
+		t.Errorf("String() for unnamed service = %q, want WS placeholder", anon)
+	}
+}

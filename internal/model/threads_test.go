@@ -1,0 +1,98 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestThreadCount(t *testing.T) {
+	tests := []struct {
+		threads int
+		want    float64
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {8, 8},
+	}
+	for _, tt := range tests {
+		svc := Service{Cost: 1, Selectivity: 1, Threads: tt.threads}
+		if got := svc.ThreadCount(); got != tt.want {
+			t.Errorf("ThreadCount(%d) = %v, want %v", tt.threads, got, tt.want)
+		}
+	}
+	if err := (Service{Cost: 1, Selectivity: 1, Threads: -1}).Validate(); err == nil {
+		t.Errorf("negative threads accepted")
+	}
+}
+
+func TestCostWithThreads(t *testing.T) {
+	q := testQuery3(t)
+	// Threading service a (cost 2, the bottleneck of [a b c]) with 2
+	// threads halves its term: 1*(2+0.5*1)/2 = 1.25. New bottleneck is
+	// c: 0.4*4 = 1.6.
+	q.Services[0].Threads = 2
+	bd := q.CostBreakdown(Plan{0, 1, 2})
+	if !almostEqual(bd.Terms[0], 1.25) {
+		t.Errorf("threaded term = %v, want 1.25", bd.Terms[0])
+	}
+	if !almostEqual(bd.Cost, 1.6) || bd.BottleneckPos != 2 {
+		t.Errorf("cost = %v pos %d, want 1.6 at position 2", bd.Cost, bd.BottleneckPos)
+	}
+
+	// PrefixState agrees.
+	if got := q.Cost(Plan{0, 1, 2}); !almostEqual(got, 1.6) {
+		t.Errorf("Cost = %v, want 1.6", got)
+	}
+	// PairCost divides both the finalized and the provisional term.
+	// pair (a,b): max((2+0.5*1)/2, 0.5*1) = 1.25.
+	if got := q.PairCost(0, 1); !almostEqual(got, 1.25) {
+		t.Errorf("PairCost = %v, want 1.25", got)
+	}
+}
+
+func TestThreadsCanChangeOptimalOrdering(t *testing.T) {
+	// Two services, uniform transfers. Single-threaded, the cheap one
+	// goes first; with 4 threads on the expensive one, it becomes the
+	// cheaper head.
+	q := mustThreadQuery(t, 0)
+	if cheap, exp := q.Cost(Plan{0, 1}), q.Cost(Plan{1, 0}); cheap >= exp {
+		t.Fatalf("fixture broken: %v vs %v", cheap, exp)
+	}
+	q = mustThreadQuery(t, 4)
+	if withThreads, alt := q.Cost(Plan{1, 0}), q.Cost(Plan{0, 1}); withThreads >= alt {
+		t.Fatalf("threading did not flip the ordering: %v vs %v", withThreads, alt)
+	}
+}
+
+func mustThreadQuery(t *testing.T, threads int) *Query {
+	t.Helper()
+	q, err := NewQuery(
+		[]Service{
+			{Name: "cheap", Cost: 1, Selectivity: 0.9},
+			{Name: "expensive", Cost: 3, Selectivity: 0.5, Threads: threads},
+		},
+		[][]float64{{0, 0.1}, {0.1, 0}})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+func TestThreadsJSONRoundTrip(t *testing.T) {
+	q := testQuery3(t)
+	q.Services[1].Threads = 3
+	inst := &Instance{Query: q}
+
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, inst); err != nil {
+		t.Fatalf("EncodeInstance: %v", err)
+	}
+	got, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatalf("DecodeInstance: %v", err)
+	}
+	if got.Query.Services[1].Threads != 3 {
+		t.Fatalf("threads lost in round trip: %+v", got.Query.Services[1])
+	}
+	if got.Query.Services[0].Threads != 0 {
+		t.Fatalf("zero threads not preserved: %+v", got.Query.Services[0])
+	}
+}

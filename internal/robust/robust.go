@@ -1,0 +1,174 @@
+// Package robust quantifies how stable an optimal plan is under
+// parameter perturbation — the operational question behind the paper's
+// constant-parameter assumption: measured costs, selectivities and
+// transfer times drift in production, so how much drift does a plan
+// survive before re-optimization is worthwhile?
+//
+// Stability is estimated by Monte Carlo: every parameter of the query is
+// multiplied by an independent factor drawn uniformly from
+// [1-delta, 1+delta], the perturbed instance is re-optimized exactly, and
+// the plan's regret (its cost on the perturbed instance relative to the
+// perturbed optimum) is recorded.
+package robust
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+)
+
+// Point is the stability measurement at one perturbation scale.
+type Point struct {
+	// Delta is the relative perturbation scale.
+	Delta float64
+
+	// StillOptimal is the fraction of perturbed instances where the
+	// plan remained exactly optimal (within 1e-9 relative).
+	StillOptimal float64
+
+	// MeanRegret and MaxRegret describe cost(plan)/optimum - 1 on the
+	// perturbed instances.
+	MeanRegret float64
+	MaxRegret  float64
+}
+
+// Config parameterizes a stability analysis.
+type Config struct {
+	// Deltas are the perturbation scales to probe, each in [0, 1).
+	Deltas []float64
+
+	// Samples is the number of perturbed instances per delta.
+	Samples int
+
+	// Seed drives the perturbation PRNG.
+	Seed int64
+}
+
+// DefaultConfig probes five scales with 30 samples each.
+func DefaultConfig() Config {
+	return Config{
+		Deltas:  []float64{0.01, 0.05, 0.1, 0.2, 0.4},
+		Samples: 30,
+		Seed:    1,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Deltas) == 0 {
+		return fmt.Errorf("robust: no perturbation scales")
+	}
+	for _, d := range c.Deltas {
+		if d < 0 || d >= 1 {
+			return fmt.Errorf("robust: delta %v outside [0, 1)", d)
+		}
+	}
+	if c.Samples <= 0 {
+		return fmt.Errorf("robust: samples = %d, want > 0", c.Samples)
+	}
+	return nil
+}
+
+// Analyze measures the stability of plan under perturbations of q. The
+// plan is typically q's optimum, but any valid plan can be analyzed (its
+// regret then starts above zero at delta 0).
+func Analyze(q *model.Query, plan model.Plan, cfg Config) ([]Point, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("robust: invalid query: %w", err)
+	}
+	if err := plan.Validate(q); err != nil {
+		return nil, fmt.Errorf("robust: invalid plan: %w", err)
+	}
+
+	points := make([]Point, 0, len(cfg.Deltas))
+	for _, delta := range cfg.Deltas {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(delta*1e6)))
+		stillOptimal := 0
+		sumRegret, maxRegret := 0.0, 0.0
+		for s := 0; s < cfg.Samples; s++ {
+			perturbed := Perturb(q, delta, rng)
+			opt, err := core.Optimize(perturbed)
+			if err != nil {
+				return nil, fmt.Errorf("robust: optimizing perturbed instance: %w", err)
+			}
+			planCost := perturbed.Cost(plan)
+			regret := 0.0
+			if opt.Cost > 0 {
+				regret = planCost/opt.Cost - 1
+			}
+			if regret < 1e-9 {
+				stillOptimal++
+				regret = 0
+			}
+			sumRegret += regret
+			if regret > maxRegret {
+				maxRegret = regret
+			}
+		}
+		points = append(points, Point{
+			Delta:        delta,
+			StillOptimal: float64(stillOptimal) / float64(cfg.Samples),
+			MeanRegret:   sumRegret / float64(cfg.Samples),
+			MaxRegret:    maxRegret,
+		})
+	}
+	return points, nil
+}
+
+// Perturb returns a copy of q with every cost, selectivity and transfer
+// entry multiplied by an independent factor from [1-delta, 1+delta].
+// Selectivities of filter services stay capped at 1 so the perturbation
+// does not change the instance family.
+func Perturb(q *model.Query, delta float64, rng *rand.Rand) *model.Query {
+	factor := func() float64 { return 1 - delta + 2*delta*rng.Float64() }
+	out := q.Clone()
+	for i := range out.Services {
+		out.Services[i].Cost *= factor()
+		sigma := out.Services[i].Selectivity * factor()
+		if q.Services[i].Selectivity <= 1 && sigma > 1 {
+			sigma = 1
+		}
+		out.Services[i].Selectivity = sigma
+	}
+	for i := range out.Transfer {
+		for j := range out.Transfer[i] {
+			if i != j {
+				out.Transfer[i][j] *= factor()
+			}
+		}
+	}
+	for i := range out.SourceTransfer {
+		out.SourceTransfer[i] *= factor()
+	}
+	for i := range out.SinkTransfer {
+		out.SinkTransfer[i] *= factor()
+	}
+	return out
+}
+
+// BreakingDelta binary-searches the smallest probed scale at which the
+// plan's still-optimal fraction drops below the threshold, returning the
+// last stable delta and the first unstable one (+1, +1 when the plan
+// never destabilizes across the probed range).
+func BreakingDelta(points []Point, threshold float64) (lastStable, firstUnstable float64) {
+	lastStable, firstUnstable = 0, 1
+	broke := false
+	for _, p := range points {
+		if p.StillOptimal >= threshold && !broke {
+			lastStable = p.Delta
+			continue
+		}
+		if !broke {
+			firstUnstable = p.Delta
+			broke = true
+		}
+	}
+	if !broke {
+		return lastStable, 1
+	}
+	return lastStable, firstUnstable
+}

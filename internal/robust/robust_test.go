@@ -1,0 +1,161 @@
+package robust
+
+import (
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+)
+
+func optimalPlanFixture(t *testing.T) (*model.Query, model.Plan) {
+	t.Helper()
+	q, err := gen.Default(6, 19).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	res, err := core.Optimize(q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return q, res.Plan
+}
+
+func TestAnalyzeZeroDeltaIsStable(t *testing.T) {
+	q, plan := optimalPlanFixture(t)
+	points, err := Analyze(q, plan, Config{Deltas: []float64{0}, Samples: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if points[0].StillOptimal != 1 || points[0].MeanRegret != 0 || points[0].MaxRegret != 0 {
+		t.Fatalf("delta 0 not perfectly stable: %+v", points[0])
+	}
+}
+
+func TestAnalyzeCurveShape(t *testing.T) {
+	q, plan := optimalPlanFixture(t)
+	cfg := Config{Deltas: []float64{0.01, 0.3}, Samples: 20, Seed: 7}
+	points, err := Analyze(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	small, large := points[0], points[1]
+	if small.StillOptimal < large.StillOptimal-1e-9 {
+		t.Errorf("stability increased with perturbation: %.2f@%.2f vs %.2f@%.2f",
+			small.StillOptimal, small.Delta, large.StillOptimal, large.Delta)
+	}
+	if large.MaxRegret < small.MaxRegret {
+		t.Errorf("max regret decreased with perturbation")
+	}
+	for _, p := range points {
+		if p.MeanRegret > p.MaxRegret {
+			t.Errorf("mean regret %v exceeds max %v", p.MeanRegret, p.MaxRegret)
+		}
+		if p.StillOptimal < 0 || p.StillOptimal > 1 {
+			t.Errorf("fraction out of range: %+v", p)
+		}
+	}
+}
+
+func TestAnalyzeDeterministicBySeed(t *testing.T) {
+	q, plan := optimalPlanFixture(t)
+	cfg := Config{Deltas: []float64{0.2}, Samples: 10, Seed: 3}
+	p1, err := Analyze(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	p2, err := Analyze(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if p1[0] != p2[0] {
+		t.Fatalf("same seed produced %+v and %+v", p1[0], p2[0])
+	}
+}
+
+func TestAnalyzeSuboptimalPlanHasRegret(t *testing.T) {
+	q, plan := optimalPlanFixture(t)
+	// Reverse the optimal plan; unless degenerate it is suboptimal.
+	bad := make(model.Plan, len(plan))
+	for i, s := range plan {
+		bad[len(plan)-1-i] = s
+	}
+	if q.Cost(bad) <= q.Cost(plan)+1e-12 {
+		t.Skip("reversed plan happens to be optimal on this fixture")
+	}
+	points, err := Analyze(q, bad, Config{Deltas: []float64{0.01}, Samples: 5, Seed: 2})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if points[0].MeanRegret <= 0 {
+		t.Fatalf("suboptimal plan shows no regret: %+v", points[0])
+	}
+}
+
+func TestPerturbRespectsBounds(t *testing.T) {
+	q, _ := optimalPlanFixture(t)
+	q.SourceTransfer = []float64{1, 1, 1, 1, 1, 1}
+	q.SinkTransfer = []float64{2, 2, 2, 2, 2, 2}
+	rng := rand.New(rand.NewSource(5))
+	const delta = 0.25
+	for trial := 0; trial < 20; trial++ {
+		p := Perturb(q, delta, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("perturbed query invalid: %v", err)
+		}
+		for i := range p.Services {
+			lo := q.Services[i].Cost * (1 - delta)
+			hi := q.Services[i].Cost * (1 + delta)
+			if p.Services[i].Cost < lo-1e-12 || p.Services[i].Cost > hi+1e-12 {
+				t.Fatalf("cost %v outside [%v, %v]", p.Services[i].Cost, lo, hi)
+			}
+			if q.Services[i].Selectivity <= 1 && p.Services[i].Selectivity > 1 {
+				t.Fatalf("filter became proliferative under perturbation")
+			}
+		}
+		if p.SourceTransfer[0] < 1-delta-1e-12 || p.SourceTransfer[0] > 1+delta+1e-12 {
+			t.Fatalf("source transfer %v outside bounds", p.SourceTransfer[0])
+		}
+	}
+	// The original must be untouched.
+	if q.Services[0].Cost != q.Clone().Services[0].Cost {
+		t.Fatalf("Perturb mutated its input")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	q, plan := optimalPlanFixture(t)
+	bad := []Config{
+		{Deltas: nil, Samples: 5},
+		{Deltas: []float64{-0.1}, Samples: 5},
+		{Deltas: []float64{1}, Samples: 5},
+		{Deltas: []float64{0.1}, Samples: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Analyze(q, plan, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Analyze(q, model.Plan{0}, DefaultConfig()); err == nil {
+		t.Errorf("invalid plan accepted")
+	}
+}
+
+func TestBreakingDelta(t *testing.T) {
+	points := []Point{
+		{Delta: 0.01, StillOptimal: 1},
+		{Delta: 0.05, StillOptimal: 0.9},
+		{Delta: 0.1, StillOptimal: 0.4},
+		{Delta: 0.2, StillOptimal: 0.1},
+	}
+	last, first := BreakingDelta(points, 0.8)
+	if last != 0.05 || first != 0.1 {
+		t.Fatalf("BreakingDelta = (%v, %v), want (0.05, 0.1)", last, first)
+	}
+	stable := []Point{{Delta: 0.1, StillOptimal: 1}, {Delta: 0.2, StillOptimal: 0.95}}
+	last, first = BreakingDelta(stable, 0.9)
+	if last != 0.2 || first != 1 {
+		t.Fatalf("BreakingDelta(stable) = (%v, %v), want (0.2, 1)", last, first)
+	}
+}

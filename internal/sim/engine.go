@@ -1,0 +1,71 @@
+// Package sim is a discrete-event simulator of pipelined, decentralized
+// query execution: every service runs as a single-threaded stage that
+// alternates between processing input tuples and shipping output blocks
+// directly to the next service, with bounded inter-stage queues and
+// blocking sends (credit-based backpressure).
+//
+// The simulator exists to validate the paper's cost model: for a plan S,
+// the measured makespan divided by the number of input tuples converges to
+// the bottleneck cost of Eq. (1) as the input grows (experiment F4). It
+// also reports per-stage utilizations, which Eq. (1) predicts as
+// term_i / cost(S).
+package sim
+
+import "container/heap"
+
+// event is one scheduled state transition. seq breaks time ties so runs
+// are fully deterministic.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// engine owns the virtual clock and the pending event queue.
+type engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+}
+
+// after schedules fn at now+delay. Negative delays are clamped to "now";
+// simultaneous events fire in scheduling order.
+func (e *engine) after(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// run drains the event queue, advancing the clock monotonically.
+func (e *engine) run() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FilterMode selects how a service's selectivity is realized on discrete
+// tuples.
+type FilterMode int
+
+const (
+	// FilterDeterministic (the default) thins or replicates tuples with
+	// the integer sequence k_i = floor((i+1)*sigma) - floor(i*sigma),
+	// which realizes the exact long-run rate sigma with zero variance.
+	// It matches the paper's constant-selectivity assumption most
+	// directly.
+	FilterDeterministic FilterMode = iota
+
+	// FilterBernoulli draws each tuple's fate independently: a tuple
+	// survives with probability frac(sigma) on top of floor(sigma)
+	// guaranteed copies. The constant-rate model is the mean of this
+	// process; F4 uses it to show Eq. (1) is the mean-field limit.
+	FilterBernoulli
+)
+
+// filter produces per-tuple output counts for one service instance.
+type filter struct {
+	mode  FilterMode
+	sigma float64
+	count int64 // tuples processed so far (deterministic mode)
+	rng   *rand.Rand
+}
+
+func newFilter(mode FilterMode, sigma float64, rng *rand.Rand) *filter {
+	return &filter{mode: mode, sigma: sigma, rng: rng}
+}
+
+// next returns the number of output tuples produced by the next input
+// tuple.
+func (f *filter) next() int {
+	switch f.mode {
+	case FilterBernoulli:
+		whole := int(math.Floor(f.sigma))
+		frac := f.sigma - math.Floor(f.sigma)
+		k := whole
+		if frac > 0 && f.rng.Float64() < frac {
+			k++
+		}
+		return k
+	default:
+		i := float64(f.count)
+		f.count++
+		return int(math.Floor((i+1)*f.sigma) - math.Floor(i*f.sigma))
+	}
+}

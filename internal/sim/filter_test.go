@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFilterDeterministicSequences(t *testing.T) {
+	tests := []struct {
+		sigma float64
+		n     int
+		want  int // total outputs after n inputs
+	}{
+		{sigma: 0.5, n: 1000, want: 500},
+		{sigma: 0.25, n: 1000, want: 250},
+		{sigma: 1, n: 777, want: 777},
+		{sigma: 0, n: 100, want: 0},
+		{sigma: 1.5, n: 1000, want: 1500},
+		{sigma: 2, n: 50, want: 100},
+		{sigma: 1.0 / 3.0, n: 3000, want: 1000},
+	}
+	for _, tt := range tests {
+		f := newFilter(FilterDeterministic, tt.sigma, nil)
+		total := 0
+		for i := 0; i < tt.n; i++ {
+			k := f.next()
+			if k < 0 {
+				t.Fatalf("sigma=%v: negative copy count %d", tt.sigma, k)
+			}
+			total += k
+		}
+		if total != tt.want {
+			t.Errorf("sigma=%v after %d tuples: %d outputs, want %d", tt.sigma, tt.n, total, tt.want)
+		}
+	}
+}
+
+func TestFilterDeterministicStepBound(t *testing.T) {
+	// Each input yields floor(sigma) or ceil(sigma) outputs.
+	for _, sigma := range []float64{0.3, 0.9, 1.1, 2.7} {
+		f := newFilter(FilterDeterministic, sigma, nil)
+		lo, hi := int(math.Floor(sigma)), int(math.Ceil(sigma))
+		for i := 0; i < 500; i++ {
+			if k := f.next(); k < lo || k > hi {
+				t.Fatalf("sigma=%v: copy count %d outside [%d,%d]", sigma, k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFilterBernoulliMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, sigma := range []float64{0.2, 0.5, 0.8, 1.0, 1.6} {
+		f := newFilter(FilterBernoulli, sigma, rng)
+		const n = 200000
+		total := 0
+		for i := 0; i < n; i++ {
+			total += f.next()
+		}
+		got := float64(total) / n
+		if math.Abs(got-sigma) > 0.01 {
+			t.Errorf("sigma=%v: empirical rate %v", sigma, got)
+		}
+	}
+}

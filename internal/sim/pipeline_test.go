@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+func mustQuery(t *testing.T, services []model.Service, transfer [][]float64) *model.Query {
+	t.Helper()
+	q, err := model.NewQuery(services, transfer)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+func simFixture(t *testing.T) *model.Query {
+	t.Helper()
+	return mustQuery(t,
+		[]model.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.5},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+}
+
+func TestRunCountsTuples(t *testing.T) {
+	q := simFixture(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 1000
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesIn != 1000 {
+		t.Errorf("TuplesIn = %d", rep.TuplesIn)
+	}
+	// Deterministic thinning: 1000 -> 500 -> 250 -> 62 (0.25 of 250).
+	if rep.TuplesOut != 62 {
+		t.Errorf("TuplesOut = %d, want 62", rep.TuplesOut)
+	}
+	if rep.Stages[0].TuplesIn != 1000 || rep.Stages[0].TuplesOut != 500 {
+		t.Errorf("stage 0 counts = %+v", rep.Stages[0])
+	}
+	if rep.Stages[2].TuplesIn != 250 {
+		t.Errorf("stage 2 in = %d, want 250", rep.Stages[2].TuplesIn)
+	}
+	if rep.Makespan <= 0 {
+		t.Errorf("Makespan = %v", rep.Makespan)
+	}
+}
+
+// TestMeasuredPeriodMatchesEquationOne is the in-package version of the F4
+// claim: the simulated per-tuple period converges to Eq. (1)'s bottleneck
+// cost.
+func TestMeasuredPeriodMatchesEquationOne(t *testing.T) {
+	q := simFixture(t)
+	for _, plan := range []model.Plan{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		cfg := DefaultConfig()
+		cfg.Tuples = 20000
+		rep, err := Run(q, plan, cfg)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", plan, err)
+		}
+		relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+		if relErr > 0.02 {
+			t.Errorf("plan %v: measured %v vs predicted %v (rel err %.3f)",
+				plan, rep.MeasuredPeriod, rep.PredictedBottleneck, relErr)
+		}
+	}
+}
+
+func TestConvergenceImprovesWithTuples(t *testing.T) {
+	q := simFixture(t)
+	errAt := func(k int) float64 {
+		cfg := DefaultConfig()
+		cfg.Tuples = k
+		rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+	}
+	small, large := errAt(200), errAt(50000)
+	if large > small {
+		t.Errorf("error grew with tuple count: %v (200 tuples) -> %v (50k tuples)", small, large)
+	}
+	if large > 0.01 {
+		t.Errorf("error at 50k tuples = %v, want < 1%%", large)
+	}
+}
+
+func TestBernoulliFilteringConverges(t *testing.T) {
+	q := simFixture(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 40000
+	cfg.Filtering = FilterBernoulli
+	cfg.Seed = 7
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Expected output rate 1000/16 per 1000 inputs.
+	wantOut := float64(cfg.Tuples) * 0.5 * 0.5 * 0.25
+	if math.Abs(float64(rep.TuplesOut)-wantOut) > 0.1*wantOut {
+		t.Errorf("TuplesOut = %d, want about %v", rep.TuplesOut, wantOut)
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+	if relErr > 0.05 {
+		t.Errorf("Bernoulli period off by %.3f from Eq.(1)", relErr)
+	}
+}
+
+func TestBernoulliDeterministicBySeed(t *testing.T) {
+	q := simFixture(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 2000
+	cfg.Filtering = FilterBernoulli
+	cfg.Seed = 42
+	r1, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1.Makespan != r2.Makespan || r1.TuplesOut != r2.TuplesOut {
+		t.Fatalf("same seed produced different runs: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestBottleneckStageSaturates(t *testing.T) {
+	q := simFixture(t)
+	plan := model.Plan{0, 1, 2}
+	cfg := DefaultConfig()
+	cfg.Tuples = 20000
+	rep, err := Run(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bd := q.CostBreakdown(plan)
+	// The bottleneck stage's thread must be nearly always busy; the other
+	// stages' utilizations must match term_i / bottleneck.
+	for pos, st := range rep.Stages {
+		want := bd.Terms[pos] / bd.Cost
+		if math.Abs(st.Utilization-want) > 0.05 {
+			t.Errorf("stage %d utilization = %.3f, Eq.(1) predicts %.3f", pos, st.Utilization, want)
+		}
+	}
+	if rep.Stages[bd.BottleneckPos].Utilization < 0.95 {
+		t.Errorf("bottleneck stage utilization = %.3f, want >= 0.95",
+			rep.Stages[bd.BottleneckPos].Utilization)
+	}
+}
+
+func TestBackpressureTinyQueues(t *testing.T) {
+	q := simFixture(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 20000
+	cfg.QueueCapacityBlocks = 1
+	cfg.BlockSize = 8
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+	if relErr > 0.05 {
+		t.Errorf("throughput degraded under backpressure: measured %v vs %v",
+			rep.MeasuredPeriod, rep.PredictedBottleneck)
+	}
+	if rep.TuplesOut != 1250 {
+		t.Errorf("TuplesOut = %d, want 1250", rep.TuplesOut)
+	}
+}
+
+func TestEdgeLatencyOnlyDelaysFill(t *testing.T) {
+	q := simFixture(t)
+	cfg := DefaultConfig()
+	cfg.Tuples = 20000
+	base, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.EdgeLatency = 5 // large vs block processing times
+	withLat, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if withLat.Makespan < base.Makespan {
+		t.Errorf("latency shortened the run: %v < %v", withLat.Makespan, base.Makespan)
+	}
+	// Throughput (per-tuple period) must stay within a few percent.
+	rel := (withLat.MeasuredPeriod - base.MeasuredPeriod) / base.MeasuredPeriod
+	if rel > 0.05 {
+		t.Errorf("latency cut throughput by %.3f; it should only affect fill time", rel)
+	}
+}
+
+func TestSourceTransferBottleneck(t *testing.T) {
+	q := simFixture(t)
+	q.SourceTransfer = []float64{50, 50, 50} // source dominates everything
+	plan := model.Plan{0, 1, 2}
+	cfg := DefaultConfig()
+	cfg.Tuples = 5000
+	rep, err := Run(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(rep.PredictedBottleneck-50) > 1e-9 {
+		t.Fatalf("model: source term not dominant: %v", rep.PredictedBottleneck)
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-50) / 50
+	if relErr > 0.02 {
+		t.Errorf("measured period %v, want about 50", rep.MeasuredPeriod)
+	}
+	if rep.SourceBusy <= 0 {
+		t.Errorf("SourceBusy = %v", rep.SourceBusy)
+	}
+}
+
+func TestSinkTransferApplied(t *testing.T) {
+	q := simFixture(t)
+	q.SinkTransfer = []float64{100, 100, 100} // last hop dominates
+	plan := model.Plan{0, 1, 2}
+	cfg := DefaultConfig()
+	cfg.Tuples = 10000
+	rep, err := Run(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+	if relErr > 0.05 {
+		t.Errorf("sink-dominated run: measured %v vs predicted %v", rep.MeasuredPeriod, rep.PredictedBottleneck)
+	}
+	if rep.Stages[2].BusySending <= 0 {
+		t.Errorf("last stage never paid the sink transfer")
+	}
+}
+
+func TestPartialFinalBlockFlushed(t *testing.T) {
+	q := mustQuery(t,
+		[]model.Service{{Cost: 0.1, Selectivity: 1}, {Cost: 0.1, Selectivity: 1}},
+		[][]float64{{0, 0.2}, {0.2, 0}},
+	)
+	cfg := DefaultConfig()
+	cfg.Tuples = 1001 // not a multiple of the block size
+	cfg.BlockSize = 32
+	rep, err := Run(q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 1001 {
+		t.Errorf("TuplesOut = %d, want 1001 (partial final block lost?)", rep.TuplesOut)
+	}
+}
+
+func TestZeroSelectivityPipeline(t *testing.T) {
+	q := simFixture(t)
+	q.Services[0].Selectivity = 0
+	cfg := DefaultConfig()
+	cfg.Tuples = 500
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 0 {
+		t.Errorf("TuplesOut = %d, want 0", rep.TuplesOut)
+	}
+	if rep.Stages[1].TuplesIn != 0 {
+		t.Errorf("stage 1 received %d tuples after an annihilating filter", rep.Stages[1].TuplesIn)
+	}
+}
+
+func TestSingleServicePipeline(t *testing.T) {
+	q := mustQuery(t, []model.Service{{Cost: 0.5, Selectivity: 0.5}}, [][]float64{{0}})
+	cfg := DefaultConfig()
+	cfg.Tuples = 4000
+	rep, err := Run(q, model.Plan{0}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-0.5) / 0.5
+	if relErr > 0.02 {
+		t.Errorf("single-service period %v, want about 0.5", rep.MeasuredPeriod)
+	}
+	if rep.TuplesOut != 2000 {
+		t.Errorf("TuplesOut = %d, want 2000", rep.TuplesOut)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	q := simFixture(t)
+	good := DefaultConfig()
+	tests := []struct {
+		name string
+		plan model.Plan
+		cfg  Config
+	}{
+		{name: "zero tuples", plan: model.Plan{0, 1, 2}, cfg: Config{BlockSize: 1, QueueCapacityBlocks: 1}},
+		{name: "zero block", plan: model.Plan{0, 1, 2}, cfg: Config{Tuples: 10, QueueCapacityBlocks: 1}},
+		{name: "zero queue", plan: model.Plan{0, 1, 2}, cfg: Config{Tuples: 10, BlockSize: 1}},
+		{name: "negative latency", plan: model.Plan{0, 1, 2}, cfg: Config{Tuples: 10, BlockSize: 1, QueueCapacityBlocks: 1, EdgeLatency: -1}},
+		{name: "bad plan", plan: model.Plan{0, 0, 1}, cfg: good},
+		{name: "short plan", plan: model.Plan{0, 1}, cfg: good},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(q, tt.plan, tt.cfg); err == nil {
+				t.Fatalf("Run accepted invalid input")
+			}
+		})
+	}
+
+	t.Run("multi-threaded service", func(t *testing.T) {
+		mt := simFixture(t)
+		mt.Services[1].Threads = 2
+		if _, err := Run(mt, model.Plan{0, 1, 2}, DefaultConfig()); err == nil {
+			t.Fatalf("simulator accepted a multi-threaded service")
+		}
+	})
+}
+
+// TestRandomPlansStayCloseToModel fuzzes the simulator against the cost
+// model across random instances and plans.
+func TestRandomPlansStayCloseToModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 15
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(5)
+		services := make([]model.Service, n)
+		for i := range services {
+			services[i] = model.Service{Cost: 0.1 + rng.Float64()*3, Selectivity: 0.1 + rng.Float64()*0.9}
+		}
+		transfer := make([][]float64, n)
+		for i := range transfer {
+			transfer[i] = make([]float64, n)
+			for j := range transfer[i] {
+				if i != j {
+					transfer[i][j] = rng.Float64() * 2
+				}
+			}
+		}
+		q := mustQuery(t, services, transfer)
+		plan := model.IdentityPlan(n)
+		rng.Shuffle(n, func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+
+		cfg := DefaultConfig()
+		cfg.Tuples = 20000
+		rep, err := Run(q, plan, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+		if relErr > 0.05 {
+			t.Errorf("trial %d: measured %v vs predicted %v (rel err %.3f, plan %v)",
+				trial, rep.MeasuredPeriod, rep.PredictedBottleneck, relErr, plan)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.P25, s.P75)
+	}
+
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v", empty)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{7}) != 0 {
+		t.Fatalf("degenerate samples mishandled")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(2,2,2) = %v", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatalf("GeoMean with zero should be NaN")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatalf("GeoMean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Errorf("Percentile(nil) != 0")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{1234567, "1234567"},
+		{2.5, "2.5"},
+		{0.001234, "0.00123"},
+		{math.NaN(), "nan"},
+		{math.Inf(1), "inf"},
+	}
+	for _, tt := range tests {
+		if got := Fmt(tt.in); got != tt.want {
+			t.Errorf("Fmt(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T0: demo", "n", "value")
+	tb.MustAddRow("1", "10")
+	tb.MustAddRow("20", "3.5")
+	tb.Note = "hand-checked"
+
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"T0: demo", "n ", "value", "20", "3.5", "note: hand-checked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableArity(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	if err := tb.AddRow("1", "2", "3"); err == nil {
+		t.Fatalf("oversized row accepted")
+	}
+	if err := tb.AddRow("1"); err != nil {
+		t.Fatalf("short row rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustAddRow did not panic on arity error")
+		}
+	}()
+	tb.MustAddRow("1", "2", "3")
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T1", "col")
+	tb.MustAddRow("v")
+	var b strings.Builder
+	if err := tb.Markdown(&b); err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"**T1**", "| col |", "| --- |", "| v |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace provides lightweight structured tracing of
+// branch-and-bound runs: the optimizer emits one event per search action
+// (node expansion, prune, closure, V-jump, incumbent update) into a
+// fixed-capacity ring buffer, cheap enough to leave on in production and
+// detailed enough to reconstruct why a search made its decisions.
+//
+// A Recorder is single-run state: pass a fresh one in core.Options.Tracer
+// per optimization. It is not safe for concurrent use; the parallel
+// optimizer accepts one recorder per worker.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies a search event.
+type Kind int
+
+const (
+	// KindPairStart marks the descent into a new root pair.
+	KindPairStart Kind = iota + 1
+
+	// KindExpand marks a node expansion (a service appended to the
+	// prefix).
+	KindExpand
+
+	// KindPruneIncumbent marks a Lemma 1 prune (epsilon >= rho).
+	KindPruneIncumbent
+
+	// KindClosure marks a Lemma 2 closure (epsilon >= epsilonBar).
+	KindClosure
+
+	// KindVJump marks a Lemma 3 multi-level backtrack.
+	KindVJump
+
+	// KindPruneStrongLB marks a strong-lower-bound prune (extension).
+	KindPruneStrongLB
+
+	// KindIncumbent marks an improvement of the best complete plan.
+	KindIncumbent
+)
+
+// String returns the event kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindPairStart:
+		return "pair-start"
+	case KindExpand:
+		return "expand"
+	case KindPruneIncumbent:
+		return "prune-incumbent"
+	case KindClosure:
+		return "closure"
+	case KindVJump:
+		return "v-jump"
+	case KindPruneStrongLB:
+		return "prune-strong-lb"
+	case KindIncumbent:
+		return "incumbent"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded search action. Fields are populated as relevant
+// for the kind; unused fields are zero.
+type Event struct {
+	// Kind classifies the action; Seq is its 1-based global order.
+	Kind Kind
+	Seq  int64
+
+	// Depth is the prefix length at the event; Service the service
+	// involved (appended, or the bottleneck for closures), -1 when not
+	// applicable.
+	Depth   int
+	Service int
+
+	// Epsilon and Bound carry the measures that triggered the action
+	// (epsilon/epsilonBar for closures, epsilon/rho for prunes).
+	Epsilon float64
+	Bound   float64
+
+	// JumpTo is the target depth of a V-jump.
+	JumpTo int
+}
+
+// Recorder collects events into a ring buffer of fixed capacity; older
+// events are overwritten once full, with Dropped counting the overwrites.
+type Recorder struct {
+	capacity int
+	events   []Event
+	start    int
+	seq      int64
+	counts   map[Kind]int64
+}
+
+// NewRecorder returns a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity %d must be positive", capacity)
+	}
+	return &Recorder{
+		capacity: capacity,
+		events:   make([]Event, 0, capacity),
+		counts:   make(map[Kind]int64, 8),
+	}, nil
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Recorder) Record(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	r.counts[e.Kind]++
+	if len(r.events) < r.capacity {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.capacity
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		out = append(out, r.events[(r.start+i)%len(r.events)])
+	}
+	return out
+}
+
+// Total returns the number of events ever recorded; Dropped how many were
+// evicted from the ring.
+func (r *Recorder) Total() int64 { return r.seq }
+
+// Dropped returns the count of evicted events.
+func (r *Recorder) Dropped() int64 {
+	retained := int64(len(r.events))
+	return r.seq - retained
+}
+
+// Count returns how many events of the kind were recorded (including
+// evicted ones).
+func (r *Recorder) Count(k Kind) int64 { return r.counts[k] }
+
+// Render writes a human-readable listing of the retained events followed
+// by per-kind totals.
+func (r *Recorder) Render(w io.Writer) error {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "#%-6d %-16s depth=%-2d", e.Seq, e.Kind, e.Depth)
+		if e.Service >= 0 {
+			fmt.Fprintf(&b, " svc=%-3d", e.Service)
+		}
+		switch e.Kind {
+		case KindClosure:
+			fmt.Fprintf(&b, " eps=%.6g >= ebar=%.6g", e.Epsilon, e.Bound)
+		case KindPruneIncumbent, KindPruneStrongLB:
+			fmt.Fprintf(&b, " eps=%.6g >= rho=%.6g", e.Epsilon, e.Bound)
+		case KindIncumbent:
+			fmt.Fprintf(&b, " cost=%.6g", e.Epsilon)
+		case KindVJump:
+			fmt.Fprintf(&b, " jump-to-depth=%d", e.JumpTo)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "-- totals: %d events", r.Total())
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(&b, " (%d evicted from ring)", d)
+	}
+	b.WriteByte('\n')
+	for k := KindPairStart; k <= KindIncumbent; k++ {
+		if c := r.counts[k]; c > 0 {
+			fmt.Fprintf(&b, "   %-16s %d\n", k, c)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

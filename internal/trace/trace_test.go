@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	r, err := NewRecorder(10)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	r.Record(Event{Kind: KindExpand, Depth: 3, Service: 1})
+	r.Record(Event{Kind: KindClosure, Depth: 4, Service: 2, Epsilon: 5, Bound: 4})
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("Events() = %d, want 2", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("sequence numbers: %d, %d", events[0].Seq, events[1].Seq)
+	}
+	if r.Total() != 2 || r.Dropped() != 0 {
+		t.Errorf("Total=%d Dropped=%d", r.Total(), r.Dropped())
+	}
+	if r.Count(KindClosure) != 1 || r.Count(KindVJump) != 0 {
+		t.Errorf("counts wrong")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r, err := NewRecorder(3)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		r.Record(Event{Kind: KindExpand, Depth: i})
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	// Chronological order of the last three: depths 4, 5, 6.
+	for i, want := range []int{4, 5, 6} {
+		if events[i].Depth != want {
+			t.Errorf("events[%d].Depth = %d, want %d", i, events[i].Depth, want)
+		}
+	}
+	if r.Dropped() != 4 {
+		t.Errorf("Dropped = %d, want 4", r.Dropped())
+	}
+	if r.Count(KindExpand) != 7 {
+		t.Errorf("Count includes only retained events: %d", r.Count(KindExpand))
+	}
+}
+
+func TestRecorderCapacityValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatalf("zero capacity accepted")
+	}
+	if _, err := NewRecorder(-1); err == nil {
+		t.Fatalf("negative capacity accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindPairStart:      "pair-start",
+		KindExpand:         "expand",
+		KindPruneIncumbent: "prune-incumbent",
+		KindClosure:        "closure",
+		KindVJump:          "v-jump",
+		KindPruneStrongLB:  "prune-strong-lb",
+		KindIncumbent:      "incumbent",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	r.Record(Event{Kind: KindPairStart, Depth: 2, Service: 0, Epsilon: 1.5})
+	r.Record(Event{Kind: KindClosure, Depth: 3, Service: 1, Epsilon: 2, Bound: 1.8})
+	r.Record(Event{Kind: KindVJump, Depth: 4, Service: 1, JumpTo: 2})
+	r.Record(Event{Kind: KindIncumbent, Depth: 4, Service: -1, Epsilon: 2})
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"pair-start", "closure", "eps=2 >= ebar=1.8", "jump-to-depth=2", "cost=2", "totals: 4 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
