@@ -25,6 +25,7 @@ import (
 	"serviceordering/internal/exper"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
 	"serviceordering/internal/robust"
 	"serviceordering/internal/sim"
 )
@@ -412,5 +413,95 @@ func BenchmarkExperSuiteQuick(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// plannerBenchQuery generates the n=12 warm-cache benchmark instance: a
+// near-uniform transfer matrix with high selectivities, where the closure
+// and V-pruning lemmas discriminate poorly and the search works hardest —
+// maximizing the spread a plan cache must recover.
+func plannerBenchQuery(b *testing.B) *model.Query {
+	b.Helper()
+	p := gen.Default(12, 7)
+	p.Heterogeneity = 1.05
+	p.SelMin, p.SelMax = 0.7, 1.0
+	q, err := p.Generate()
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	return q
+}
+
+// BenchmarkPlannerColdVsWarm measures one n=12 optimization through the
+// planner with the cache defeated (cold: every request searches) and with
+// the cache primed (warm: every request is a signature computation plus an
+// LRU lookup). The warm/cold ratio is the amortization the service layer
+// buys on repeated traffic.
+func BenchmarkPlannerColdVsWarm(b *testing.B) {
+	q := plannerBenchQuery(b)
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		p := planner.New(planner.Config{CacheCapacity: -1})
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Optimize(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		p := planner.New(planner.Config{})
+		if _, err := p.Optimize(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := p.Optimize(ctx, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkPlannerBatch compares a 64-instance workload optimized by a
+// sequential core.Optimize loop against planner.OptimizeBatch on worker
+// pools of increasing width (caching disabled throughout, so the
+// comparison isolates the fan-out). Wall-clock gains scale with available
+// cores; on a single-CPU runner the pool ties the loop.
+func BenchmarkPlannerBatch(b *testing.B) {
+	const instances = 64
+	qs := make([]*model.Query, instances)
+	for i := range qs {
+		qs[i] = benchQuery(b, 9, 60000+int64(i))
+	}
+	ctx := context.Background()
+
+	b.Run("sequential-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := core.Optimize(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("batch/workers=%d", workers), func(b *testing.B) {
+			p := planner.New(planner.Config{CacheCapacity: -1, BatchWorkers: workers})
+			for i := 0; i < b.N; i++ {
+				out := p.OptimizeBatch(ctx, qs)
+				for _, r := range out {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,272 @@
+// Command dqserve exposes the planner service layer over HTTP: a long-lived
+// optimizer process with a canonical plan cache, singleflight deduplication,
+// and batch fan-out, so many clients amortize branch-and-bound across
+// structurally identical queries.
+//
+// Endpoints:
+//
+//	POST /optimize        body: one JSON instance {"query": {...}}
+//	                      reply: the instance with "plan" and "cost" filled
+//	                      in, plus planner provenance and search stats.
+//	POST /optimize/batch  body: {"instances": [{...}, ...]}
+//	                      reply: {"results": [...]} in input order; a bad
+//	                      instance fails alone, not the batch.
+//	GET  /stats           cache hit/miss/eviction and dedup counters.
+//	GET  /healthz         liveness probe.
+//
+// Usage:
+//
+//	dqserve -addr :8080 -cache 4096 -batch-workers 8
+//
+// Example:
+//
+//	curl -s -X POST localhost:8080/optimize -d @query.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dqserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until the process is signaled. When ready is
+// non-nil the bound address is sent on it once the listener is up (used by
+// tests to serve on :0).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("dqserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		cacheCap     = fs.Int("cache", planner.DefaultCacheCapacity, "plan cache capacity (-1 disables)")
+		searchState  = fs.Int("parallel-threshold", planner.DefaultParallelThreshold, "instance size switching to parallel search (-1 = always sequential)")
+		workers      = fs.Int("search-workers", 0, "parallel search workers (0 = GOMAXPROCS)")
+		batchWorkers = fs.Int("batch-workers", 0, "concurrent batch instances (0 = GOMAXPROCS)")
+		timeLimit    = fs.Duration("time-limit", 0, "per-search time budget (0 = none)")
+		nodeLimit    = fs.Int64("node-limit", 0, "per-search node budget (0 = none)")
+		maxBody      = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := planner.New(planner.Config{
+		CacheCapacity:     *cacheCap,
+		ParallelThreshold: *searchState,
+		SearchWorkers:     *workers,
+		BatchWorkers:      *batchWorkers,
+		Search:            core.Options{TimeLimit: *timeLimit, NodeLimit: *nodeLimit},
+	})
+
+	srv := &http.Server{
+		Handler:           newHandler(p, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// OptimizeResponse is the reply document of POST /optimize: the solved
+// instance plus planner provenance.
+type OptimizeResponse struct {
+	model.Instance
+
+	// Cost shadows Instance.Cost to drop its omitempty: a legitimately
+	// zero-cost optimum must still serialize a "cost" key.
+	Cost float64 `json:"cost"`
+
+	// Optimal reports whether the plan carries an optimality proof.
+	Optimal bool `json:"optimal"`
+
+	// Cached / Shared report how the request was served (plan cache hit,
+	// singleflight piggyback, or a fresh search when both are false).
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared"`
+
+	// Signature is the query's canonical identity (hex).
+	Signature string `json:"signature"`
+
+	// NodesExpanded and ElapsedMicros describe the search that produced
+	// the plan; both are zero on a cache hit.
+	NodesExpanded int64 `json:"nodesExpanded"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+type batchRequest struct {
+	Instances []*model.Instance `json:"instances"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+type batchItem struct {
+	*OptimizeResponse
+
+	// Error is the per-instance failure, when the instance was invalid
+	// or its search failed.
+	Error string `json:"error,omitempty"`
+}
+
+type statsResponse struct {
+	planner.Stats
+
+	// Uptime is seconds since the server started.
+	Uptime float64 `json:"uptimeSeconds"`
+}
+
+// newHandler builds the dqserve route table around one shared planner.
+func newHandler(p *planner.Planner, maxBody int64) http.Handler {
+	started := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
+		inst, err := decodeInstance(w, r, maxBody)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := p.Optimize(r.Context(), inst.Query)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solvedResponse(inst, res))
+	})
+
+	mux.HandleFunc("POST /optimize/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := decodeJSON(w, r, maxBody, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		qs := make([]*model.Query, len(req.Instances))
+		for i, inst := range req.Instances {
+			if inst != nil {
+				qs[i] = inst.Query // nil Query rejected by the planner
+			}
+		}
+		results := p.OptimizeBatch(r.Context(), qs)
+		resp := batchResponse{Results: make([]batchItem, len(results))}
+		for i, br := range results {
+			if br.Err != nil {
+				resp.Results[i] = batchItem{Error: br.Err.Error()}
+				continue
+			}
+			resp.Results[i] = batchItem{OptimizeResponse: solvedResponse(req.Instances[i], br.Result)}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			Stats:  p.Stats(),
+			Uptime: time.Since(started).Seconds(),
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+func solvedResponse(inst *model.Instance, res planner.Result) *OptimizeResponse {
+	out := &OptimizeResponse{
+		Instance: model.Instance{
+			Comment: inst.Comment,
+			Query:   inst.Query,
+			Plan:    res.Plan,
+		},
+		Cost:          res.Cost,
+		Optimal:       res.Optimal,
+		Cached:        res.Cached,
+		Shared:        res.Shared,
+		Signature:     res.Signature.String(),
+		NodesExpanded: res.Stats.NodesExpanded,
+		ElapsedMicros: res.Stats.Elapsed.Microseconds(),
+	}
+	return out
+}
+
+// decodeInstance reads and validates one instance document.
+func decodeInstance(w http.ResponseWriter, r *http.Request, maxBody int64) (*model.Instance, error) {
+	var inst model.Instance
+	if err := decodeJSON(w, r, maxBody, &inst); err != nil {
+		return nil, err
+	}
+	if inst.Query == nil {
+		return nil, errors.New("instance has no query")
+	}
+	if err := inst.Query.Validate(); err != nil {
+		return nil, err
+	}
+	return &inst, nil
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// fixtureInstance returns the hand-checked 3-service instance (optimum
+// [a b c], cost 2.5).
+func fixtureInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	q, err := model.NewQuery(
+		[]model.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return &model.Instance{Comment: "fixture", Query: q}
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+
+	resp := postJSON(t, srv.URL+"/optimize", inst)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeBody[OptimizeResponse](t, resp)
+	if !got.Plan.Equal(model.Plan{0, 1, 2}) {
+		t.Errorf("plan = %v, want [0 1 2]", got.Plan)
+	}
+	if got.Cost != 2.5 {
+		t.Errorf("cost = %v, want 2.5", got.Cost)
+	}
+	if !got.Optimal {
+		t.Error("response not marked optimal")
+	}
+	if got.Cached {
+		t.Error("first request reported cached")
+	}
+	if got.Signature == "" {
+		t.Error("response missing signature")
+	}
+
+	// Second identical request: cache hit, zero search work.
+	resp2 := postJSON(t, srv.URL+"/optimize", inst)
+	got2 := decodeBody[OptimizeResponse](t, resp2)
+	if !got2.Cached {
+		t.Error("second request not served from cache")
+	}
+	if got2.NodesExpanded != 0 {
+		t.Errorf("cached response expanded %d nodes, want 0", got2.NodesExpanded)
+	}
+	if !got2.Plan.Equal(got.Plan) || got2.Cost != got.Cost {
+		t.Errorf("cached response differs: %v/%v vs %v/%v", got2.Plan, got2.Cost, got.Plan, got.Cost)
+	}
+}
+
+func TestOptimizeRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewBufferString("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"comment": "no query"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", resp.StatusCode)
+	}
+
+	bad := fixtureInstance(t)
+	bad.Query.Transfer[0][0] = 7 // non-zero diagonal
+	resp = postJSON(t, srv.URL+"/optimize", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	good := fixtureInstance(t)
+	bad := fixtureInstance(t)
+	bad.Query = bad.Query.Clone()
+	bad.Query.Transfer[1][0] = -3 // invalid; must fail alone, not the batch
+
+	req := batchRequest{Instances: []*model.Instance{good, bad, good}}
+	resp := postJSON(t, srv.URL+"/optimize/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeBody[batchResponse](t, resp)
+	if len(got.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(got.Results))
+	}
+	for _, i := range []int{0, 2} {
+		r := got.Results[i]
+		if r.Error != "" {
+			t.Fatalf("instance %d failed: %s", i, r.Error)
+		}
+		if !r.Plan.Equal(model.Plan{0, 1, 2}) || r.Cost != 2.5 {
+			t.Errorf("instance %d: plan %v cost %v, want [0 1 2] / 2.5", i, r.Plan, r.Cost)
+		}
+	}
+	if got.Results[1].Error == "" {
+		t.Error("invalid instance did not report an error")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+	postJSON(t, srv.URL+"/optimize", inst)
+	postJSON(t, srv.URL+"/optimize", inst)
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeBody[statsResponse](t, resp)
+	if got.Hits != 1 || got.Misses != 1 || got.Searches != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 search", got.Stats)
+	}
+	if got.Entries != 1 {
+		t.Errorf("entries = %d, want 1", got.Entries)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

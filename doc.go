@@ -34,6 +34,26 @@
 //	res, err := serviceordering.Optimize(q)
 //	// res.Plan is the provably optimal ordering, res.Cost its bottleneck.
 //
+// # Serving repeated traffic
+//
+// Optimize solves one instance from scratch. Services answering live
+// traffic see the same query shapes again and again, so the planner
+// service layer (NewPlanner) amortizes the search: every query is reduced
+// to a canonical signature — services re-sorted under a cost-preserving
+// normalization, the transfer matrix permuted to match — and resolved
+// through a sharded, bounded LRU plan cache. Structurally identical
+// queries hash equal even when callers number their services differently;
+// concurrent requests for the same signature are collapsed into a single
+// branch-and-bound by singleflight deduplication; and OptimizeBatch fans
+// many instances across a worker pool, streaming results in input order.
+//
+//	pl := serviceordering.NewPlanner(serviceordering.PlannerConfig{})
+//	res, err := pl.Optimize(ctx, q)   // cold: runs the search
+//	res, err = pl.Optimize(ctx, q)    // warm: cache hit, zero nodes expanded
+//
+// cmd/dqserve exposes the same planner over HTTP (POST /optimize,
+// POST /optimize/batch, GET /stats) for long-lived optimizer processes.
+//
 // Beyond optimization the library bundles the full evaluation substrate
 // of the paper's experiments: baseline algorithms (exhaustive, greedy,
 // the Srivastava et al. uniform-communication optimum, local search,

@@ -8,6 +8,7 @@ import (
 	"serviceordering/internal/core"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
 	"serviceordering/internal/sim"
 )
 
@@ -72,6 +73,34 @@ type (
 	GenParams = gen.Params
 )
 
+// Planner service-layer types, re-exported from the internal planner.
+type (
+	// Planner serves optimization requests through a canonical plan
+	// cache with singleflight deduplication and batch fan-out; safe for
+	// concurrent use.
+	Planner = planner.Planner
+
+	// PlannerConfig tunes a Planner (cache capacity, worker counts,
+	// base search options). The zero value is production-ready.
+	PlannerConfig = planner.Config
+
+	// PlannerResult is a planner outcome: the optimization result plus
+	// cache provenance (Cached, Shared, Signature).
+	PlannerResult = planner.Result
+
+	// PlannerStats is a snapshot of the planner's cache and dedup
+	// counters.
+	PlannerStats = planner.Stats
+
+	// PlanSignature is the canonical identity of a query: equal for
+	// structurally identical queries regardless of service numbering.
+	PlanSignature = planner.Signature
+
+	// BatchResult pairs one batch instance's outcome with its input
+	// position and per-instance error.
+	BatchResult = planner.BatchResult
+)
+
 // Choreography transports.
 const (
 	// TransportInProc connects service nodes with buffered channels.
@@ -96,6 +125,13 @@ func Optimize(q *Query) (Result, error) { return core.Optimize(q) }
 func OptimizeWithOptions(q *Query, opts Options) (Result, error) {
 	return core.OptimizeWithOptions(q, opts)
 }
+
+// NewPlanner builds the planner service layer: a canonical plan cache in
+// front of the branch-and-bound core, with singleflight deduplication of
+// concurrent identical requests and OptimizeBatch/OptimizeStream fan-out.
+// Use it instead of Optimize when the same (or structurally identical)
+// queries recur across requests.
+func NewPlanner(cfg PlannerConfig) *Planner { return planner.New(cfg) }
 
 // Baselines returns the comparison algorithms keyed by name: exhaustive,
 // greedy variants, the Srivastava et al. uniform-communication optimum,

@@ -90,3 +90,47 @@ func TestFacadeGenerate(t *testing.T) {
 		t.Fatalf("breakdown cost %v != result cost %v", bd.Cost, res.Cost)
 	}
 }
+
+func TestFacadePlanner(t *testing.T) {
+	p := serviceordering.NewPlanner(serviceordering.PlannerConfig{})
+	q, err := serviceordering.Generate(serviceordering.DefaultGenParams(7, 21))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	ctx := context.Background()
+
+	miss, err := p.Optimize(ctx, q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	direct, err := serviceordering.Optimize(q)
+	if err != nil {
+		t.Fatalf("direct Optimize: %v", err)
+	}
+	if miss.Cost != direct.Cost {
+		t.Fatalf("planner cost %v != direct cost %v", miss.Cost, direct.Cost)
+	}
+
+	hit, err := p.Optimize(ctx, q)
+	if err != nil {
+		t.Fatalf("Optimize (hit): %v", err)
+	}
+	if !hit.Cached || hit.Stats.NodesExpanded != 0 {
+		t.Fatalf("second request not a zero-work cache hit: %+v", hit)
+	}
+
+	batch := p.OptimizeBatch(ctx, []*serviceordering.Query{q, q, q})
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("batch instance %d: %v", i, r.Err)
+		}
+		if r.Cost != direct.Cost {
+			t.Fatalf("batch instance %d cost %v, want %v", i, r.Cost, direct.Cost)
+		}
+	}
+
+	stats := p.Stats()
+	if stats.Hits == 0 || stats.Searches != 1 {
+		t.Fatalf("stats = %+v, want cache hits and exactly one search", stats)
+	}
+}

@@ -1,0 +1,3 @@
+module serviceordering
+
+go 1.24

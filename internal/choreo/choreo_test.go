@@ -44,6 +44,7 @@ func fastConfig() Config {
 }
 
 func TestRunPassthroughCounts(t *testing.T) {
+	t.Parallel()
 	q := passthroughQuery(t)
 	rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, fastConfig())
 	if err != nil {
@@ -60,6 +61,7 @@ func TestRunPassthroughCounts(t *testing.T) {
 }
 
 func TestRunFilteringApproximatesSelectivity(t *testing.T) {
+	t.Parallel()
 	q := mustQuery(t,
 		[]model.Service{
 			{Cost: 0, Selectivity: 0.5},
@@ -79,6 +81,7 @@ func TestRunFilteringApproximatesSelectivity(t *testing.T) {
 }
 
 func TestRunDeterministicFiltering(t *testing.T) {
+	t.Parallel()
 	q := mustQuery(t,
 		[]model.Service{{Cost: 0, Selectivity: 0.7}, {Cost: 0, Selectivity: 0.4}},
 		[][]float64{{0, 0}, {0, 0}})
@@ -97,6 +100,8 @@ func TestRunDeterministicFiltering(t *testing.T) {
 	}
 }
 
+// Deliberately not parallel: asserts wall-clock ratios that co-running
+// timed tests would distort.
 func TestRunTimedMatchesPrediction(t *testing.T) {
 	q := passthroughQuery(t)
 	plan := model.Plan{2, 1, 0} // bottleneck: stage a at the end
@@ -127,6 +132,7 @@ func TestRunTimedMatchesPrediction(t *testing.T) {
 	}
 }
 
+// Deliberately not parallel: compares wall-clock makespans.
 func TestRunPlanOrderingVisibleInWallClock(t *testing.T) {
 	// A query where plan quality differs hugely: service h is slow and
 	// expensive to reach; putting it first costs 8 units/tuple, after
@@ -158,6 +164,7 @@ func TestRunPlanOrderingVisibleInWallClock(t *testing.T) {
 }
 
 func TestRunTCPTransportMatchesInProc(t *testing.T) {
+	t.Parallel()
 	q := mustQuery(t,
 		[]model.Service{{Cost: 0, Selectivity: 0.6}, {Cost: 0, Selectivity: 0.9}},
 		[][]float64{{0, 0}, {0, 0}})
@@ -184,6 +191,7 @@ func TestRunTCPTransportMatchesInProc(t *testing.T) {
 }
 
 func TestRunWithSourceAndSink(t *testing.T) {
+	t.Parallel()
 	q := passthroughQuery(t)
 	q.SourceTransfer = []float64{0.1, 0.1, 0.1}
 	q.SinkTransfer = []float64{0.2, 0.2, 0.2}
@@ -197,6 +205,7 @@ func TestRunWithSourceAndSink(t *testing.T) {
 }
 
 func TestRunFailureInjection(t *testing.T) {
+	t.Parallel()
 	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
 		q := passthroughQuery(t)
 		cfg := fastConfig()
@@ -219,6 +228,7 @@ func TestRunFailureInjection(t *testing.T) {
 	}
 }
 
+// Deliberately not parallel: bounds cancellation latency in wall-clock.
 func TestRunContextCancellation(t *testing.T) {
 	q := passthroughQuery(t)
 	cfg := DefaultConfig()
@@ -240,6 +250,7 @@ func TestRunContextCancellation(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	q := passthroughQuery(t)
 	ctx := context.Background()
 	if _, err := Run(ctx, q, model.Plan{0, 1}, fastConfig()); err == nil {
@@ -268,6 +279,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestCopiesSemantics(t *testing.T) {
+	t.Parallel()
 	if got := copies(1, 0, 1, 1); got != 1 {
 		t.Errorf("copies(sigma=1) = %d, want 1", got)
 	}

@@ -27,6 +27,7 @@ func threadFixture(t *testing.T, threads int) *model.Query {
 }
 
 func TestMultiThreadedNodePreservesCounts(t *testing.T) {
+	t.Parallel()
 	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
 		q := threadFixture(t, 3)
 		cfg := fastConfig()
@@ -45,6 +46,7 @@ func TestMultiThreadedNodePreservesCounts(t *testing.T) {
 	}
 }
 
+// Deliberately not parallel: compares wall-clock makespans.
 func TestMultiThreadedNodeRaisesThroughput(t *testing.T) {
 	run := func(threads int) time.Duration {
 		q := threadFixture(t, threads)
@@ -68,6 +70,7 @@ func TestMultiThreadedNodeRaisesThroughput(t *testing.T) {
 }
 
 func TestMultiThreadedPredictedPeriod(t *testing.T) {
+	t.Parallel()
 	q := threadFixture(t, 4)
 	cfg := fastConfig()
 	rep, err := Run(context.Background(), q, model.Plan{0, 1, 2}, cfg)
@@ -83,6 +86,7 @@ func TestMultiThreadedPredictedPeriod(t *testing.T) {
 }
 
 func TestMultiThreadedFailureInjection(t *testing.T) {
+	t.Parallel()
 	for _, transport := range []TransportKind{TransportInProc, TransportTCP} {
 		q := threadFixture(t, 3)
 		cfg := fastConfig()

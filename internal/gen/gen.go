@@ -205,13 +205,16 @@ func (p Params) Generate() (*model.Query, error) {
 			q.SinkTransfer[i] = uniform(rng, p.TransferBase, p.TransferBase*p.Heterogeneity)
 		}
 	}
-	for e := 0; e < p.PrecedenceEdges && p.N >= 2; e++ {
-		// Edges always point from a lower to a higher random label, so
-		// the relation stays acyclic.
+	if p.PrecedenceEdges > 0 && p.N >= 2 {
+		// All edges point forward along one hidden random order, so the
+		// relation is acyclic as a whole (a per-edge order would let two
+		// edges drawn under different orders close a cycle).
 		perm := rng.Perm(p.N)
-		i := rng.Intn(p.N - 1)
-		j := i + 1 + rng.Intn(p.N-i-1)
-		q.Precedence = append(q.Precedence, [2]int{perm[i], perm[j]})
+		for e := 0; e < p.PrecedenceEdges; e++ {
+			i := rng.Intn(p.N - 1)
+			j := i + 1 + rng.Intn(p.N-i-1)
+			q.Precedence = append(q.Precedence, [2]int{perm[i], perm[j]})
+		}
 	}
 
 	if err := q.Validate(); err != nil {

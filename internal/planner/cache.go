@@ -1,0 +1,179 @@
+package planner
+
+import (
+	"bytes"
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the bounded, sharded LRU underlying both planner
+// caches: the plan cache (Signature -> cached plan) and the
+// canonicalization memo (raw byte hash -> signature + permutation).
+// Shards are independently locked so concurrent lookups for different
+// signatures never contend; counters are atomics aggregated on read.
+
+// cacheEntry is a cached optimization outcome in canonical index space.
+type cacheEntry struct {
+	plan    []int // canonical-space ordering
+	cost    float64
+	optimal bool
+}
+
+// rawEntry memoizes the canonicalization of one exact byte serialization.
+type rawEntry struct {
+	raw  []byte // full key, verified on lookup (bucket hash may collide)
+	sig  Signature
+	perm []int
+	inv  []int
+}
+
+// lruShard is one lock-striped segment: a map for O(1) lookup plus an
+// intrusive recency list for O(1) eviction.
+type lruShard[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[K]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruNode[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
+	return &lruShard[K, V]{
+		cap:   capacity,
+		items: make(map[K]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the value for key, promoting it to most-recently-used.
+func (s *lruShard[K, V]) get(key K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruNode[K, V]).val, true
+}
+
+// put inserts or refreshes key, reporting how many entries were evicted.
+func (s *lruShard[K, V]) put(key K, val V) (evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruNode[K, V]).val = val
+		s.order.MoveToFront(el)
+		return 0
+	}
+	s.items[key] = s.order.PushFront(&lruNode[K, V]{key: key, val: val})
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.items, back.Value.(*lruNode[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the entry count.
+func (s *lruShard[K, V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// planCache is the sharded signature-keyed plan cache with hit/miss/
+// eviction accounting.
+type planCache struct {
+	shards []*lruShard[Signature, *cacheEntry]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheShardCount is the number of lock stripes; a power of two so
+// Signature.shardIndex is a mask.
+const cacheShardCount = 16
+
+func newPlanCache(capacity int) *planCache {
+	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &planCache{shards: make([]*lruShard[Signature, *cacheEntry], cacheShardCount)}
+	for i := range c.shards {
+		c.shards[i] = newLRUShard[Signature, *cacheEntry](perShard)
+	}
+	return c
+}
+
+func (c *planCache) get(sig Signature) (*cacheEntry, bool) {
+	e, ok := c.shards[sig.shardIndex(cacheShardCount)].get(sig)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// peek looks up sig without touching the hit/miss counters (still promotes
+// recency). Used for the post-flight-join double-check, which re-examines a
+// lookup already accounted for.
+func (c *planCache) peek(sig Signature) (*cacheEntry, bool) {
+	return c.shards[sig.shardIndex(cacheShardCount)].get(sig)
+}
+
+func (c *planCache) put(sig Signature, e *cacheEntry) {
+	if n := c.shards[sig.shardIndex(cacheShardCount)].put(sig, e); n > 0 {
+		c.evictions.Add(int64(n))
+	}
+}
+
+func (c *planCache) len() int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.len()
+	}
+	return total
+}
+
+// rawMemo is the sharded canonicalization memo keyed by the FNV-64 hash of
+// the query's exact serialization. Bucket collisions are disambiguated by
+// comparing the stored bytes; a mismatch is treated as a miss and the
+// bucket is overwritten (the newer query is the hotter one).
+type rawMemo struct {
+	shards []*lruShard[uint64, *rawEntry]
+}
+
+func newRawMemo(capacity int) *rawMemo {
+	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	m := &rawMemo{shards: make([]*lruShard[uint64, *rawEntry], cacheShardCount)}
+	for i := range m.shards {
+		m.shards[i] = newLRUShard[uint64, *rawEntry](perShard)
+	}
+	return m
+}
+
+func (m *rawMemo) get(key uint64, raw []byte) (*rawEntry, bool) {
+	e, ok := m.shards[int(key&(cacheShardCount-1))].get(key)
+	if !ok || !bytes.Equal(e.raw, raw) {
+		return nil, false
+	}
+	return e, true
+}
+
+func (m *rawMemo) put(key uint64, e *rawEntry) {
+	m.shards[int(key&(cacheShardCount-1))].put(key, e)
+}

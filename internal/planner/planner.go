@@ -1,0 +1,357 @@
+// Package planner is the service layer above the branch-and-bound core: it
+// amortizes optimization across requests the way a production query engine
+// amortizes planning across traffic.
+//
+// Three mechanisms stack:
+//
+//   - a canonical query signature (color refinement over the weighted
+//     transfer digraph, services re-sorted under the resulting order, the
+//     transfer matrix and precedence relation permuted to match) so
+//     structurally identical queries hash equal regardless of how the
+//     caller happened to number their services;
+//   - a sharded, bounded LRU plan cache keyed by signature, fronted by a
+//     canonicalization memo so byte-identical resubmissions skip the
+//     refinement pass, with hit/miss/eviction counters; and
+//   - singleflight deduplication, so N concurrent requests for the same
+//     signature trigger exactly one search and share its outcome.
+//
+// OptimizeBatch fans a slice of instances across a worker pool and streams
+// results back in input order; large instances escalate to the parallel
+// branch-and-bound, small ones run the sequential search.
+//
+// Only proven-optimal results are cached: a search truncated by a node or
+// time budget returns its incumbent but leaves the cache untouched, so a
+// later uncapped request can still establish the optimum.
+package planner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+)
+
+// Config tunes a Planner. The zero value is ready for production use:
+// 4096-entry plan cache, canonicalization memo of twice that, parallel
+// search for instances of 13+ services, GOMAXPROCS batch workers.
+type Config struct {
+	// CacheCapacity bounds the plan cache (entries across all shards).
+	// Zero means DefaultCacheCapacity; negative disables caching
+	// entirely (every request searches, singleflight still applies).
+	CacheCapacity int
+
+	// MemoCapacity bounds the canonicalization memo. Zero means twice
+	// the (effective) cache capacity.
+	MemoCapacity int
+
+	// ParallelThreshold is the instance size at which Optimize switches
+	// from the sequential search to core.OptimizeParallel. Zero means
+	// DefaultParallelThreshold; negative forces sequential search at
+	// every size.
+	ParallelThreshold int
+
+	// SearchWorkers is the worker count handed to core.OptimizeParallel
+	// (0 = GOMAXPROCS).
+	SearchWorkers int
+
+	// BatchWorkers bounds the instances optimized concurrently by
+	// OptimizeBatch (0 = GOMAXPROCS).
+	BatchWorkers int
+
+	// Search is the base search configuration applied to every
+	// optimization (pruning toggles, budgets). Per-request contexts with
+	// deadlines tighten Search.TimeLimit automatically.
+	Search core.Options
+
+	// OnSearch, when non-nil, is invoked once per branch-and-bound run
+	// actually executed (i.e. not served by cache or singleflight), with
+	// the signature being searched. Used by tests and metrics exporters
+	// to observe dedup behavior. It may be called from multiple
+	// goroutines concurrently.
+	OnSearch func(Signature)
+}
+
+// DefaultCacheCapacity is the plan-cache size used when Config.CacheCapacity
+// is zero.
+const DefaultCacheCapacity = 4096
+
+// DefaultParallelThreshold is the instance size at which the planner
+// escalates to the parallel search when Config.ParallelThreshold is zero.
+// Below it the sequential search's lower constant wins; at and above it the
+// subtree fan-out dominates.
+const DefaultParallelThreshold = 13
+
+// Planner serves optimization requests through the plan cache. It is safe
+// for concurrent use by any number of goroutines.
+type Planner struct {
+	cfg    Config
+	cache  *planCache // nil when caching is disabled
+	memo   *rawMemo
+	flight flightGroup
+
+	searches    atomic.Int64
+	sharedWaits atomic.Int64
+	memoHits    atomic.Int64
+
+	rawBufs sync.Pool // *[]byte scratch for encodeRaw
+}
+
+// New builds a Planner from cfg (zero value = defaults).
+func New(cfg Config) *Planner {
+	capacity := cfg.CacheCapacity
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	p := &Planner{cfg: cfg}
+	if capacity > 0 {
+		p.cache = newPlanCache(capacity)
+	}
+	memoCap := cfg.MemoCapacity
+	if memoCap <= 0 {
+		if capacity > 0 {
+			memoCap = 2 * capacity
+		} else {
+			memoCap = 2 * DefaultCacheCapacity
+		}
+	}
+	p.memo = newRawMemo(memoCap)
+	p.rawBufs.New = func() any { b := make([]byte, 0, 2048); return &b }
+	return p
+}
+
+// Result is a planner outcome: the core optimization result plus cache
+// provenance.
+type Result struct {
+	core.Result
+
+	// Signature is the canonical identity the request resolved to.
+	Signature Signature
+
+	// Cached reports that the plan came from the cache; Stats is then
+	// zero (no nodes were expanded for this request).
+	Cached bool
+
+	// Shared reports that the request piggybacked on a concurrent
+	// identical search via singleflight rather than running its own.
+	Shared bool
+}
+
+// Stats is a snapshot of the planner's cache and dedup counters.
+type Stats struct {
+	// Hits and Misses count plan-cache lookups.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+
+	// Searches counts branch-and-bound runs actually executed.
+	Searches int64 `json:"searches"`
+
+	// SharedWaits counts requests served by piggybacking on a
+	// concurrent identical search (singleflight followers).
+	SharedWaits int64 `json:"sharedWaits"`
+
+	// Evictions counts plan-cache entries displaced by capacity.
+	Evictions int64 `json:"evictions"`
+
+	// MemoHits counts canonicalization-memo hits (byte-identical
+	// resubmissions that skipped color refinement).
+	MemoHits int64 `json:"memoHits"`
+
+	// Entries is the current plan-cache population.
+	Entries int `json:"entries"`
+}
+
+// Stats returns a point-in-time snapshot of the planner counters.
+func (p *Planner) Stats() Stats {
+	s := Stats{
+		Searches:    p.searches.Load(),
+		SharedWaits: p.sharedWaits.Load(),
+		MemoHits:    p.memoHits.Load(),
+	}
+	if p.cache != nil {
+		s.Hits = p.cache.hits.Load()
+		s.Misses = p.cache.misses.Load()
+		s.Evictions = p.cache.evictions.Load()
+		s.Entries = p.cache.len()
+	}
+	return s
+}
+
+// Optimize returns an optimal plan for q, serving it from the plan cache
+// when a structurally identical query has been optimized before and
+// otherwise running (or joining) a branch-and-bound search.
+func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if q == nil {
+		return Result{}, fmt.Errorf("planner: nil query")
+	}
+	if err := q.Validate(); err != nil {
+		return Result{}, fmt.Errorf("planner: invalid query: %w", err)
+	}
+	if q.N() > core.MaxServices {
+		return Result{}, fmt.Errorf("planner: exact optimization supports at most %d services, got %d", core.MaxServices, q.N())
+	}
+
+	canon := p.canonicalFor(q)
+
+	if p.cache != nil {
+		if entry, ok := p.cache.get(canon.sig); ok {
+			return Result{
+				Result: core.Result{
+					Plan:    canon.fromCanonical(entry.plan),
+					Cost:    entry.cost,
+					Optimal: entry.optimal,
+				},
+				Signature: canon.sig,
+				Cached:    true,
+			}, nil
+		}
+	}
+
+	// Miss: run (or join) the search for this signature. The leader
+	// keeps its own core result so the miss path returns the exact plan
+	// the search produced; followers relabel the canonical plan through
+	// their own permutation.
+	c, isLeader := p.flight.join(canon.sig)
+	if isLeader {
+		// Re-check the cache: a previous leader may have completed (and
+		// cached) between our miss above and winning the flight, and a
+		// redundant search here would also flake dedup accounting.
+		if p.cache != nil {
+			if entry, ok := p.cache.peek(canon.sig); ok {
+				p.flight.complete(canon.sig, c, entry, nil)
+				return Result{
+					Result: core.Result{
+						Plan:    canon.fromCanonical(entry.plan),
+						Cost:    entry.cost,
+						Optimal: entry.optimal,
+					},
+					Signature: canon.sig,
+					Cached:    true,
+				}, nil
+			}
+		}
+		res, err := p.search(ctx, q, canon.sig)
+		var entry *cacheEntry
+		if err == nil {
+			entry = p.record(canon, res)
+		}
+		p.flight.complete(canon.sig, c, entry, err)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Result: res, Signature: canon.sig}, nil
+	}
+
+	// Follower: wait under our own context, not the leader's.
+	select {
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-c.done:
+	}
+	if c.err == nil && c.entry.optimal {
+		p.sharedWaits.Add(1)
+		return Result{
+			Result: core.Result{
+				Plan:    canon.fromCanonical(c.entry.plan),
+				Cost:    c.entry.cost,
+				Optimal: true,
+			},
+			Signature: canon.sig,
+			Shared:    true,
+		}, nil
+	}
+	// The leader failed or was truncated — an outcome of its budget and
+	// context, not ours. Run our own search rather than propagate it
+	// (followers on this rare path search independently of one another).
+	res, err := p.search(ctx, q, canon.sig)
+	if err != nil {
+		return Result{}, err
+	}
+	p.record(canon, res)
+	return Result{Result: res, Signature: canon.sig}, nil
+}
+
+// record caches a proven-optimal result and returns its canonical-space
+// entry.
+func (p *Planner) record(canon *canonical, res core.Result) *cacheEntry {
+	entry := &cacheEntry{
+		plan:    canon.toCanonical(res.Plan),
+		cost:    res.Cost,
+		optimal: res.Optimal,
+	}
+	if p.cache != nil && res.Optimal {
+		p.cache.put(canon.sig, entry)
+	}
+	return entry
+}
+
+// maxMemoRawBytes bounds the per-entry footprint of the canonicalization
+// memo: the raw serialization is O(n^2), so memoizing huge instances would
+// let the memo dwarf the plan cache it fronts. Above the bound (n ≈ 45)
+// requests canonicalize from scratch — those instances are search-dominated
+// anyway.
+const maxMemoRawBytes = 16 << 10
+
+// canonicalFor resolves q's canonical identity, consulting the memo first
+// so repeat submissions of the same bytes skip refinement.
+func (p *Planner) canonicalFor(q *model.Query) *canonical {
+	bufp := p.rawBufs.Get().(*[]byte)
+	raw := encodeRaw(q, (*bufp)[:0])
+	defer func() {
+		*bufp = raw
+		p.rawBufs.Put(bufp)
+	}()
+	if len(raw) > maxMemoRawBytes {
+		return canonicalize(q)
+	}
+	key := fnv64(raw)
+	if e, ok := p.memo.get(key, raw); ok {
+		p.memoHits.Add(1)
+		return &canonical{sig: e.sig, perm: e.perm, inv: e.inv}
+	}
+	c := canonicalize(q)
+	p.memo.put(key, &rawEntry{
+		raw:  append([]byte(nil), raw...),
+		sig:  c.sig,
+		perm: c.perm,
+		inv:  c.inv,
+	})
+	return c
+}
+
+// search runs one branch-and-bound: sequential below the parallel
+// threshold, core.OptimizeParallel at or above it. A context deadline
+// tightens the configured time limit.
+func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	p.searches.Add(1)
+	if p.cfg.OnSearch != nil {
+		p.cfg.OnSearch(sig)
+	}
+	opts := p.cfg.Search
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return core.Result{}, context.DeadlineExceeded
+		}
+		if opts.TimeLimit == 0 || remaining < opts.TimeLimit {
+			opts.TimeLimit = remaining
+		}
+	}
+	threshold := p.cfg.ParallelThreshold
+	if threshold == 0 {
+		threshold = DefaultParallelThreshold
+	}
+	if threshold > 0 && q.N() >= threshold {
+		return core.OptimizeParallel(q, opts, p.cfg.SearchWorkers)
+	}
+	return core.OptimizeWithOptions(q, opts)
+}

@@ -1,0 +1,40 @@
+package planner
+
+import (
+	"testing"
+
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+)
+
+func benchInstance(b *testing.B, n int) *model.Query {
+	b.Helper()
+	q, err := gen.Default(n, 7).Generate()
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	return q
+}
+
+// BenchmarkCanonicalize measures the full color-refinement pass — the cost
+// a request pays when the raw-bytes memo misses (first sight of a query
+// serialization).
+func BenchmarkCanonicalize(b *testing.B) {
+	q := benchInstance(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		canonicalize(q)
+	}
+}
+
+// BenchmarkEncodeRaw measures the memo key computation — the per-request
+// serialization cost on the warm hit path.
+func BenchmarkEncodeRaw(b *testing.B) {
+	q := benchInstance(b, 12)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = encodeRaw(q, buf[:0])
+	}
+	_ = buf
+}

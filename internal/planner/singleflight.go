@@ -1,0 +1,52 @@
+package planner
+
+import "sync"
+
+// flightGroup collapses concurrent duplicate searches: while a search for a
+// signature is in flight, later arrivals can wait on its completion and
+// share the outcome instead of re-running branch-and-bound. This is the
+// singleflight pattern (golang.org/x/sync/singleflight) specialized to
+// Signature keys and implemented locally to keep the module dependency-free,
+// with one structural difference: join/complete are split so followers can
+// wait under their own context instead of blocking unconditionally on the
+// leader.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[Signature]*flightCall
+}
+
+// flightCall is one in-flight search. entry/err are written exactly once,
+// before done is closed; followers must not read them until done.
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// join registers interest in sig. The first caller becomes the leader
+// (second return true) and must eventually call complete; later callers
+// receive the same call to wait on.
+func (g *flightGroup) join(sig Signature) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[Signature]*flightCall)
+	}
+	if c, ok := g.calls[sig]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[sig] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome and releases the followers. The
+// call is forgotten first, so requests arriving after completion start a
+// fresh flight (the plan cache, not the flight group, serves repeats).
+func (g *flightGroup) complete(sig Signature, c *flightCall, entry *cacheEntry, err error) {
+	c.entry, c.err = entry, err
+	g.mu.Lock()
+	delete(g.calls, sig)
+	g.mu.Unlock()
+	close(c.done)
+}
