@@ -416,6 +416,47 @@ func BenchmarkExperSuiteQuick(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchHotPath measures the exact-search engine on the pinned
+// hard instances of the BENCH_search.json suite (see cmd/dqbench -json),
+// cold (no warm start) and warm, so benchstat can track the dfs node loop
+// across commits. nodes/op makes the work explicit: ns/op divided by
+// nodes/op is the per-node cost of the hot path.
+func BenchmarkSearchHotPath(b *testing.B) {
+	instances := []struct {
+		family string
+		n      int
+	}{
+		{"plain", 12},
+		{"precedence", 13},
+		{"threaded", 12},
+	}
+	for _, in := range instances {
+		q, _, err := exper.SearchBenchInstance(in.family, in.n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"cold", core.Options{DisableWarmStart: true}},
+			{"warm", core.Options{}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s/n=%d", mode.name, in.family, in.n), func(b *testing.B) {
+				var nodes int64
+				for i := 0; i < b.N; i++ {
+					res, err := core.OptimizeWithOptions(q, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes = res.Stats.NodesExpanded
+				}
+				b.ReportMetric(float64(nodes), "nodes/op")
+			})
+		}
+	}
+}
+
 // plannerBenchQuery generates the n=12 warm-cache benchmark instance: a
 // near-uniform transfer matrix with high selectivities, where the closure
 // and V-pruning lemmas discriminate poorly and the search works hardest —

@@ -8,6 +8,12 @@
 //	dqbench -quick           # CI-sized sweeps (seconds)
 //	dqbench -run F3,F7       # selected experiments
 //	dqbench -markdown        # markdown tables for EXPERIMENTS.md
+//
+// Search benchmark baseline (see BENCH_search.json at the repo root):
+//
+//	dqbench -json BENCH_search.json            # measure + write the baseline
+//	dqbench -quick -json new.json \
+//	        -compare BENCH_search.json         # CI: fresh run vs committed baseline
 package main
 
 import (
@@ -35,9 +41,15 @@ func run(args []string) error {
 		markdown = fs.Bool("markdown", false, "render markdown tables")
 		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
 		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonOut  = fs.String("json", "", "run the search benchmark suite and write the report to this path (skips the experiment tables)")
+		compare  = fs.String("compare", "", "previous search-bench report to diff against (implies the search benchmark suite)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonOut != "" || *compare != "" {
+		return runSearchBenchCmd(*jsonOut, *compare, *quick)
 	}
 
 	if *list {
@@ -80,5 +92,35 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments matched -run=%q", *runList)
 	}
 	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+// runSearchBenchCmd drives the search benchmark suite: measure, optionally
+// diff against a previous report, optionally persist (embedding the
+// compared report as the recorded "previous" so the baseline file carries
+// its own before/after story).
+func runSearchBenchCmd(jsonOut, comparePath string, quick bool) error {
+	started := time.Now()
+	rep, err := runSearchBench(quick, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if comparePath != "" {
+		old, err := loadBenchReport(comparePath)
+		if err != nil {
+			return err
+		}
+		if err := compareBenchReports(old, rep, os.Stdout); err != nil {
+			return err
+		}
+		rep.Previous = old.Entries
+		rep.PreviousNote = fmt.Sprintf("baseline from %s (generated %s)", comparePath, old.GeneratedAt)
+	}
+	if jsonOut != "" {
+		if err := writeBenchReport(rep, jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d entries) in %v\n", jsonOut, len(rep.Entries), time.Since(started).Round(time.Millisecond))
+	}
 	return nil
 }

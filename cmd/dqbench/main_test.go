@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"serviceordering/internal/exper"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +28,42 @@ func TestRunSelectedQuick(t *testing.T) {
 func TestRunNoMatch(t *testing.T) {
 	if err := run([]string{"-run", "Z9"}); err == nil {
 		t.Fatalf("unknown experiment id accepted")
+	}
+}
+
+// TestSearchBenchJSONRoundTrip runs the quick search benchmark, writes the
+// report, reloads it, and diffs a second run against it — the whole CI
+// loop in miniature.
+func TestSearchBenchJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search bench skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-json", out}); err != nil {
+		t.Fatalf("run -quick -json: %v", err)
+	}
+	rep, err := loadBenchReport(out)
+	if err != nil {
+		t.Fatalf("loadBenchReport: %v", err)
+	}
+	if len(rep.Entries) != len(exper.SearchBenchFamilies)*len(searchBenchModes()) {
+		t.Fatalf("report holds %d entries, want %d", len(rep.Entries), len(exper.SearchBenchFamilies)*len(searchBenchModes()))
+	}
+	for _, e := range rep.Entries {
+		if e.NsPerOp <= 0 || e.Nodes <= 0 || !e.Optimal {
+			t.Fatalf("degenerate entry %+v", e)
+		}
+	}
+	// Second run comparing + embedding the first as baseline.
+	out2 := filepath.Join(t.TempDir(), "bench2.json")
+	if err := run([]string{"-quick", "-json", out2, "-compare", out}); err != nil {
+		t.Fatalf("run -compare: %v", err)
+	}
+	rep2, err := loadBenchReport(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Previous) != len(rep.Entries) || rep2.PreviousNote == "" {
+		t.Fatalf("baseline not embedded: %d previous entries, note %q", len(rep2.Previous), rep2.PreviousNote)
 	}
 }

@@ -1,0 +1,229 @@
+package main
+
+// The search benchmark baseline: a reproducible suite of hard exact-search
+// instances (per family and size), measured cold (no warm start) and warm,
+// sequentially and in parallel, and emitted as BENCH_search.json so every
+// PR has a perf trajectory to beat. The committed file at the repository
+// root is the current baseline; CI regenerates a fresh report on every
+// push and prints a benchstat-style comparison against it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/exper"
+	"serviceordering/internal/model"
+	"serviceordering/internal/stats"
+)
+
+// searchBenchSchema names the report format; bump on breaking changes.
+const searchBenchSchema = "serviceordering/search-bench/v1"
+
+// benchEntry is one (instance, mode) measurement.
+type benchEntry struct {
+	Family  string  `json:"family"`
+	N       int     `json:"n"`
+	Seed    int64   `json:"seed"`
+	Mode    string  `json:"mode"` // cold-seq | warm-seq | cold-par | warm-par
+	Workers int     `json:"workers,omitempty"`
+	Ops     int     `json:"ops"`
+	NsPerOp int64   `json:"nsPerOp"`
+	Nodes   int64   `json:"nodes"`
+	Cost    float64 `json:"cost"`
+	Optimal bool    `json:"optimal"`
+}
+
+// key aligns entries across reports.
+func (e benchEntry) key() string { return fmt.Sprintf("%s/n=%d/%s", e.Family, e.N, e.Mode) }
+
+// benchReport is the BENCH_search.json document.
+type benchReport struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generatedAt"`
+	GoVersion   string `json:"goVersion"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Quick       bool   `json:"quick"`
+
+	Entries []benchEntry `json:"entries"`
+
+	// Previous carries the entries of the report this run was compared
+	// against (-compare), so a committed baseline records both sides of
+	// its before/after story.
+	Previous     []benchEntry `json:"previous,omitempty"`
+	PreviousNote string       `json:"previousNote,omitempty"`
+}
+
+// benchMode is one measurement configuration.
+type benchMode struct {
+	name     string
+	parallel bool
+	opts     core.Options
+}
+
+func searchBenchModes() []benchMode {
+	return []benchMode{
+		{name: "cold-seq", opts: core.Options{DisableWarmStart: true}},
+		{name: "warm-seq", opts: core.Options{}},
+		{name: "cold-par", parallel: true, opts: core.Options{DisableWarmStart: true}},
+		{name: "warm-par", parallel: true, opts: core.Options{}},
+	}
+}
+
+// runSearchBench measures the whole suite. Quick mode restricts to n=12
+// and shorter measurement windows (CI-sized); the full suite is the one to
+// commit as the baseline.
+func runSearchBench(quick bool, log io.Writer) (*benchReport, error) {
+	sizes := []int{12, 13, 14}
+	minOps, minDur := 3, 300*time.Millisecond
+	if quick {
+		sizes = []int{12}
+		minOps, minDur = 2, 50*time.Millisecond
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	rep := &benchReport{
+		Schema:      searchBenchSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+	}
+
+	for _, family := range exper.SearchBenchFamilies {
+		for _, n := range sizes {
+			q, seed, err := exper.SearchBenchInstance(family, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s/n=%d: %w", family, n, err)
+			}
+			var wantCost float64
+			for mi, mode := range searchBenchModes() {
+				entry, err := measureSearch(q, mode, workers, minOps, minDur)
+				if err != nil {
+					return nil, fmt.Errorf("%s/n=%d/%s: %w", family, n, mode.name, err)
+				}
+				entry.Family, entry.N, entry.Seed = family, n, seed
+				// Built-in differential check: every mode must prove the
+				// same optimum on the same instance.
+				if mi == 0 {
+					wantCost = entry.Cost
+				} else if entry.Cost != wantCost {
+					return nil, fmt.Errorf("%s/n=%d: %s cost %v != cold-seq cost %v",
+						family, n, mode.name, entry.Cost, wantCost)
+				}
+				rep.Entries = append(rep.Entries, entry)
+				fmt.Fprintf(log, "search-bench %-13s n=%d %-8s %12d ns/op %9d nodes\n",
+					family, n, mode.name, entry.NsPerOp, entry.Nodes)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// measureSearch times one (instance, mode) cell: at least minOps runs and
+// at least minDur of accumulated wall clock, reporting the mean.
+func measureSearch(q *model.Query, mode benchMode, workers, minOps int, minDur time.Duration) (benchEntry, error) {
+	run := func() (core.Result, error) {
+		if mode.parallel {
+			return core.OptimizeParallel(q, mode.opts, workers)
+		}
+		return core.OptimizeWithOptions(q, mode.opts)
+	}
+	// One warmup run outside the timing window.
+	res, err := run()
+	if err != nil {
+		return benchEntry{}, err
+	}
+	var (
+		ops     int
+		elapsed time.Duration
+	)
+	for ops < minOps || elapsed < minDur {
+		start := time.Now()
+		res, err = run()
+		elapsed += time.Since(start)
+		if err != nil {
+			return benchEntry{}, err
+		}
+		ops++
+	}
+	e := benchEntry{
+		Mode:    mode.name,
+		Ops:     ops,
+		NsPerOp: elapsed.Nanoseconds() / int64(ops),
+		Nodes:   res.Stats.NodesExpanded,
+		Cost:    res.Cost,
+		Optimal: res.Optimal,
+	}
+	if mode.parallel {
+		e.Workers = workers
+	}
+	return e, nil
+}
+
+// loadBenchReport reads a previous BENCH_search.json.
+func loadBenchReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if rep.Schema != searchBenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, searchBenchSchema)
+	}
+	return &rep, nil
+}
+
+// writeBenchReport writes the report with stable formatting.
+func writeBenchReport(rep *benchReport, path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// compareBenchReports prints a benchstat-style old-vs-new table for the
+// cells present in both reports.
+func compareBenchReports(old, cur *benchReport, w io.Writer) error {
+	oldByKey := make(map[string]benchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		oldByKey[e.key()] = e
+	}
+	tbl := stats.NewTable("search bench vs baseline",
+		"case", "old ns/op", "new ns/op", "Δtime", "old nodes", "new nodes", "Δnodes")
+	matched := 0
+	for _, e := range cur.Entries {
+		o, ok := oldByKey[e.key()]
+		if !ok {
+			continue
+		}
+		matched++
+		tbl.MustAddRow(e.key(),
+			fmt.Sprintf("%d", o.NsPerOp), fmt.Sprintf("%d", e.NsPerOp), delta(o.NsPerOp, e.NsPerOp),
+			fmt.Sprintf("%d", o.Nodes), fmt.Sprintf("%d", e.Nodes), delta(o.Nodes, e.Nodes))
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "search bench: no overlapping cases with baseline (size mismatch? run without -quick)")
+		return nil
+	}
+	return tbl.Render(w)
+}
+
+// delta renders a signed percentage change (negative = faster/fewer).
+func delta(old, cur int64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(cur)-float64(old))/float64(old))
+}

@@ -11,12 +11,16 @@
 //	POST /optimize/batch  body: {"instances": [{...}, ...]}
 //	                      reply: {"results": [...]} in input order; a bad
 //	                      instance fails alone, not the batch.
-//	GET  /stats           cache hit/miss/eviction and dedup counters.
+//	GET  /stats           cache hit/miss/eviction and dedup counters, the
+//	                      plan-cache hit rate, and aggregate search stats
+//	                      (nodes expanded, search micros).
 //	GET  /healthz         liveness probe.
+//	GET  /debug/pprof/*   runtime profiling, only with -pprof.
 //
 // Usage:
 //
 //	dqserve -addr :8080 -cache 4096 -batch-workers 8
+//	dqserve -pprof       # expose /debug/pprof for production profiling
 //
 // Example:
 //
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +67,7 @@ func run(args []string, ready chan<- string) error {
 		timeLimit    = fs.Duration("time-limit", 0, "per-search time budget (0 = none)")
 		nodeLimit    = fs.Int64("node-limit", 0, "per-search node budget (0 = none)")
 		maxBody      = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof endpoints for live profiling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +82,7 @@ func run(args []string, ready chan<- string) error {
 	})
 
 	srv := &http.Server{
-		Handler:           newHandler(p, *maxBody),
+		Handler:           newHandler(p, *maxBody, *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -146,12 +152,15 @@ type batchItem struct {
 type statsResponse struct {
 	planner.Stats
 
+	// HitRate is the plan-cache hit fraction in [0, 1].
+	HitRate float64 `json:"hitRate"`
+
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptimeSeconds"`
 }
 
 // newHandler builds the dqserve route table around one shared planner.
-func newHandler(p *planner.Planner, maxBody int64) http.Handler {
+func newHandler(p *planner.Planner, maxBody int64, pprofOn bool) http.Handler {
 	started := time.Now()
 	mux := http.NewServeMux()
 
@@ -194,9 +203,11 @@ func newHandler(p *planner.Planner, maxBody int64) http.Handler {
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := p.Stats()
 		writeJSON(w, http.StatusOK, statsResponse{
-			Stats:  p.Stats(),
-			Uptime: time.Since(started).Seconds(),
+			Stats:   st,
+			HitRate: st.HitRate(),
+			Uptime:  time.Since(started).Seconds(),
 		})
 	})
 
@@ -204,6 +215,17 @@ func newHandler(p *planner.Planner, maxBody int64) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+
+	// Profiling endpoints are opt-in: pprof handlers expose heap contents
+	// and stack traces, so production deployments enable them behind
+	// their own network policy.
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	return mux
 }

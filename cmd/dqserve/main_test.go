@@ -34,7 +34,7 @@ func fixtureInstance(t *testing.T) *model.Instance {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20))
+	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20, true))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -176,6 +176,38 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if got.Entries != 1 {
 		t.Errorf("entries = %d, want 1", got.Entries)
+	}
+	if got.HitRate != 0.5 {
+		t.Errorf("hitRate = %v, want 0.5", got.HitRate)
+	}
+	// The 3-service fixture warm-starts to a zero-node proof in under a
+	// microsecond, so only decodability is asserted here; accumulation is
+	// pinned deterministically in the planner's own tests.
+	if got.SearchNodes < 0 || got.SearchMicros < 0 {
+		t.Errorf("search counters negative: %+v", got.Stats)
+	}
+}
+
+func TestPprofEndpointBehindFlag(t *testing.T) {
+	srv := newTestServer(t) // newTestServer enables -pprof
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20, false))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof exposed without -pprof")
 	}
 }
 

@@ -52,7 +52,47 @@
 //	res, err = pl.Optimize(ctx, q)    // warm: cache hit, zero nodes expanded
 //
 // cmd/dqserve exposes the same planner over HTTP (POST /optimize,
-// POST /optimize/batch, GET /stats) for long-lived optimizer processes.
+// POST /optimize/batch, GET /stats) for long-lived optimizer processes;
+// GET /stats reports the plan-cache hit rate and aggregate search work
+// (nodes expanded, search microseconds), and -pprof exposes /debug/pprof
+// for live profiling of the search hot path.
+//
+// # The search hot path
+//
+// The exact search is engineered so a dfs node costs tens of nanoseconds
+// and allocates nothing:
+//
+//   - Warm starts. Before the search begins, the greedy constructions
+//     (minimum-epsilon append, nearest-neighbor by transfer) — refined by
+//     bottleneck local search on instances of 13+ services — seed the
+//     incumbent rho, so Lemma 1 prunes from the first node instead of
+//     after the first complete descent. The seed is a feasible plan, so
+//     the optimum the search proves is unchanged (a property test holds
+//     warm and cold runs to the same cost on every instance family);
+//     Options.DisableWarmStart restores the cold search for ablations and
+//     benchmarks.
+//   - Incremental tight bounds. The Lemma 2 closure bound epsilonBar and
+//     the optional completion lower bound need, per remaining service,
+//     its max/min transfer to the other remaining services. Instead of an
+//     O(R^2) rescan per node, each service's transfers are presorted once
+//     and walked to the first service whose placed bit is clear — same
+//     float64, bitwise identical bounds (a differential test compares
+//     against the retained naive implementations with ==), at ~O(R) per
+//     node. The closure test additionally short-circuits at the first
+//     bound term exceeding epsilon.
+//   - A zero-allocation node loop. Query data is flattened into dense
+//     per-service arrays shared read-only by all workers, the remaining
+//     set is iterated via bits.TrailingZeros64, and incumbent plans reuse
+//     a per-search buffer (cloned only when published to the cross-worker
+//     incumbent). testing.AllocsPerRun pins allocations per node at zero.
+//   - Adaptive parallel search. Parallel workers claim three-service
+//     subtree tasks (not whole root pairs) on instances large enough for
+//     subtree skew to matter, and draw node budget from one shared atomic
+//     pool, so NodeLimit bounds the total work of a parallel run no
+//     matter how unevenly the tree splits.
+//
+// The benchmark baseline lives in BENCH_search.json (regenerate with
+// cmd/dqbench -json); CI diffs every push against it.
 //
 // Beyond optimization the library bundles the full evaluation substrate
 // of the paper's experiments: baseline algorithms (exhaustive, greedy,

@@ -16,7 +16,8 @@ import (
 // and stops at a local optimum. It terminates because the cost strictly
 // decreases at every accepted move.
 func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
-	if _, err := validateForSearch(q); err != nil {
+	prec, err := validateForSearch(q)
+	if err != nil {
 		return Result{}, err
 	}
 	if seed == nil {
@@ -39,8 +40,11 @@ func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
 		bestCost := curCost
 		var bestPlan model.Plan
 
+		// Swap and relocate moves preserve permutation-ness, so only the
+		// precedence relation needs re-checking, which AllowsPlan does
+		// without allocating.
 		try := func(candidate model.Plan) {
-			if candidate.Validate(q) != nil {
+			if !prec.AllowsPlan(candidate) {
 				return
 			}
 			evaluated++

@@ -69,6 +69,6 @@ func OptimizeWithOptions(q *model.Query, opts Options) (Result, error) {
 	if err := opts.validate(); err != nil {
 		return Result{}, err
 	}
-	s := newSearch(q, opts)
+	s := newSearch(newPrep(q), opts)
 	return s.run()
 }

@@ -40,8 +40,20 @@ type Options struct {
 
 	// InitialIncumbent seeds rho with a known feasible plan (for example
 	// a greedy result), tightening Lemma 1 from the start. The plan must
-	// be valid for the query.
+	// be valid for the query. Setting it replaces the default warm-start
+	// pipeline.
 	InitialIncumbent model.Plan
+
+	// DisableWarmStart skips the heuristic warm-start pipeline (greedy
+	// constructions refined by bottleneck local search) that otherwise
+	// seeds rho before the exact search begins. The pipeline runs in
+	// microseconds, never changes the optimum the search proves (its
+	// result is a feasible plan, so rho is a valid upper bound), and lets
+	// Lemma 1 prune from the first node instead of after the first
+	// complete descent. Disable it for ablations or when benchmarking the
+	// cold search. Warm starts are implicitly off when InitialIncumbent
+	// is set or incumbent pruning is disabled.
+	DisableWarmStart bool
 
 	// NodeLimit aborts the search after this many expanded nodes
 	// (0 = unlimited). An aborted search reports Optimal == false and
@@ -56,6 +68,13 @@ type Options struct {
 	// (expansion, prune, closure, V-jump, incumbent update). Use a fresh
 	// recorder per run; recorders are not safe for concurrent use.
 	Tracer *trace.Recorder
+}
+
+// warmStartEligible reports whether the run should compute a heuristic
+// incumbent: warm starts are the default, but they are pointless without
+// incumbent pruning and redundant when the caller supplied a seed.
+func (o Options) warmStartEligible() bool {
+	return !o.DisableWarmStart && !o.DisableIncumbentPruning && o.InitialIncumbent == nil
 }
 
 func (o Options) validate() error {
@@ -114,8 +133,16 @@ type Stats struct {
 	// lower bound extension.
 	StrongLBPrunes int64
 
-	// IncumbentUpdates counts improvements of rho.
+	// IncumbentUpdates counts improvements of rho, including the
+	// installation of a warm-start incumbent.
 	IncumbentUpdates int64
+
+	// WarmStarted reports that the heuristic warm-start pipeline seeded
+	// the incumbent before the exact search began; WarmStartCost is the
+	// cost of that seed (an upper bound on — and frequently equal to —
+	// the optimum).
+	WarmStarted   bool
+	WarmStartCost float64
 
 	// Elapsed is the wall-clock duration of the search.
 	Elapsed time.Duration

@@ -11,21 +11,42 @@ import (
 	"serviceordering/internal/model"
 )
 
-// This file implements parallel branch-and-bound: workers claim root
-// pairs from the shared cost-sorted list and explore their subtrees
-// concurrently, publishing incumbents through an atomically readable
-// global bound. All pruning rules remain sound under concurrency:
+// This file implements parallel branch-and-bound: workers claim tasks from
+// a shared cost-ordered list and explore their subtrees concurrently,
+// publishing incumbents through an atomically readable global bound. All
+// pruning rules remain sound under concurrency:
 //
 //   - rho only decreases, so a Lemma 1 prune against a stale (larger)
 //     bound is merely conservative;
 //   - the Lemma 3 root rule ("no plan starting with service a can beat
-//     rho") compares against the pair costs of *later* pairs in the
-//     sorted order, which does not depend on which worker explored the
-//     earlier ones;
-//   - V-jumps are entirely local to one pair's subtree, i.e. one worker.
+//     rho") and the pair rule ("no plan sharing the pair prefix can beat
+//     rho") only ever skip tasks that come LATER in the sorted order than
+//     the closure that justified them, which is exactly the set the
+//     sequential search would skip;
+//   - V-jumps deeper than the task root are entirely local to one worker.
+//
+// Two mechanisms keep workers busy and budgets honest:
+//
+//   - Work splitting: on instances large enough for subtree skew to
+//     matter (n >= splitMinServices), tasks are three-service prefixes
+//     rather than whole root pairs, so a root pair whose subtree dominates
+//     the search is explored by many workers at once instead of
+//     serializing the run behind a single straggler. Each pair's depth-2
+//     node is evaluated once during task generation (closure, strong
+//     lower bound), mirroring what the sequential search does before
+//     expanding children.
+//   - A shared node budget: Options.NodeLimit is a single atomic pool
+//     workers draw allowance from in budgetChunk blocks, so a parallel
+//     run expands ~NodeLimit nodes in total regardless of worker count;
+//     no worker aborts while budget remains unspent elsewhere.
 //
 // The result cost is deterministic (the optimum); the identity of the
 // returned plan may differ across runs when multiple optimal plans exist.
+
+// splitMinServices is the instance size at which the parallel search
+// decomposes root pairs into triple tasks. Below it, subtrees are small
+// enough that pair granularity keeps workers busy.
+const splitMinServices = 10
 
 // sharedIncumbent is the cross-worker bound: lock-free reads of rho on
 // the search hot path, mutex-serialized updates.
@@ -47,7 +68,8 @@ func (si *sharedIncumbent) load() float64 {
 }
 
 // tryUpdate installs the plan if its cost improves the bound, reporting
-// whether it did.
+// whether it did. The plan is copied under the lock, so callers may pass
+// (and afterwards reuse) a scratch buffer.
 func (si *sharedIncumbent) tryUpdate(cost float64, plan model.Plan) bool {
 	si.mu.Lock()
 	defer si.mu.Unlock()
@@ -55,7 +77,7 @@ func (si *sharedIncumbent) tryUpdate(cost float64, plan model.Plan) bool {
 		return false
 	}
 	si.bits.Store(math.Float64bits(cost))
-	si.plan = plan
+	si.plan = append(si.plan[:0], plan...)
 	return true
 }
 
@@ -65,12 +87,19 @@ func (si *sharedIncumbent) snapshot() (model.Plan, float64) {
 	return si.plan, si.load()
 }
 
+// parTask is one unit of parallel work: the subtree of root pair
+// pairs[pair], either whole (child < 0) or restricted to third service
+// child.
+type parTask struct {
+	pair  int32
+	child int32
+}
+
 // OptimizeParallel runs the branch-and-bound search with the given number
-// of workers (0 = GOMAXPROCS). Workers claim root pairs in cost order and
-// share the incumbent bound. Options apply per worker, with two
-// deviations from the sequential semantics: NodeLimit is split evenly
-// across workers, and Tracer is ignored (recorders are single-threaded —
-// trace with the sequential optimizer).
+// of workers (0 = GOMAXPROCS). Workers claim tasks in cost order and share
+// the incumbent bound and, when NodeLimit is set, a single node-budget
+// pool. Tracer is ignored (recorders are single-threaded — trace with the
+// sequential optimizer).
 func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, fmt.Errorf("core: invalid query: %w", err)
@@ -97,71 +126,114 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 		return res, nil
 	}
 
+	var total Stats
 	shared := newSharedIncumbent()
 	if opts.InitialIncumbent != nil {
 		if err := opts.InitialIncumbent.Validate(q); err != nil {
 			return Result{}, fmt.Errorf("core: initial incumbent: %w", err)
 		}
-		shared.tryUpdate(q.Cost(opts.InitialIncumbent), opts.InitialIncumbent.Clone())
+		shared.tryUpdate(q.Cost(opts.InitialIncumbent), opts.InitialIncumbent)
+		total.IncumbentUpdates++
+	} else if opts.warmStartEligible() {
+		if plan, cost, ok := warmStart(q); ok {
+			shared.tryUpdate(cost, plan)
+			total.WarmStarted = true
+			total.WarmStartCost = cost
+			total.IncumbentUpdates++
+		}
 	}
 
-	pairs := buildRootPairs(q, q.CompiledPrecedence())
-	perWorkerOpts := opts
+	var sharedBudget *atomic.Int64
 	if opts.NodeLimit > 0 {
-		perWorkerOpts.NodeLimit = opts.NodeLimit / int64(workers)
-		if perWorkerOpts.NodeLimit == 0 {
-			perWorkerOpts.NodeLimit = 1
+		sharedBudget = new(atomic.Int64)
+		sharedBudget.Store(opts.NodeLimit)
+		opts.NodeLimit = 0 // workers draw from the pool instead
+	}
+	// The wall-clock deadline is shared verbatim: every worker checks it
+	// against the same instant, so TimeLimit bounds the whole run (the
+	// sequential search arms it inside run(), which workers bypass).
+	var deadline time.Time
+	hasDeadline := opts.TimeLimit > 0
+	if hasDeadline {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	pr := newPrep(q)
+	pairs := pr.pairs
+	split := workers > 1 && q.N() >= splitMinServices
+
+	var tasks []parTask
+	if split {
+		gen := newSearch(pr, opts)
+		gen.shared = shared
+		gen.rho = shared.load()
+		tasks = gen.buildTripleTasks()
+		mergeStats(&total, gen.stats)
+	} else {
+		tasks = make([]parTask, len(pairs))
+		for i := range pairs {
+			tasks[i] = parTask{pair: int32(i), child: -1}
 		}
 	}
 
 	var (
-		nextPair  atomic.Int64
+		nextTask  atomic.Int64
 		anyAbort  atomic.Bool
 		deadFirst = make([]atomic.Bool, q.N())
+		pairDead  = make([]atomic.Bool, len(pairs))
 		wg        sync.WaitGroup
 		statsMu   sync.Mutex
-		total     Stats
 	)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := newSearch(q, perWorkerOpts)
+			s := newSearch(pr, opts)
 			s.shared = shared
+			s.sharedBudget = sharedBudget
+			s.deadline, s.hasDeadline = deadline, hasDeadline
 			s.rho = shared.load()
 			for {
-				i := nextPair.Add(1) - 1
-				if i >= int64(len(pairs)) || s.aborted {
+				i := nextTask.Add(1) - 1
+				if i >= int64(len(tasks)) || s.aborted {
 					break
 				}
-				pr := pairs[i]
-				if deadFirst[pr.a].Load() {
+				t := tasks[i]
+				p := pairs[t.pair]
+				if deadFirst[p.a].Load() || (t.child >= 0 && pairDead[t.pair].Load()) {
 					continue
 				}
 				s.refreshRho()
-				// Lemma 1 termination: this and all later pairs are at
-				// least as expensive as the incumbent.
-				if !opts.DisableIncumbentPruning && pr.cost >= s.rho {
+				// Lemma 1 termination: this and all later tasks start from
+				// prefixes at least as expensive as the incumbent.
+				if !opts.DisableIncumbentPruning && p.cost >= s.rho {
 					break
 				}
-				s.stats.PairsTried++
-				if ret := s.runPair(pr.a, pr.b); ret == 1 {
-					deadFirst[pr.a].Store(true)
+				if t.child < 0 {
+					s.stats.PairsTried++
+					if ret := s.runPair(p.a, p.b); ret == 1 {
+						deadFirst[p.a].Store(true)
+					}
+					continue
+				}
+				ret := s.runTriple(p.a, p.b, int(t.child))
+				if ret <= 2 {
+					// Lemma 3 jump past the triple root: the remaining
+					// (higher-transfer) triples of this pair are pruned,
+					// and with the bottleneck at position 0 so is every
+					// later pair starting with p.a.
+					pairDead[t.pair].Store(true)
+					if ret == 1 {
+						deadFirst[p.a].Store(true)
+					}
 				}
 			}
 			if s.aborted {
 				anyAbort.Store(true)
 			}
 			statsMu.Lock()
-			total.NodesExpanded += s.stats.NodesExpanded
-			total.PairsTried += s.stats.PairsTried
-			total.IncumbentPrunes += s.stats.IncumbentPrunes
-			total.Closures += s.stats.Closures
-			total.VJumps += s.stats.VJumps
-			total.LevelsSkipped += s.stats.LevelsSkipped
-			total.StrongLBPrunes += s.stats.StrongLBPrunes
-			total.IncumbentUpdates += s.stats.IncumbentUpdates
+			mergeStats(&total, s.stats)
 			statsMu.Unlock()
 		}()
 	}
@@ -173,4 +245,74 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 		return Result{Optimal: false, Stats: total}, nil
 	}
 	return Result{Plan: plan, Cost: cost, Optimal: !anyAbort.Load(), Stats: total}, nil
+}
+
+// buildTripleTasks evaluates each root pair's depth-2 node in cost order
+// and emits one task per feasible third service, in the expansion-policy
+// order dfs would use. Pairs closed by Lemma 2 at depth 2 contribute their
+// incumbent (and Lemma 3 root prune) here and produce no tasks; the
+// strong-lower-bound extension prunes whole pairs the same way the
+// sequential search would before expanding children. The receiver is a
+// throwaway search whose stats the caller merges.
+func (s *search) buildTripleTasks() []parTask {
+	pairs := s.pairs
+	tasks := make([]parTask, 0, len(pairs)*(s.n-2))
+	for pi := range pairs {
+		p := pairs[pi]
+		if s.deadFirst[p.a] {
+			continue
+		}
+		// Lemma 1 over sorted pairs: everything from here on starts at or
+		// above the incumbent. (rho can still improve while workers run;
+		// the claim loop re-checks.)
+		if !s.opts.DisableIncumbentPruning && p.cost >= s.rho {
+			break
+		}
+		s.stats.PairsTried++
+		s.prefix = append(s.prefix[:0], p.a, p.b)
+		s.placed = 1<<uint(p.a) | 1<<uint(p.b)
+		ps := s.pairState(p.a, p.b)
+		eps, bpos := s.epsilonPos(ps, 2)
+		rem := s.remaining()
+		if !s.opts.DisableClosure {
+			if _, closed := s.closureBar(eps, ps, rem); closed {
+				s.stats.Closures++
+				if eps < s.rho {
+					s.commitIncumbent(eps, s.completePlan())
+				}
+				if !s.opts.DisableVPruning && bpos < 1 {
+					s.stats.VJumps++
+					s.stats.LevelsSkipped++
+					s.deadFirst[p.a] = true
+				}
+				continue
+			}
+		}
+		if s.opts.StrongLowerBound && !s.opts.DisableIncumbentPruning {
+			if lb := s.completionLB(ps, rem); lb >= s.rho {
+				s.stats.StrongLBPrunes++
+				continue
+			}
+		}
+		for _, c32 := range s.order(p.b) {
+			c := int(c32)
+			if c == p.a || !s.prec.CanPlace(c, s.placed) {
+				continue
+			}
+			tasks = append(tasks, parTask{pair: int32(pi), child: int32(c)})
+		}
+	}
+	return tasks
+}
+
+// mergeStats accumulates worker-local counters into the run total.
+func mergeStats(total *Stats, st Stats) {
+	total.NodesExpanded += st.NodesExpanded
+	total.PairsTried += st.PairsTried
+	total.IncumbentPrunes += st.IncumbentPrunes
+	total.Closures += st.Closures
+	total.VJumps += st.VJumps
+	total.LevelsSkipped += st.LevelsSkipped
+	total.StrongLBPrunes += st.StrongLBPrunes
+	total.IncumbentUpdates += st.IncumbentUpdates
 }

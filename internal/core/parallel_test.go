@@ -3,6 +3,7 @@ package core_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"serviceordering/internal/baseline"
 	"serviceordering/internal/core"
@@ -106,6 +107,98 @@ func TestParallelRespectsBudget(t *testing.T) {
 	}
 	if res.Optimal {
 		t.Fatalf("Optimal = true under a 40-node budget with pruning disabled")
+	}
+}
+
+// TestParallelSharedBudgetSpendsWholeLimit is the regression test for the
+// old per-worker NodeLimit split: workers used to abort with budget still
+// unspent in other workers' shares. With the shared pool, a parallel run
+// whose search needs far more than NodeLimit nodes must expand ≈NodeLimit
+// nodes in total regardless of worker count (slack: one aborting
+// node-count increment per worker).
+func TestParallelSharedBudgetSpendsWholeLimit(t *testing.T) {
+	q := randInstance(rand.New(rand.NewSource(5)), 12, instanceKind{})
+	for i := range q.Services {
+		q.Services[i].Selectivity = 0.95
+	}
+	const limit = 3000
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := core.OptimizeParallel(q, core.Options{
+			NodeLimit:               limit,
+			DisableClosure:          true,
+			DisableIncumbentPruning: true,
+		}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Optimal {
+			t.Fatalf("workers=%d: Optimal = true under a %d-node budget with pruning disabled", workers, limit)
+		}
+		got := res.Stats.NodesExpanded
+		if got < limit || got > limit+int64(workers)+4 {
+			t.Fatalf("workers=%d: expanded %d nodes, want ≈%d (the whole shared budget)", workers, got, limit)
+		}
+	}
+}
+
+// TestParallelTimeLimit pins that the wall-clock budget reaches the
+// parallel workers (it used to be armed only inside the sequential run
+// loop): with pruning disabled, a 14-service instance cannot finish in
+// 20ms, so the run must abort and report a non-optimal incumbent.
+func TestParallelTimeLimit(t *testing.T) {
+	q := randInstance(rand.New(rand.NewSource(8)), 14, instanceKind{})
+	start := time.Now()
+	res, err := core.OptimizeParallel(q, core.Options{
+		TimeLimit:               20 * time.Millisecond,
+		DisableClosure:          true,
+		DisableIncumbentPruning: true,
+		DisableVPruning:         true,
+	}, 4)
+	if err != nil {
+		t.Fatalf("OptimizeParallel: %v", err)
+	}
+	if res.Optimal {
+		t.Fatalf("Optimal = true under a 20ms budget with pruning disabled")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("parallel run ignored the deadline: took %v", elapsed)
+	}
+}
+
+// TestParallelSplitMatchesSequential covers the triple-task work-splitting
+// path (n >= splitMinServices, workers > 1), which the small-instance
+// correctness tests never reach: same optimal cost as the sequential
+// search across families and worker counts.
+func TestParallelSplitMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("split corpus is not -short")
+	}
+	rng := rand.New(rand.NewSource(6161))
+	kinds := instanceKinds()
+	for trial := 0; trial < 8; trial++ {
+		kind := kinds[trial%len(kinds)]
+		n := 10 + rng.Intn(3)
+		q := randInstance(rng, n, kind)
+		seq, err := core.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := core.OptimizeParallel(q, core.Options{}, workers)
+			if err != nil {
+				t.Fatalf("OptimizeParallel(%d): %v", workers, err)
+			}
+			if !par.Optimal {
+				t.Fatalf("trial %d workers=%d: Optimal = false without budget", trial, workers)
+			}
+			if err := par.Plan.Validate(q); err != nil {
+				t.Fatalf("trial %d workers=%d: invalid plan: %v", trial, workers, err)
+			}
+			if !costsMatch(par.Cost, seq.Cost) {
+				t.Fatalf("trial %d (%s, n=%d, workers=%d): split parallel %v != sequential %v",
+					trial, kind.name, n, workers, par.Cost, seq.Cost)
+			}
+		}
 	}
 }
 

@@ -3,27 +3,20 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"serviceordering/internal/model"
 	"serviceordering/internal/trace"
 )
 
-// search holds the mutable state of one branch-and-bound run.
+// search holds the mutable state of one branch-and-bound run. All static
+// per-query data lives in the embedded prep, which parallel workers share
+// read-only; everything here is worker-local.
 type search struct {
-	q    *model.Query
+	*prep
 	opts Options
-	prec *model.Precedence
-	n    int
-
-	// Precomputed static data.
-	sink            []float64 // sink transfer per service (zeros when absent)
-	maxTransferAll  []float64 // max_j Transfer[i][j], j != i
-	minTransferAll  []float64 // min_j Transfer[i][j], j != i
-	maxOutAll       []float64 // max(maxTransferAll[i], sink[i])
-	minOutAll       []float64 // min(minTransferAll[i], sink[i])
-	orderByTransfer [][]int   // orderByTransfer[l]: services sorted by Transfer[l][.] asc
 
 	// Mutable search state.
 	placed    uint64
@@ -38,79 +31,97 @@ type search struct {
 	// workers; rho is then a worker-local cache of the global bound.
 	shared *sharedIncumbent
 
+	// sharedBudget, when non-nil, is the cross-worker node budget; the
+	// worker draws allowance from it in budgetChunk blocks so the shared
+	// atomic is touched once per chunk, not once per node.
+	sharedBudget *atomic.Int64
+	allowance    int64
+
 	deadline    time.Time
 	hasDeadline bool
 
-	// Scratch buffers (one allocation per run).
+	// Scratch buffers (allocated once per search, reused by every node).
 	remScratch    []int
 	growthScratch []float64
+	planBuf       model.Plan // incumbent plan buffer; cloned only when published to a shared incumbent
+}
+
+// pstate mirrors model.PrefixState over the prep's flattened arrays: the
+// running selectivity product before the last service, and the maximum
+// finalized bottleneck term with its plan position. Every expression below
+// has the exact shape of its model counterpart, so the floats it produces
+// are bitwise identical to model.PrefixState's — the differential tests
+// compare engines with ==, not a tolerance.
+type pstate struct {
+	last       int
+	prodBefore float64
+	maxDone    float64
+	maxDonePos int
+}
+
+// pairState returns the state of the two-service prefix [a, b].
+func (s *search) pairState(a, b int) pstate {
+	// Placing a: the source term (zero without a source stage) is the only
+	// finalized term, at position 0.
+	ps := pstate{last: a, prodBefore: 1, maxDone: s.src[a], maxDonePos: 0}
+	return s.childState(ps, 1, b)
+}
+
+// childState extends a prefix of length depth with service r, finalizing
+// the previous last service's term with its transfer to r.
+func (s *search) childState(ps pstate, depth, r int) pstate {
+	l := ps.last
+	final := ps.prodBefore * (s.cost[l] + s.sel[l]*s.tr[l*s.n+r]) / s.tc[l]
+	if final > ps.maxDone {
+		ps.maxDone = final
+		ps.maxDonePos = depth - 1
+	}
+	ps.prodBefore *= s.sel[l]
+	ps.last = r
+	return ps
+}
+
+// epsilonPos returns the prefix's bottleneck cost (epsilon) and the plan
+// position realizing it, for a prefix of length depth.
+func (s *search) epsilonPos(ps pstate, depth int) (float64, int) {
+	provisional := ps.prodBefore * s.cost[ps.last] / s.tc[ps.last]
+	if provisional > ps.maxDone {
+		return provisional, depth - 1
+	}
+	return ps.maxDone, ps.maxDonePos
+}
+
+// completeCost returns the bottleneck cost of the prefix interpreted as a
+// complete plan (the last service pays its sink transfer).
+func (s *search) completeCost(ps pstate) float64 {
+	l := ps.last
+	final := ps.prodBefore * (s.cost[l] + s.sel[l]*s.sink[l]) / s.tc[l]
+	if final > ps.maxDone {
+		return final
+	}
+	return ps.maxDone
 }
 
 // retNone is the "no jump" return value of dfs; any value larger than the
 // deepest possible depth works.
 const retNone = int(^uint(0) >> 1)
 
-func newSearch(q *model.Query, opts Options) *search {
-	n := q.N()
-	s := &search{
-		q:             q,
+// budgetChunk is the number of node expansions a worker draws from a
+// shared node budget per acquisition.
+const budgetChunk = 64
+
+func newSearch(pr *prep, opts Options) *search {
+	n := pr.n
+	return &search{
+		prep:          pr,
 		opts:          opts,
-		prec:          q.CompiledPrecedence(),
-		n:             n,
 		rho:           math.Inf(1),
 		prefix:        make([]int, 0, n),
 		deadFirst:     make([]bool, n),
 		remScratch:    make([]int, 0, n),
 		growthScratch: make([]float64, n+1),
+		planBuf:       make(model.Plan, 0, n),
 	}
-
-	s.sink = make([]float64, n)
-	if q.SinkTransfer != nil {
-		copy(s.sink, q.SinkTransfer)
-	}
-	s.maxTransferAll = make([]float64, n)
-	s.minTransferAll = make([]float64, n)
-	s.maxOutAll = make([]float64, n)
-	s.minOutAll = make([]float64, n)
-	for i := 0; i < n; i++ {
-		maxT, minT := 0.0, math.Inf(1)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			t := q.Transfer[i][j]
-			if t > maxT {
-				maxT = t
-			}
-			if t < minT {
-				minT = t
-			}
-		}
-		if n == 1 {
-			minT = 0
-		}
-		s.maxTransferAll[i] = maxT
-		s.minTransferAll[i] = minT
-		s.maxOutAll[i] = math.Max(maxT, s.sink[i])
-		s.minOutAll[i] = math.Min(minT, s.sink[i])
-	}
-
-	// The expansion policy: children of a node whose last service is l
-	// are tried in increasing Transfer[l][.], ties broken by index. The
-	// per-service order is static, so precompute it once.
-	s.orderByTransfer = make([][]int, n)
-	for l := 0; l < n; l++ {
-		order := make([]int, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j != l {
-				order = append(order, j)
-			}
-		}
-		row := q.Transfer[l]
-		sort.SliceStable(order, func(a, b int) bool { return row[order[a]] < row[order[b]] })
-		s.orderByTransfer[l] = order
-	}
-	return s
 }
 
 func (s *search) run() (Result, error) {
@@ -133,11 +144,15 @@ func (s *search) run() (Result, error) {
 		}
 		s.best = s.opts.InitialIncumbent.Clone()
 		s.rho = s.q.Cost(s.best)
+	} else if s.opts.warmStartEligible() {
+		if plan, cost, ok := warmStart(s.q); ok {
+			s.best = plan
+			s.rho = cost
+			s.noteWarmStart(cost)
+		}
 	}
 
-	pairs := buildRootPairs(s.q, s.prec)
-
-	for _, pr := range pairs {
+	for _, pr := range s.pairs {
 		if s.aborted {
 			break
 		}
@@ -174,26 +189,35 @@ func (s *search) run() (Result, error) {
 	}, nil
 }
 
-// dfs explores the subtree rooted at the current prefix (depth st.Len()).
+// noteWarmStart records the heuristic incumbent in the stats and trace.
+func (s *search) noteWarmStart(cost float64) {
+	s.stats.WarmStarted = true
+	s.stats.WarmStartCost = cost
+	s.stats.IncumbentUpdates++
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Record(trace.Event{Kind: trace.KindIncumbent, Depth: 0, Service: -1, Epsilon: cost})
+	}
+}
+
+// dfs explores the subtree rooted at the current prefix of length depth.
 // Its return value implements the Lemma 3 jump: retNone for a normal
 // backtrack, or a depth d meaning "the subtree of the ancestor prefix of
 // length d is pruned"; every invocation deeper than d unwinds immediately
 // and the invocation at depth d stops trying children.
-func (s *search) dfs(st model.PrefixState) int {
-	depth := st.Len()
+func (s *search) dfs(depth int, ps pstate) int {
 	s.stats.NodesExpanded++
 	if !s.budgetOK() {
 		return retNone
 	}
 
 	if s.opts.Tracer != nil && depth > 2 {
-		s.opts.Tracer.Record(trace.Event{Kind: trace.KindExpand, Depth: depth, Service: st.Last()})
+		s.opts.Tracer.Record(trace.Event{Kind: trace.KindExpand, Depth: depth, Service: ps.last})
 	}
 	s.refreshRho()
 
 	if depth == s.n {
-		if cost := st.Complete(s.q); cost < s.rho {
-			s.commitIncumbent(cost, append(model.Plan(nil), s.prefix...))
+		if cost := s.completeCost(ps); cost < s.rho {
+			s.commitIncumbent(cost, append(s.planBuf[:0], s.prefix...))
 			if s.opts.Tracer != nil {
 				s.opts.Tracer.Record(trace.Event{Kind: trace.KindIncumbent, Depth: depth, Service: -1, Epsilon: cost})
 			}
@@ -201,13 +225,13 @@ func (s *search) dfs(st model.PrefixState) int {
 		return retNone
 	}
 
-	eps, bpos := st.EpsilonPos(s.q)
+	eps, bpos := s.epsilonPos(ps, depth)
 
 	// Lemma 1: epsilon never decreases along a branch.
 	if !s.opts.DisableIncumbentPruning && eps >= s.rho {
 		s.stats.IncumbentPrunes++
 		if s.opts.Tracer != nil {
-			s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneIncumbent, Depth: depth, Service: st.Last(), Epsilon: eps, Bound: s.rho})
+			s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneIncumbent, Depth: depth, Service: ps.last, Epsilon: eps, Bound: s.rho})
 		}
 		return retNone
 	}
@@ -217,7 +241,7 @@ func (s *search) dfs(st model.PrefixState) int {
 	// Lemma 2: when no remaining service can exceed epsilon, every
 	// completion costs exactly epsilon.
 	if !s.opts.DisableClosure {
-		if bar := s.epsilonBar(st, rem); eps >= bar {
+		if bar, closed := s.closureBar(eps, ps, rem); closed {
 			s.stats.Closures++
 			if s.opts.Tracer != nil {
 				s.opts.Tracer.Record(trace.Event{Kind: trace.KindClosure, Depth: depth, Service: s.prefix[bpos], Epsilon: eps, Bound: bar})
@@ -243,27 +267,27 @@ func (s *search) dfs(st model.PrefixState) int {
 	}
 
 	if s.opts.StrongLowerBound && !s.opts.DisableIncumbentPruning {
-		if lb := s.completionLB(st, rem); lb >= s.rho {
+		if lb := s.completionLB(ps, rem); lb >= s.rho {
 			s.stats.StrongLBPrunes++
 			if s.opts.Tracer != nil {
-				s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneStrongLB, Depth: depth, Service: st.Last(), Epsilon: lb, Bound: s.rho})
+				s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneStrongLB, Depth: depth, Service: ps.last, Epsilon: lb, Bound: s.rho})
 			}
 			return retNone
 		}
 	}
 
-	last := st.Last()
-	for _, r := range s.orderByTransfer[last] {
+	for _, r32 := range s.order(ps.last) {
 		if s.aborted {
 			return retNone
 		}
+		r := int(r32)
 		bit := uint64(1) << uint(r)
 		if s.placed&bit != 0 || !s.prec.CanPlace(r, s.placed) {
 			continue
 		}
 		s.placed |= bit
 		s.prefix = append(s.prefix, r)
-		ret := s.dfs(st.Append(s.q, r))
+		ret := s.dfs(depth+1, s.childState(ps, depth, r))
 		s.prefix = s.prefix[:len(s.prefix)-1]
 		s.placed &^= bit
 		if ret <= depth {
@@ -278,78 +302,53 @@ func (s *search) dfs(st model.PrefixState) int {
 	return retNone
 }
 
-// rootPair is a candidate two-service prefix; the search seeds from pairs
-// in increasing cost order (required for the Lemma 3 root rule).
-type rootPair struct {
-	a, b int
-	cost float64
-}
-
-// buildRootPairs enumerates the feasible ordered pairs sorted by pair
-// cost, ties broken by indices for determinism.
-func buildRootPairs(q *model.Query, prec *model.Precedence) []rootPair {
-	n := q.N()
-	pairs := make([]rootPair, 0, n*(n-1))
-	for a := 0; a < n; a++ {
-		if !prec.CanPlace(a, 0) {
-			continue
-		}
-		for b := 0; b < n; b++ {
-			if b == a || !prec.CanPlace(b, 1<<uint(a)) {
-				continue
-			}
-			pairs = append(pairs, rootPair{a: a, b: b, cost: q.PairCost(a, b)})
-		}
-	}
-	sort.SliceStable(pairs, func(i, j int) bool {
-		if pairs[i].cost != pairs[j].cost {
-			return pairs[i].cost < pairs[j].cost
-		}
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
-	})
-	return pairs
-}
-
 // runPair descends into the subtree rooted at the two-service prefix
 // [a, b] and returns the dfs jump value.
 func (s *search) runPair(a, b int) int {
 	s.prefix = append(s.prefix[:0], a, b)
 	s.placed = 1<<uint(a) | 1<<uint(b)
-	st := model.EmptyPrefix().Append(s.q, a).Append(s.q, b)
-	return s.dfs(st)
+	return s.dfs(2, s.pairState(a, b))
+}
+
+// runTriple descends into the subtree rooted at the three-service prefix
+// [a, b, c]; the parallel work-splitting path uses it to explore one pair
+// subtree from several workers at once.
+func (s *search) runTriple(a, b, c int) int {
+	s.prefix = append(s.prefix[:0], a, b, c)
+	s.placed = 1<<uint(a) | 1<<uint(b) | 1<<uint(c)
+	return s.dfs(3, s.childState(s.pairState(a, b), 2, c))
 }
 
 // remaining collects the unplaced service indices into the shared scratch
-// slice (invalidated by the next call).
+// slice (invalidated by the next call), iterating set bits instead of
+// scanning all n indices.
 func (s *search) remaining() []int {
 	rem := s.remScratch[:0]
-	for r := 0; r < s.n; r++ {
-		if s.placed&(1<<uint(r)) == 0 {
-			rem = append(rem, r)
-		}
+	m := s.allMask &^ s.placed
+	for m != 0 {
+		rem = append(rem, bits.TrailingZeros64(m))
+		m &= m - 1
 	}
 	s.remScratch = rem[:0]
 	return rem
 }
 
 // completePlan materializes the current prefix plus a feasible
-// (precedence-respecting) completion; under Lemma 2 any completion has the
-// same cost.
+// (precedence-respecting) completion into the reusable plan buffer; under
+// Lemma 2 any completion has the same cost.
 func (s *search) completePlan() model.Plan {
-	plan := append(model.Plan(nil), s.prefix...)
+	plan := append(s.planBuf[:0], s.prefix...)
 	placed := s.placed
 	for len(plan) < s.n {
-		for r := 0; r < s.n; r++ {
-			bit := uint64(1) << uint(r)
-			if placed&bit != 0 || !s.prec.CanPlace(r, placed) {
-				continue
+		m := s.allMask &^ placed
+		for m != 0 {
+			r := bits.TrailingZeros64(m)
+			m &= m - 1
+			if s.prec.CanPlace(r, placed) {
+				plan = append(plan, r)
+				placed |= 1 << uint(r)
+				break
 			}
-			plan = append(plan, r)
-			placed |= bit
-			break
 		}
 	}
 	return plan
@@ -367,7 +366,9 @@ func (s *search) refreshRho() {
 }
 
 // commitIncumbent records an improved complete plan, locally or through
-// the shared incumbent.
+// the shared incumbent. plan may alias the reusable planBuf: the shared
+// incumbent copies it under its lock, and the sequential path hands the
+// buffer itself to the caller only after the run ends.
 func (s *search) commitIncumbent(cost float64, plan model.Plan) {
 	if s.shared != nil {
 		if s.shared.tryUpdate(cost, plan) {
@@ -385,12 +386,29 @@ func (s *search) commitIncumbent(cost float64, plan model.Plan) {
 }
 
 // budgetOK enforces the node and time budgets; once either trips, the
-// search unwinds returning the incumbent.
+// search unwinds returning the incumbent. With a shared budget, allowance
+// is drawn in budgetChunk blocks; a worker aborts only when the pool is
+// empty, so a parallel run expands ~NodeLimit nodes in total no matter how
+// the work is distributed across workers.
 func (s *search) budgetOK() bool {
 	if s.aborted {
 		return false
 	}
-	if s.opts.NodeLimit > 0 && s.stats.NodesExpanded > s.opts.NodeLimit {
+	if s.sharedBudget != nil {
+		if s.allowance == 0 {
+			take := int64(budgetChunk)
+			rest := s.sharedBudget.Add(-take)
+			if rest <= -take {
+				s.aborted = true
+				return false
+			}
+			if rest < 0 {
+				take += rest
+			}
+			s.allowance = take
+		}
+		s.allowance--
+	} else if s.opts.NodeLimit > 0 && s.stats.NodesExpanded > s.opts.NodeLimit {
 		s.aborted = true
 		return false
 	}

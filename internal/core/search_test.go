@@ -365,11 +365,29 @@ func TestOptimizeInputErrors(t *testing.T) {
 func TestStatsCounters(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	q := randInstance(rng, 9, instanceKind{filtersOnly: true})
-	res, err := core.Optimize(q)
+
+	// The default warm-started run must record its heuristic seed; the
+	// seed is a feasible plan, so it can never undercut the optimum.
+	warm, err := core.Optimize(q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if !warm.Stats.WarmStarted || warm.Stats.WarmStartCost < warm.Cost {
+		t.Errorf("warm-start stats inconsistent: %+v vs cost %v", warm.Stats, warm.Cost)
+	}
+	if warm.Stats.IncumbentUpdates <= 0 {
+		t.Errorf("no incumbent updates on warm run: %+v", warm.Stats)
+	}
+
+	// The cold search exercises every work counter.
+	res, err := core.OptimizeWithOptions(q, core.Options{DisableWarmStart: true})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
 	st := res.Stats
+	if st.WarmStarted {
+		t.Errorf("WarmStarted = true with DisableWarmStart: %+v", st)
+	}
 	if st.NodesExpanded <= 0 || st.PairsTried <= 0 {
 		t.Errorf("work counters empty: %+v", st)
 	}

@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+)
+
+// Warm-start soundness: seeding the search with a heuristic incumbent may
+// only change how much work the proof takes, never the optimum it proves.
+// The property is checked three ways across every instance family
+// (sink/source, precedence, proliferative, threaded): warm vs cold
+// sequential search, warm vs cold parallel search, and a deliberately
+// suboptimal InitialIncumbent vs the cold optimum.
+
+type warmCase struct {
+	name  string
+	tweak func(*gen.Params)
+}
+
+func warmCorpus() []warmCase {
+	return []warmCase{
+		{name: "plain", tweak: func(*gen.Params) {}},
+		{name: "sink-source", tweak: func(p *gen.Params) { p.WithSource, p.WithSink = true, true }},
+		{name: "precedence", tweak: func(p *gen.Params) { p.PrecedenceEdges = 3 }},
+		{name: "proliferative", tweak: func(p *gen.Params) { p.ProliferativeFraction = 0.3 }},
+		{name: "threaded", tweak: func(p *gen.Params) { p.MultiThreadFraction = 0.4 }},
+	}
+}
+
+func TestWarmStartPreservesOptimum(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("warm-start corpus is not -short")
+	}
+	for _, tc := range warmCorpus() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, n := range []int{5, 7, 9, 11} {
+				for rep := 0; rep < 5; rep++ {
+					seed := int64(3_000_000 + 1000*n + rep)
+					p := gen.Default(n, seed)
+					tc.tweak(&p)
+					q, err := p.Generate()
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: generate: %v", n, seed, err)
+					}
+					label := fmt.Sprintf("n=%d seed=%d", n, seed)
+
+					cold, err := core.OptimizeWithOptions(q, core.Options{DisableWarmStart: true})
+					if err != nil {
+						t.Fatalf("%s: cold: %v", label, err)
+					}
+					if cold.Stats.WarmStarted {
+						t.Fatalf("%s: cold run reports WarmStarted", label)
+					}
+
+					warm, err := core.Optimize(q)
+					if err != nil {
+						t.Fatalf("%s: warm: %v", label, err)
+					}
+					if !warm.Optimal || warm.Cost != cold.Cost {
+						t.Fatalf("%s: warm (%v, optimal=%v) != cold (%v, optimal=%v)",
+							label, warm.Cost, warm.Optimal, cold.Cost, cold.Optimal)
+					}
+					if !warm.Stats.WarmStarted {
+						t.Fatalf("%s: warm run did not warm-start", label)
+					}
+					if warm.Stats.WarmStartCost < warm.Cost {
+						t.Fatalf("%s: warm-start cost %v undercuts the optimum %v (heuristic produced an infeasible bound)",
+							label, warm.Stats.WarmStartCost, warm.Cost)
+					}
+					if err := warm.Plan.Validate(q); err != nil {
+						t.Fatalf("%s: warm plan infeasible: %v", label, err)
+					}
+					if got := q.Cost(warm.Plan); got != warm.Cost {
+						t.Fatalf("%s: warm plan costs %v, reported %v", label, got, warm.Cost)
+					}
+
+					// Parallel warm vs cold.
+					parCold, err := core.OptimizeParallel(q, core.Options{DisableWarmStart: true}, 4)
+					if err != nil {
+						t.Fatalf("%s: parallel cold: %v", label, err)
+					}
+					parWarm, err := core.OptimizeParallel(q, core.Options{}, 4)
+					if err != nil {
+						t.Fatalf("%s: parallel warm: %v", label, err)
+					}
+					if parCold.Cost != cold.Cost || parWarm.Cost != cold.Cost {
+						t.Fatalf("%s: parallel costs (cold %v, warm %v) != sequential optimum %v",
+							label, parCold.Cost, parWarm.Cost, cold.Cost)
+					}
+
+					// A deliberately suboptimal incumbent must not change
+					// the optimum either: seed with the identity /
+					// topological strawman.
+					id, err := baseline.Identity(q)
+					if err != nil {
+						t.Fatalf("%s: identity: %v", label, err)
+					}
+					seeded, err := core.OptimizeWithOptions(q, core.Options{InitialIncumbent: id.Plan})
+					if err != nil {
+						t.Fatalf("%s: seeded: %v", label, err)
+					}
+					if seeded.Cost != cold.Cost {
+						t.Fatalf("%s: suboptimal incumbent changed the optimum: %v != %v (incumbent cost %v)",
+							label, seeded.Cost, cold.Cost, id.Cost)
+					}
+					if seeded.Stats.WarmStarted {
+						t.Fatalf("%s: explicit incumbent still triggered a warm start", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmStartNeverExpandsMoreWithoutVJumps checks the node-count claim
+// behind the pipeline for the Lemma 1+2 subsystem: with V-pruning off, a
+// warm-started search never expands more nodes than the cold search —
+// Lemma 1 prunes monotonically in rho and Lemma 2 closures are
+// rho-independent, so the warm tree is a subset of the cold tree.
+//
+// With V-pruning ON the claim is deliberately NOT asserted: a warm start
+// can Lemma-1-prune a branch before it reaches a closure whose V-jump
+// would have killed a whole cohort of later root pairs, so warm node
+// counts can (rarely, slightly) exceed cold ones. That interaction is
+// inherent to the paper's Lemma 3, not a bug.
+func TestWarmStartNeverExpandsMoreWithoutVJumps(t *testing.T) {
+	t.Parallel()
+	for _, tc := range warmCorpus() {
+		for _, n := range []int{8, 10} {
+			seed := int64(4_000_000 + int64(n))
+			p := gen.Default(n, seed)
+			p.SelMin = 0.7
+			tc.tweak(&p)
+			q, err := p.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := core.OptimizeWithOptions(q, core.Options{DisableWarmStart: true, DisableVPruning: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := core.OptimizeWithOptions(q, core.Options{DisableVPruning: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Cost != cold.Cost {
+				t.Fatalf("%s n=%d: warm %v != cold %v", tc.name, n, warm.Cost, cold.Cost)
+			}
+			if warm.Stats.NodesExpanded > cold.Stats.NodesExpanded {
+				t.Fatalf("%s n=%d: warm start expanded %d nodes, cold %d",
+					tc.name, n, warm.Stats.NodesExpanded, cold.Stats.NodesExpanded)
+			}
+		}
+	}
+}

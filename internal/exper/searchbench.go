@@ -1,0 +1,56 @@
+package exper
+
+import (
+	"fmt"
+
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+)
+
+// The pinned instances of the search benchmark suite (BENCH_search.json,
+// cmd/dqbench -json, BenchmarkSearchHotPath). This file is the single
+// source of truth for their seeds and distribution parameters: changing
+// anything here invalidates the committed baseline, so regenerate
+// BENCH_search.json in the same commit.
+
+// SearchBenchFamilies lists the instance families of the suite.
+var SearchBenchFamilies = []string{"plain", "sink-source", "precedence", "proliferative", "threaded"}
+
+// searchBenchSeeds pins, per family and size, a seed whose instance is
+// genuinely hard (tens of thousands to millions of search nodes): the
+// suite measures the search engine, not instance luck. Chosen by probing
+// the seed families.
+var searchBenchSeeds = map[string]map[int]int64{
+	"plain":         {12: 20156, 13: 9013, 14: 20182},
+	"sink-source":   {12: 20156, 13: 9013, 14: 20182},
+	"precedence":    {12: 20156, 13: 20169, 14: 20182},
+	"proliferative": {12: 20156, 13: 9013, 14: 9014},
+	"threaded":      {12: 10084, 13: 10091, 14: 20182},
+}
+
+// SearchBenchInstance generates the pinned hard instance for a family and
+// size, returning the query and its seed. High selectivities keep filters
+// weak, which is what makes exact search work for its optimum.
+func SearchBenchInstance(family string, n int) (*model.Query, int64, error) {
+	seed, ok := searchBenchSeeds[family][n]
+	if !ok {
+		return nil, 0, fmt.Errorf("exper: no pinned search-bench seed for %s/n=%d", family, n)
+	}
+	p := gen.Default(n, seed)
+	p.SelMin = 0.85
+	switch family {
+	case "plain":
+	case "sink-source":
+		p.WithSource, p.WithSink = true, true
+	case "precedence":
+		p.PrecedenceEdges = 3
+	case "proliferative":
+		p.SelMin, p.ProliferativeFraction = 0.75, 0.3
+	case "threaded":
+		p.MultiThreadFraction = 0.4
+	default:
+		return nil, 0, fmt.Errorf("exper: unknown search-bench family %q", family)
+	}
+	q, err := p.Generate()
+	return q, seed, err
+}

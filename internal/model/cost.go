@@ -139,7 +139,7 @@ func (st PrefixState) Append(q *Query, s int) PrefixState {
 		}
 		return next
 	}
-	svc := q.Services[st.last]
+	svc := &q.Services[st.last]
 	final := st.prodBefore * (svc.Cost + svc.Selectivity*q.Transfer[st.last][s]) / svc.ThreadCount()
 	if final > next.maxDone {
 		next.maxDone = final
@@ -156,7 +156,7 @@ func (st PrefixState) Epsilon(q *Query) float64 {
 	if st.size == 0 {
 		return 0
 	}
-	last := q.Services[st.last]
+	last := &q.Services[st.last]
 	provisional := st.prodBefore * last.Cost / last.ThreadCount()
 	if provisional > st.maxDone {
 		return provisional
@@ -170,7 +170,7 @@ func (st PrefixState) EpsilonPos(q *Query) (float64, int) {
 	if st.size == 0 {
 		return 0, -1
 	}
-	last := q.Services[st.last]
+	last := &q.Services[st.last]
 	provisional := st.prodBefore * last.Cost / last.ThreadCount()
 	if provisional > st.maxDone {
 		return provisional, st.size - 1
@@ -185,7 +185,7 @@ func (st PrefixState) Complete(q *Query) float64 {
 	if st.size == 0 {
 		return 0
 	}
-	svc := q.Services[st.last]
+	svc := &q.Services[st.last]
 	final := st.prodBefore * (svc.Cost + svc.Selectivity*q.sinkTransferOf(st.last)) / svc.ThreadCount()
 	if final > st.maxDone {
 		return final
@@ -197,7 +197,7 @@ func (st PrefixState) Complete(q *Query) float64 {
 // the maximum of a's finalized term and b's provisional term. The
 // optimizer seeds its search with pairs in increasing PairCost order.
 func (q *Query) PairCost(a, b int) float64 {
-	sa, sb := q.Services[a], q.Services[b]
+	sa, sb := &q.Services[a], &q.Services[b]
 	termA := (sa.Cost + sa.Selectivity*q.Transfer[a][b]) / sa.ThreadCount()
 	if src := q.sourceTransferOf(a); src > termA {
 		termA = src

@@ -95,6 +95,24 @@ func (p *Precedence) CanPlace(s int, placed uint64) bool {
 	return p.pred[s]&^placed == 0
 }
 
+// AllowsPlan reports whether the ordering satisfies every constraint. It
+// assumes plan is a permutation of 0..n-1 (checked by Plan.Validate) and
+// performs no allocation, so move-based local searches can test candidate
+// orderings at full speed.
+func (p *Precedence) AllowsPlan(plan Plan) bool {
+	if p.pred == nil {
+		return true
+	}
+	var placed uint64
+	for _, s := range plan {
+		if p.pred[s]&^placed != 0 {
+			return false
+		}
+		placed |= 1 << uint(s)
+	}
+	return true
+}
+
 // MustPrecede reports whether service a is constrained (directly) to come
 // before service b.
 func (p *Precedence) MustPrecede(a, b int) bool {

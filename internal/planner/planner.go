@@ -93,9 +93,11 @@ type Planner struct {
 	memo   *rawMemo
 	flight flightGroup
 
-	searches    atomic.Int64
-	sharedWaits atomic.Int64
-	memoHits    atomic.Int64
+	searches     atomic.Int64
+	sharedWaits  atomic.Int64
+	memoHits     atomic.Int64
+	searchNodes  atomic.Int64
+	searchMicros atomic.Int64
 
 	rawBufs sync.Pool // *[]byte scratch for encodeRaw
 }
@@ -162,14 +164,33 @@ type Stats struct {
 
 	// Entries is the current plan-cache population.
 	Entries int `json:"entries"`
+
+	// SearchNodes and SearchMicros accumulate the branch-and-bound work
+	// behind every executed search (cache hits and singleflight followers
+	// contribute nothing): the production-side view of the search-engine
+	// hot path.
+	SearchNodes  int64 `json:"searchNodes"`
+	SearchMicros int64 `json:"searchMicros"`
+}
+
+// HitRate returns the plan-cache hit fraction in [0, 1] (0 when no lookups
+// happened yet).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Stats returns a point-in-time snapshot of the planner counters.
 func (p *Planner) Stats() Stats {
 	s := Stats{
-		Searches:    p.searches.Load(),
-		SharedWaits: p.sharedWaits.Load(),
-		MemoHits:    p.memoHits.Load(),
+		Searches:     p.searches.Load(),
+		SharedWaits:  p.sharedWaits.Load(),
+		MemoHits:     p.memoHits.Load(),
+		SearchNodes:  p.searchNodes.Load(),
+		SearchMicros: p.searchMicros.Load(),
 	}
 	if p.cache != nil {
 		s.Hits = p.cache.hits.Load()
@@ -350,8 +371,16 @@ func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature) (co
 	if threshold == 0 {
 		threshold = DefaultParallelThreshold
 	}
+	var res core.Result
+	var err error
 	if threshold > 0 && q.N() >= threshold {
-		return core.OptimizeParallel(q, opts, p.cfg.SearchWorkers)
+		res, err = core.OptimizeParallel(q, opts, p.cfg.SearchWorkers)
+	} else {
+		res, err = core.OptimizeWithOptions(q, opts)
 	}
-	return core.OptimizeWithOptions(q, opts)
+	if err == nil {
+		p.searchNodes.Add(res.Stats.NodesExpanded)
+		p.searchMicros.Add(res.Stats.Elapsed.Microseconds())
+	}
+	return res, err
 }

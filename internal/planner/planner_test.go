@@ -25,8 +25,8 @@ func TestOptimizeHitMatchesMissByteForByte(t *testing.T) {
 	if miss.Cached {
 		t.Fatal("first request reported Cached")
 	}
-	if miss.Stats.NodesExpanded == 0 {
-		t.Fatal("miss path expanded no nodes")
+	if p.Stats().Searches != 1 {
+		t.Fatalf("miss path ran %d searches, want 1", p.Stats().Searches)
 	}
 
 	hit, err := p.Optimize(ctx, q)
@@ -366,5 +366,38 @@ func TestFollowerDoesNotInheritTruncatedResult(t *testing.T) {
 	}
 	if calls.Load() != 2 {
 		t.Fatalf("searches = %d, want 2 (leader + follower fallback)", calls.Load())
+	}
+}
+
+// TestSearchStatsAccumulate pins the production search counters: a cold
+// search (warm start disabled so nodes are guaranteed) adds its nodes to
+// SearchNodes, a cache hit adds nothing, and HitRate reflects the lookup
+// mix.
+func TestSearchStatsAccumulate(t *testing.T) {
+	t.Parallel()
+	p := New(Config{Search: core.Options{DisableWarmStart: true}})
+	q := testQuery(t, gen.Default(8, 11))
+	ctx := context.Background()
+
+	if _, err := p.Optimize(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	afterMiss := p.Stats()
+	if afterMiss.SearchNodes <= 0 {
+		t.Fatalf("cold search recorded %d nodes, want > 0", afterMiss.SearchNodes)
+	}
+	if afterMiss.HitRate() != 0 {
+		t.Fatalf("hit rate %v after one miss, want 0", afterMiss.HitRate())
+	}
+
+	if _, err := p.Optimize(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	afterHit := p.Stats()
+	if afterHit.SearchNodes != afterMiss.SearchNodes {
+		t.Fatalf("cache hit changed SearchNodes: %d -> %d", afterMiss.SearchNodes, afterHit.SearchNodes)
+	}
+	if afterHit.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v after 1 hit / 1 miss, want 0.5", afterHit.HitRate())
 	}
 }
