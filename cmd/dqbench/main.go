@@ -42,14 +42,21 @@ func run(args []string) error {
 		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonOut  = fs.String("json", "", "run the search benchmark suite and write the report to this path (skips the experiment tables)")
-		compare  = fs.String("compare", "", "previous search-bench report to diff against (implies the search benchmark suite)")
+		compare  = fs.String("compare", "", "previous search-bench report to diff against (implies the search benchmark suite); cells regressing beyond the thresholds fail the run")
+		timeReg  = fs.Float64("time-regress", 1.5, "-compare fails when a cell's ns/op exceeds baseline times this factor (0 disables)")
+		nodeReg  = fs.Float64("node-regress", 1.05, "-compare fails when a cell's node count exceeds baseline times this factor (0 disables)")
+		regOk    = fs.Bool("regress-ok", false, "report regressions without failing (baseline refreshes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *jsonOut != "" || *compare != "" {
-		return runSearchBenchCmd(*jsonOut, *compare, *quick)
+		thr := regressThresholds{time: *timeReg, nodes: *nodeReg}
+		if *regOk {
+			thr = regressThresholds{}
+		}
+		return runSearchBenchCmd(*jsonOut, *compare, *quick, thr)
 	}
 
 	if *list {
@@ -98,19 +105,22 @@ func run(args []string) error {
 // runSearchBenchCmd drives the search benchmark suite: measure, optionally
 // diff against a previous report, optionally persist (embedding the
 // compared report as the recorded "previous" so the baseline file carries
-// its own before/after story).
-func runSearchBenchCmd(jsonOut, comparePath string, quick bool) error {
+// its own before/after story). Cells regressing beyond thr fail the run —
+// after the report is written, so CI still uploads the artifact that
+// explains the failure.
+func runSearchBenchCmd(jsonOut, comparePath string, quick bool, thr regressThresholds) error {
 	started := time.Now()
 	rep, err := runSearchBench(quick, os.Stdout)
 	if err != nil {
 		return err
 	}
+	var regressions []string
 	if comparePath != "" {
 		old, err := loadBenchReport(comparePath)
 		if err != nil {
 			return err
 		}
-		if err := compareBenchReports(old, rep, os.Stdout); err != nil {
+		if regressions, err = compareBenchReports(old, rep, thr, os.Stdout); err != nil {
 			return err
 		}
 		rep.Previous = old.Entries
@@ -121,6 +131,14 @@ func runSearchBenchCmd(jsonOut, comparePath string, quick bool) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d entries) in %v\n", jsonOut, len(rep.Entries), time.Since(started).Round(time.Millisecond))
+	}
+	if len(regressions) > 0 {
+		fmt.Println("regressed cells:")
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		return fmt.Errorf("%d benchmark cell(s) regressed beyond threshold vs %s (rerun with -regress-ok to accept)",
+			len(regressions), comparePath)
 	}
 	return nil
 }

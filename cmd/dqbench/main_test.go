@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"serviceordering/internal/exper"
@@ -65,5 +67,76 @@ func TestSearchBenchJSONRoundTrip(t *testing.T) {
 	}
 	if len(rep2.Previous) != len(rep.Entries) || rep2.PreviousNote == "" {
 		t.Fatalf("baseline not embedded: %d previous entries, note %q", len(rep2.Previous), rep2.PreviousNote)
+	}
+}
+
+// TestCompareDetectsRegressions pins the -compare failure semantics on
+// synthetic reports: cells past a threshold produce one diff line each and
+// make the run fail, improvements and in-tolerance noise do not, and
+// zeroed thresholds (-regress-ok) silence everything.
+func TestCompareDetectsRegressions(t *testing.T) {
+	entry := func(family string, ns, nodes int64) benchEntry {
+		return benchEntry{Family: family, N: 12, Mode: "cold-seq", NsPerOp: ns, Nodes: nodes}
+	}
+	old := &benchReport{Schema: searchBenchSchema, Entries: []benchEntry{
+		entry("steady", 1000, 500),
+		entry("slower", 1000, 500),
+		entry("bushier", 1000, 500),
+		entry("faster", 1000, 500),
+	}}
+	cur := &benchReport{Schema: searchBenchSchema, Entries: []benchEntry{
+		entry("steady", 1040, 500),  // noise: within both thresholds
+		entry("slower", 2000, 500),  // time regression
+		entry("bushier", 1000, 900), // node regression
+		entry("faster", 400, 100),   // improvement
+	}}
+	thr := regressThresholds{time: 1.5, nodes: 1.05}
+	regressions, err := compareBenchReports(old, cur, thr, io.Discard)
+	if err != nil {
+		t.Fatalf("compareBenchReports: %v", err)
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regressions), regressions)
+	}
+	for _, want := range []string{"slower", "bushier"} {
+		found := false
+		for _, r := range regressions {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no regression line for %q in %v", want, regressions)
+		}
+	}
+
+	if silent, err := compareBenchReports(old, cur, regressThresholds{}, io.Discard); err != nil || len(silent) != 0 {
+		t.Fatalf("zeroed thresholds still flagged %v (err %v)", silent, err)
+	}
+
+	// End to end: a -compare run against a deliberately faster baseline
+	// (unbeatable 1 ns / 1 node on every real quick-suite cell) must exit
+	// non-zero.
+	fast := &benchReport{Schema: searchBenchSchema}
+	for _, family := range exper.SearchBenchFamilies {
+		for _, mode := range searchBenchModes() {
+			fast.Entries = append(fast.Entries, benchEntry{
+				Family: family, N: 12, Mode: mode.name, NsPerOp: 1, Nodes: 1,
+			})
+		}
+	}
+	fastPath := filepath.Join(t.TempDir(), "fast.json")
+	if err := writeBenchReport(fast, fastPath); err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		t.Skip("bench execution skipped in -short mode")
+	}
+	err = run([]string{"-quick", "-compare", fastPath})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("run -compare against unbeatable baseline: err = %v, want regression failure", err)
+	}
+	if err := run([]string{"-quick", "-compare", fastPath, "-regress-ok"}); err != nil {
+		t.Fatalf("-regress-ok still failed: %v", err)
 	}
 }

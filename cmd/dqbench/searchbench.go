@@ -193,9 +193,20 @@ func writeBenchReport(rep *benchReport, path string) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// regressThresholds define when a compared cell counts as a regression:
+// the new measurement must exceed old * threshold. Time is wall clock on
+// shared CI runners and gets a generous multiplier; node counts are
+// deterministic per engine version, so their tolerance only absorbs
+// parallel-mode scheduling wiggle.
+type regressThresholds struct {
+	time  float64
+	nodes float64
+}
+
 // compareBenchReports prints a benchstat-style old-vs-new table for the
-// cells present in both reports.
-func compareBenchReports(old, cur *benchReport, w io.Writer) error {
+// cells present in both reports and returns one line per cell regressing
+// beyond thr.
+func compareBenchReports(old, cur *benchReport, thr regressThresholds, w io.Writer) ([]string, error) {
 	oldByKey := make(map[string]benchEntry, len(old.Entries))
 	for _, e := range old.Entries {
 		oldByKey[e.key()] = e
@@ -203,6 +214,7 @@ func compareBenchReports(old, cur *benchReport, w io.Writer) error {
 	tbl := stats.NewTable("search bench vs baseline",
 		"case", "old ns/op", "new ns/op", "Δtime", "old nodes", "new nodes", "Δnodes")
 	matched := 0
+	var regressions []string
 	for _, e := range cur.Entries {
 		o, ok := oldByKey[e.key()]
 		if !ok {
@@ -212,12 +224,20 @@ func compareBenchReports(old, cur *benchReport, w io.Writer) error {
 		tbl.MustAddRow(e.key(),
 			fmt.Sprintf("%d", o.NsPerOp), fmt.Sprintf("%d", e.NsPerOp), delta(o.NsPerOp, e.NsPerOp),
 			fmt.Sprintf("%d", o.Nodes), fmt.Sprintf("%d", e.Nodes), delta(o.Nodes, e.Nodes))
+		if thr.time > 0 && float64(e.NsPerOp) > float64(o.NsPerOp)*thr.time {
+			regressions = append(regressions, fmt.Sprintf("%s: time %d -> %d ns/op (%s, threshold %+.0f%%)",
+				e.key(), o.NsPerOp, e.NsPerOp, delta(o.NsPerOp, e.NsPerOp), 100*(thr.time-1)))
+		}
+		if thr.nodes > 0 && float64(e.Nodes) > float64(o.Nodes)*thr.nodes {
+			regressions = append(regressions, fmt.Sprintf("%s: nodes %d -> %d (%s, threshold %+.0f%%)",
+				e.key(), o.Nodes, e.Nodes, delta(o.Nodes, e.Nodes), 100*(thr.nodes-1)))
+		}
 	}
 	if matched == 0 {
 		fmt.Fprintln(w, "search bench: no overlapping cases with baseline (size mismatch? run without -quick)")
-		return nil
+		return nil, nil
 	}
-	return tbl.Render(w)
+	return regressions, tbl.Render(w)
 }
 
 // delta renders a signed percentage change (negative = faster/fewer).

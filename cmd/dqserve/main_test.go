@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -185,6 +186,46 @@ func TestStatsEndpoint(t *testing.T) {
 	// pinned deterministically in the planner's own tests.
 	if got.SearchNodes < 0 || got.SearchMicros < 0 {
 		t.Errorf("search counters negative: %+v", got.Stats)
+	}
+	if got.DominanceOccupancy < 0 || got.DominanceOccupancy > 1 {
+		t.Errorf("dominanceOccupancy = %v, want in [0, 1]", got.DominanceOccupancy)
+	}
+}
+
+// TestStatsEndpointFresh is the zero-denominator regression test: scraping
+// /stats before the first planner lookup must return decodable JSON with a
+// hit rate of exactly 0. A NaN here would not surface as a number — Go's
+// encoding/json refuses NaN, so the handler would emit an empty body and
+// the first scrape of every fresh deployment would break.
+func TestStatsEndpointFresh(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("/stats returned an empty body on a fresh server (NaN smuggled into the encoder?)")
+	}
+	var got statsResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("fresh /stats is not valid JSON: %v\n%s", err, raw)
+	}
+	if got.HitRate != 0 {
+		t.Errorf("fresh hitRate = %v, want exactly 0", got.HitRate)
+	}
+	if got.Hits != 0 || got.Misses != 0 || got.Searches != 0 {
+		t.Errorf("fresh counters non-zero: %+v", got.Stats)
+	}
+	if got.DominancePrunes != 0 || got.DominanceOccupancy != 0 {
+		t.Errorf("fresh dominance counters non-zero: %+v", got.Stats)
 	}
 }
 

@@ -1,0 +1,146 @@
+package btsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"serviceordering/internal/domtable"
+)
+
+// MaxExactBBN bounds the branch-and-bound exact solver. Unlike the
+// threshold-DP solver — whose reachability table stores one word per
+// vertex SUBSET and therefore tops out at MaxExactN — the B&B path is
+// bounded only by the dominance table's memory cap (beyond which it
+// degrades to plain pruning, still exact), so it reaches instances the DP
+// cannot represent.
+const MaxExactBBN = 32
+
+// bbTableBytes caps the dominance table of one SolveExactBB run — the
+// shared default, so the ordering core and this solver retune together.
+// The table sizes itself to an eighth of the (mask, last) state space
+// (see domtable.New); the cap binds from n = 19 up, where the clock hand
+// recycles slots instead of growing the table.
+const bbTableBytes = domtable.DefaultTableBytes
+
+// SolveExactBB returns a minimum-bottleneck Hamiltonian path and its cost
+// via branch-and-bound over path prefixes, reusing the search core's
+// subset-dominance transposition table (internal/domtable) with the same
+// (mask, last) keying: two prefixes covering the same vertex set and
+// ending at the same vertex have identical feasible extensions, so only
+// the one with the smaller bottleneck-so-far needs extending. BTSP is the
+// degenerate case of the ordering problem with no selectivities, so the
+// table's product dimension is pinned to the constant 1 and every
+// same-(mask, last) revisit is eligible — dominance at full strength,
+// with no float-ordering caveat.
+//
+// SolveExact (threshold search over a subset-reachability DP) and
+// SolveExactBB prove the same optimal cost; they differ in how work
+// scales. The DP touches all 2^n subsets a constant number of times per
+// threshold probe regardless of instance difficulty; the B&B visits each
+// (mask, last) state at most once per bottleneck improvement but skips
+// the enormous majority of states on instances where the nearest-neighbor
+// incumbent and the dominance rule bite. BenchmarkSolveExactDP and
+// BenchmarkSolveExactBB measure the delta.
+func SolveExactBB(in *Instance) ([]int, float64, error) {
+	n := in.N()
+	if n > MaxExactBBN {
+		return nil, 0, fmt.Errorf("btsp: branch-and-bound exact solver limited to %d vertices, got %d", MaxExactBBN, n)
+	}
+	if n == 1 {
+		return []int{0}, 0, nil
+	}
+
+	s := &bbState{
+		in:   in,
+		n:    n,
+		dom:  domtable.New(n, bbTableBytes),
+		prod: math.Float64bits(1),
+	}
+	// Ascending neighbor orders: following light edges first makes the
+	// incumbent tight early, mirroring the ordering search's expansion
+	// policy.
+	s.order = make([]int, n*(n-1))
+	for v := 0; v < n; v++ {
+		row := s.order[v*(n-1) : (v+1)*(n-1)]
+		k := 0
+		for u := 0; u < n; u++ {
+			if u != v {
+				row[k] = u
+				k++
+			}
+		}
+		w := in.weights[v]
+		sort.SliceStable(row, func(i, j int) bool { return w[row[i]] < w[row[j]] })
+	}
+	if s.dom != nil {
+		s.domBand = s.dom.AdmitBand(n)
+	}
+
+	nnPath, nnCost := SolveNearestNeighbor(in)
+	s.best = append([]int(nil), nnPath...)
+	s.rho = nnCost
+
+	s.path = make([]int, 1, n)
+	for v := 0; v < n; v++ {
+		s.path = s.path[:1]
+		s.path[0] = v
+		s.dfs(1<<uint(v), v, 0)
+	}
+	return s.best, s.rho, nil
+}
+
+// bbState is one SolveExactBB run.
+type bbState struct {
+	in      *Instance
+	n       int
+	order   []int // ascending neighbor order, (n-1) per vertex
+	dom     *domtable.Table
+	domBand int
+	prod    uint64 // Float64bits(1): BTSP has no selectivity product
+
+	path []int
+	best []int
+	rho  float64
+}
+
+// dfs extends the path ending at last with bottleneck maxSoFar.
+func (s *bbState) dfs(mask uint64, last int, maxSoFar float64) {
+	depth := len(s.path)
+	if maxSoFar >= s.rho {
+		return
+	}
+	if depth == s.n {
+		s.rho = maxSoFar
+		s.best = append(s.best[:0], s.path...)
+		return
+	}
+	// Depth-2 prefixes are in bijection with their (mask, last) states
+	// (each visited once), so memoization starts at depth 3 — exactly the
+	// ordering search's admission floor.
+	if s.dom != nil && depth >= 3 && depth <= s.domBand {
+		if s.dom.Visit(mask, last, s.prod, maxSoFar) {
+			return
+		}
+	}
+	row := s.in.weights[last]
+	for _, u := range s.order[last*(s.n-1) : (last+1)*(s.n-1)] {
+		bit := uint64(1) << uint(u)
+		if mask&bit != 0 {
+			continue
+		}
+		w := row[u]
+		if w >= s.rho {
+			// Neighbors come in ascending weight: this and every later
+			// extension already reaches the incumbent bottleneck.
+			break
+		}
+		m := maxSoFar
+		if w > m {
+			m = w
+		}
+		s.path = append(s.path, u)
+		s.dfs(mask|bit, u, m)
+		s.path = s.path[:len(s.path)-1]
+	}
+}

@@ -1,0 +1,120 @@
+package btsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"serviceordering/internal/btsp"
+)
+
+// TestSolveExactBBMatchesDP is the solver-vs-solver differential: the
+// branch-and-bound path (dominance table, nearest-neighbor incumbent) and
+// the threshold-DP must prove the same optimal bottleneck on random
+// symmetric and asymmetric instances, and every reported path must price
+// to its reported cost.
+func TestSolveExactBBMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(10)
+		in := mustInstance(t, randWeights(rng, n, trial%2 == 0))
+		_, dp, err := btsp.SolveExact(in)
+		if err != nil {
+			t.Fatalf("SolveExact: %v", err)
+		}
+		path, bb, err := btsp.SolveExactBB(in)
+		if err != nil {
+			t.Fatalf("SolveExactBB: %v", err)
+		}
+		// Both costs are maxima over the same finite edge-weight set, so
+		// agreement is exact, not approximate.
+		if bb != dp {
+			t.Fatalf("trial %d (n=%d): B&B %v != DP %v", trial, n, bb, dp)
+		}
+		if len(path) != n {
+			t.Fatalf("trial %d: path %v does not visit all %d vertices", trial, path, n)
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range path {
+			if seen[v] {
+				t.Fatalf("trial %d: path %v revisits %d", trial, path, v)
+			}
+			seen[v] = true
+		}
+		if got := in.PathCost(path); got != bb {
+			t.Fatalf("trial %d: reported cost %v but path costs %v", trial, bb, got)
+		}
+	}
+}
+
+func TestSolveExactBBSingleVertexAndLimit(t *testing.T) {
+	in := mustInstance(t, [][]float64{{0}})
+	path, cost, err := btsp.SolveExactBB(in)
+	if err != nil || len(path) != 1 || cost != 0 {
+		t.Fatalf("SolveExactBB single = (%v, %v, %v)", path, cost, err)
+	}
+
+	n := btsp.MaxExactBBN + 1
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	big := mustInstance(t, w)
+	if _, _, err := btsp.SolveExactBB(big); err == nil {
+		t.Fatalf("SolveExactBB accepted %d vertices", n)
+	}
+}
+
+// TestSolveExactBBBeyondDPRange covers the sizes the DP cannot represent
+// (n > MaxExactN): the B&B must still return a feasible path priced to its
+// cost and never beaten by nearest-neighbor.
+func TestSolveExactBBBeyondDPRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := btsp.MaxExactN + 2
+	in := mustInstance(t, randWeights(rng, n, false))
+	path, cost, err := btsp.SolveExactBB(in)
+	if err != nil {
+		t.Fatalf("SolveExactBB: %v", err)
+	}
+	if len(path) != n || in.PathCost(path) != cost {
+		t.Fatalf("bad path/cost: %v / %v", path, cost)
+	}
+	if _, nn := btsp.SolveNearestNeighbor(in); cost > nn {
+		t.Fatalf("exact %v worse than nearest-neighbor %v", cost, nn)
+	}
+}
+
+// The DP-vs-B&B delta the satellite asks for: run with
+// `go test -bench 'SolveExact' ./internal/btsp/`.
+func benchInstance(b *testing.B, n int) *btsp.Instance {
+	b.Helper()
+	rng := rand.New(rand.NewSource(97))
+	in, err := btsp.New(randWeights(rng, n, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkSolveExactDP(b *testing.B) {
+	in := benchInstance(b, 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := btsp.SolveExact(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveExactBB(b *testing.B) {
+	in := benchInstance(b, 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := btsp.SolveExactBB(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

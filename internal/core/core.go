@@ -70,5 +70,6 @@ func OptimizeWithOptions(q *model.Query, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	s := newSearch(newPrep(q), opts)
+	s.dom, s.domBand = newDomTable(q.N(), opts)
 	return s.run()
 }

@@ -55,6 +55,27 @@ type Options struct {
 	// is set or incumbent pruning is disabled.
 	DisableWarmStart bool
 
+	// DisableDominance turns off the subset-dominance transposition table:
+	// for the bottleneck objective, two prefixes over the same placed set
+	// with the same last service have identical futures, so only the one
+	// with the smallest finalized bottleneck needs extension. The rule is
+	// exact (it never changes the optimum the search proves, nor — in the
+	// sequential search — the plan that proves it); disabling it is for
+	// ablations, for measuring the raw tree, and for anytime tuning: on
+	// budget-truncated runs (NodeLimit/TimeLimit tripped, Optimal ==
+	// false) pruning against a commitment published by a worker the
+	// budget later aborted can cost incumbent quality. Dominance is
+	// implicitly unavailable on instances too large to pack a
+	// (mask, last) key into one word (n > 58).
+	DisableDominance bool
+
+	// DominanceTableBytes caps the memory of the dominance table
+	// (0 = DefaultDominanceTableBytes). The table sizes itself to the
+	// instance's state space under this cap; beyond the cap it admits
+	// shallow prefixes preferentially and recycles slots with a
+	// second-chance clock hand.
+	DominanceTableBytes int64
+
 	// NodeLimit aborts the search after this many expanded nodes
 	// (0 = unlimited). An aborted search reports Optimal == false and
 	// returns the best incumbent found.
@@ -80,6 +101,9 @@ func (o Options) warmStartEligible() bool {
 func (o Options) validate() error {
 	if o.NodeLimit < 0 {
 		return fmt.Errorf("core: NodeLimit %d must be >= 0", o.NodeLimit)
+	}
+	if o.DominanceTableBytes < 0 {
+		return fmt.Errorf("core: DominanceTableBytes %d must be >= 0 (use DisableDominance to turn the table off)", o.DominanceTableBytes)
 	}
 	if o.TimeLimit < 0 {
 		return fmt.Errorf("core: TimeLimit %v must be >= 0", o.TimeLimit)
@@ -132,6 +156,14 @@ type Stats struct {
 	// StrongLBPrunes counts prefixes discarded by the optional strong
 	// lower bound extension.
 	StrongLBPrunes int64
+
+	// DominancePrunes counts prefixes discarded because their
+	// (placed-set, last-service) state was already committed to extension
+	// with an equal-or-better finalized bottleneck (the transposition
+	// table); DominanceOccupancy is the fraction of table slots holding a
+	// state when the run ended.
+	DominancePrunes    int64
+	DominanceOccupancy float64
 
 	// IncumbentUpdates counts improvements of rho, including the
 	// installation of a warm-start incumbent.

@@ -162,10 +162,17 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 	pairs := pr.pairs
 	split := workers > 1 && q.N() >= splitMinServices
 
+	// One dominance table serves the whole run: workers publish their
+	// committed (mask, last) bounds through it, so a subtree one worker
+	// starts extending prunes the equivalent prefixes of every other
+	// worker with no locks on the probe path.
+	dom, domBand := newDomTable(q.N(), opts)
+
 	var tasks []parTask
 	if split {
 		gen := newSearch(pr, opts)
 		gen.shared = shared
+		gen.dom, gen.domBand = dom, domBand
 		gen.rho = shared.load()
 		tasks = gen.buildTripleTasks()
 		mergeStats(&total, gen.stats)
@@ -191,6 +198,7 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 			defer wg.Done()
 			s := newSearch(pr, opts)
 			s.shared = shared
+			s.dom, s.domBand = dom, domBand
 			s.sharedBudget = sharedBudget
 			s.deadline, s.hasDeadline = deadline, hasDeadline
 			s.rho = shared.load()
@@ -240,6 +248,9 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 	wg.Wait()
 
 	total.Elapsed = time.Since(start)
+	if dom != nil {
+		total.DominanceOccupancy = dom.Occupancy()
+	}
 	plan, cost := shared.snapshot()
 	if plan == nil {
 		return Result{Optimal: false, Stats: total}, nil
@@ -314,5 +325,6 @@ func mergeStats(total *Stats, st Stats) {
 	total.VJumps += st.VJumps
 	total.LevelsSkipped += st.LevelsSkipped
 	total.StrongLBPrunes += st.StrongLBPrunes
+	total.DominancePrunes += st.DominancePrunes
 	total.IncumbentUpdates += st.IncumbentUpdates
 }

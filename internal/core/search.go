@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"serviceordering/internal/domtable"
 	"serviceordering/internal/model"
 	"serviceordering/internal/trace"
 )
@@ -30,6 +31,12 @@ type search struct {
 	// shared, when non-nil, coordinates the incumbent across parallel
 	// workers; rho is then a worker-local cache of the global bound.
 	shared *sharedIncumbent
+
+	// dom, when non-nil, is the subset-dominance transposition table
+	// (shared across parallel workers); domBand is the deepest prefix
+	// depth admitted to it. See dominance.go.
+	dom     *domtable.Table
+	domBand int
 
 	// sharedBudget, when non-nil, is the cross-worker node budget; the
 	// worker draws allowance from it in budgetChunk blocks so the shared
@@ -176,6 +183,9 @@ func (s *search) run() (Result, error) {
 	}
 
 	s.stats.Elapsed = time.Since(start)
+	if s.dom != nil {
+		s.stats.DominanceOccupancy = s.dom.Occupancy()
+	}
 	if s.best == nil {
 		// Only reachable when a budget aborted the run before the first
 		// complete plan was found.
@@ -234,6 +244,26 @@ func (s *search) dfs(depth int, ps pstate) int {
 			s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneIncumbent, Depth: depth, Service: ps.last, Epsilon: eps, Bound: s.rho})
 		}
 		return retNone
+	}
+
+	// Subset dominance: a prefix over the same placed set with the same
+	// last service, the same prodBefore bit pattern, and a finalized
+	// bottleneck <= ours has the bitwise-identical future (same remaining
+	// set, same outgoing transfer row, same product feeding every term)
+	// and was already committed to extension, so every completion of this
+	// prefix is matched or beaten there. Visit atomically publishes our
+	// own maxDone when we are the best-known arrival — that publish is
+	// this node's commitment to soundly search its subtree, which is what
+	// makes pruning later arrivals exact (see dominance.go and
+	// internal/domtable).
+	if s.dom != nil && depth >= domMinDepth && depth <= s.domBand {
+		if s.dom.Visit(s.placed, ps.last, math.Float64bits(ps.prodBefore), ps.maxDone) {
+			s.stats.DominancePrunes++
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Record(trace.Event{Kind: trace.KindPruneDominance, Depth: depth, Service: ps.last, Epsilon: ps.maxDone, Bound: s.rho})
+			}
+			return retNone
+		}
 	}
 
 	rem := s.remaining()

@@ -39,6 +39,9 @@ func TestTracerMatchesStats(t *testing.T) {
 		if got := rec.Count(trace.KindIncumbent); got != st.IncumbentUpdates {
 			t.Errorf("trial %d: incumbent events %d != IncumbentUpdates %d", trial, got, st.IncumbentUpdates)
 		}
+		if got := rec.Count(trace.KindPruneDominance); got != st.DominancePrunes {
+			t.Errorf("trial %d: dominance events %d != DominancePrunes %d", trial, got, st.DominancePrunes)
+		}
 	}
 }
 

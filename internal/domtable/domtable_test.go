@@ -1,0 +1,296 @@
+package domtable
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewSizing(t *testing.T) {
+	if New(1, 1<<20) != nil {
+		t.Errorf("New accepted n=1")
+	}
+	if New(MaxN+1, 1<<20) != nil {
+		t.Errorf("New accepted n=%d", MaxN+1)
+	}
+	if New(10, 0) != nil {
+		t.Errorf("New accepted a zero-byte cap")
+	}
+
+	// Small n: the floor applies (the 1/8-of-state-space target is below
+	// it) and the table stays far under the cap.
+	tab := New(10, 16<<20)
+	if tab == nil {
+		t.Fatal("New(10) = nil")
+	}
+	if tab.Entries() < minEntries || tab.Bytes() > 16<<20 {
+		t.Errorf("entries = %d (bytes %d), want >= %d under the cap", tab.Entries(), tab.Bytes(), minEntries)
+	}
+	// Mid n: the 1/8 target takes over and scales with the state space.
+	mid := New(16, 64<<20)
+	if want := 16 * (1 << 15) / 8; mid.Entries() < want/2 {
+		t.Errorf("n=16 entries = %d, want >= %d", mid.Entries(), want/2)
+	}
+
+	// Large n: the cap binds.
+	capped := New(30, 1<<20)
+	if capped == nil {
+		t.Fatal("New(30) = nil")
+	}
+	if capped.Bytes() > 1<<20 {
+		t.Errorf("capped table uses %d bytes, cap 1MiB", capped.Bytes())
+	}
+	if capped.Entries()&(capped.Entries()-1) != 0 {
+		t.Errorf("entries %d not a power of two", capped.Entries())
+	}
+}
+
+func TestProbeUpdateMin(t *testing.T) {
+	tab := New(8, 1<<20)
+	mask := uint64(0b10110)
+	prod := math.Float64bits(0.75)
+	if _, ok := tab.Probe(mask, 2, prod); ok {
+		t.Fatal("probe hit on an empty table")
+	}
+	if !tab.Update(mask, 2, prod, 5.0) {
+		t.Fatal("update rejected")
+	}
+	if v, ok := tab.Probe(mask, 2, prod); !ok || v != 5.0 {
+		t.Fatalf("probe = (%v, %v), want (5, true)", v, ok)
+	}
+	// Same mask, different last: a distinct state.
+	if _, ok := tab.Probe(mask, 4, prod); ok {
+		t.Fatal("probe leaked across last-element variants")
+	}
+	// Same (mask, last), product bits an ulp apart: a distinct state — the
+	// bitwise product match is what keeps dominance float-exact.
+	if _, ok := tab.Probe(mask, 2, prod+1); ok {
+		t.Fatal("probe leaked across product-bit variants")
+	}
+	// Updates keep the minimum.
+	tab.Update(mask, 2, prod, 7.0)
+	if v, _ := tab.Probe(mask, 2, prod); v != 5.0 {
+		t.Fatalf("worse update lowered the bound: %v", v)
+	}
+	tab.Update(mask, 2, prod, 3.0)
+	if v, _ := tab.Probe(mask, 2, prod); v != 3.0 {
+		t.Fatalf("better update ignored: %v", v)
+	}
+	// Rejected inputs.
+	if tab.Update(mask, 2, prod, -1) || tab.Update(mask, 2, prod, math.NaN()) {
+		t.Fatal("negative/NaN bound accepted")
+	}
+	// A +0.0 bound collides with the "unset" sentinel: it must be
+	// rejected rather than overwrite the resident bound with a value
+	// every probe treats as absent.
+	if tab.Update(mask, 2, prod, 0) {
+		t.Fatal("zero bound accepted")
+	}
+	if v, ok := tab.Probe(mask, 2, prod); !ok || v != 3.0 {
+		t.Fatalf("zero-bound publish destroyed the entry: (%v, %v), want (3, true)", v, ok)
+	}
+}
+
+func TestVisitDominance(t *testing.T) {
+	tab := New(8, 1<<20)
+	mask := uint64(0b111)
+	prod := math.Float64bits(0.5)
+	if tab.Visit(mask, 1, prod, 4.0) {
+		t.Fatal("first visit reported dominated")
+	}
+	if !tab.Visit(mask, 1, prod, 4.0) {
+		t.Fatal("equal revisit not dominated (the first visitor committed to the subtree)")
+	}
+	if !tab.Visit(mask, 1, prod, 9.0) {
+		t.Fatal("worse revisit not dominated")
+	}
+	if tab.Visit(mask, 1, prod+1, 9.0) {
+		t.Fatal("revisit with different product bits dominated")
+	}
+	if tab.Visit(mask, 1, prod, 2.0) {
+		t.Fatal("improving revisit dominated")
+	}
+	if v, _ := tab.Probe(mask, 1, prod); v != 2.0 {
+		t.Fatalf("bound after improving visit = %v, want 2", v)
+	}
+}
+
+func TestNilTableIsInert(t *testing.T) {
+	var tab *Table
+	if _, ok := tab.Probe(1, 0, 0); ok {
+		t.Fatal("nil probe hit")
+	}
+	if tab.Update(1, 0, 0, 1) {
+		t.Fatal("nil update succeeded")
+	}
+	if tab.Visit(3, 0, 0, 1) {
+		t.Fatal("nil visit dominated")
+	}
+	if tab.Occupancy() != 0 || tab.AdmitBand(10) != 0 {
+		t.Fatal("nil table reports non-zero occupancy/band")
+	}
+	tab.Range(func(uint64, int, uint64, float64) { t.Fatal("nil range called back") })
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	// A deliberately tiny table: far more states than slots forces the
+	// clock hand to recycle, and every probe must keep returning values
+	// that were actually published for that exact state.
+	tab := New(20, 64*EntryBytes)
+	if tab == nil {
+		t.Fatal("New = nil")
+	}
+	rng := rand.New(rand.NewSource(7))
+	type st struct {
+		mask uint64
+		last int
+		prod uint64
+		val  float64
+	}
+	var states []st
+	for i := 0; i < 4096; i++ {
+		mask := uint64(rng.Intn(1<<20)) | 1
+		last := 0
+		for b := 0; b < 20; b++ {
+			if mask&(1<<uint(b)) != 0 && rng.Intn(3) == 0 {
+				last = b
+			}
+		}
+		prod := math.Float64bits(0.5 + rng.Float64()/2)
+		v := float64(i%97) + 1
+		tab.Update(mask, last, prod, v)
+		states = append(states, st{mask, last, prod, v})
+	}
+	if tab.Evictions() == 0 {
+		t.Fatalf("no evictions after %d inserts into %d slots", len(states), tab.Entries())
+	}
+	if occ := tab.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy = %v, want (0, 1]", occ)
+	}
+	// Range must only yield published (state, value <= published) pairs.
+	type fullKey struct {
+		key  uint64
+		prod uint64
+	}
+	min := map[fullKey]float64{}
+	for _, s := range states {
+		k := fullKey{tab.Key(s.mask, s.last), s.prod}
+		if cur, ok := min[k]; !ok || s.val < cur {
+			min[k] = s.val
+		}
+	}
+	tab.Range(func(mask uint64, last int, prod uint64, v float64) {
+		k := fullKey{tab.Key(mask, last), prod}
+		lo, ok := min[k]
+		if !ok {
+			t.Fatalf("range yielded never-published state (mask=%b last=%d)", mask, last)
+		}
+		if v < lo {
+			t.Fatalf("state (mask=%b last=%d) holds %v below the published minimum %v", mask, last, v, lo)
+		}
+	})
+}
+
+func TestAdmitBand(t *testing.T) {
+	// With the whole state space resident the band reaches n-1.
+	full := New(12, 16<<20)
+	if band := full.AdmitBand(12); band != 11 {
+		t.Errorf("uncapped band = %d, want 11", band)
+	}
+	// Under a tight cap the band pulls back toward shallow depths.
+	tight := New(24, 64<<10)
+	if band := tight.AdmitBand(24); band >= 23 || band < 2 {
+		t.Errorf("capped band = %d, want in [2, 22]", band)
+	}
+}
+
+// TestConcurrentStress is the shared-table race test (run under -race):
+// goroutines hammer a small, eviction-heavy table with interleaved visits,
+// updates, and probes over a fixed key population whose values encode the
+// key they belong to. Any torn read, cross-key leak, or min violation is
+// detected; the race detector checks the memory model side.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		n          = 16
+		keys       = 512
+		goroutines = 8
+		opsPer     = 20_000
+	)
+	tab := New(n, 96*EntryBytes) // tiny: constant eviction pressure
+	if tab == nil {
+		t.Fatal("New = nil")
+	}
+
+	type ks struct {
+		mask uint64
+		last int
+		prod uint64
+	}
+	pop := make([]ks, keys)
+	rng := rand.New(rand.NewSource(42))
+	seen := map[uint64]bool{}
+	for i := range pop {
+		for {
+			mask := uint64(rng.Intn(1<<n)) | 3
+			last := 0
+			for b := n - 1; b >= 0; b-- {
+				if mask&(1<<uint(b)) != 0 {
+					last = b
+					break
+				}
+			}
+			k := tab.Key(mask, last)
+			if !seen[k] {
+				seen[k] = true
+				pop[i] = ks{mask, last, math.Float64bits(0.5 + float64(i)/float64(2*keys))}
+				break
+			}
+		}
+	}
+	// value published for key i is always i*1000 + delta, delta in [0,1000):
+	// reading any value outside key i's band is a cross-key leak.
+	band := func(i int) (lo, hi float64) { return float64(i) * 1000, float64(i+1) * 1000 }
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for op := 0; op < opsPer; op++ {
+				i := rng.Intn(keys)
+				k := pop[i]
+				lo, hi := band(i)
+				switch op % 3 {
+				case 0:
+					tab.Update(k.mask, k.last, k.prod, lo+float64(rng.Intn(1000)))
+				case 1:
+					v := lo + float64(rng.Intn(1000))
+					tab.Visit(k.mask, k.last, k.prod, v)
+				default:
+					if v, ok := tab.Probe(k.mask, k.last, k.prod); ok && (v < lo || v >= hi) {
+						t.Errorf("key %d: probe returned %v outside [%v, %v) — cross-key leak", i, v, lo, hi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Post-quiescence: every resident state's value must sit in its band.
+	byKey := map[uint64]int{}
+	for i, k := range pop {
+		byKey[tab.Key(k.mask, k.last)] = i
+	}
+	tab.Range(func(mask uint64, last int, prod uint64, v float64) {
+		i, ok := byKey[tab.Key(mask, last)]
+		if !ok {
+			t.Fatalf("resident state (mask=%b last=%d) was never part of the population", mask, last)
+		}
+		if lo, hi := band(i); v < lo || v >= hi || prod != pop[i].prod {
+			t.Fatalf("key %d holds (%v, prod %x) outside its band [%v, %v) / prod %x", i, v, prod, lo, hi, pop[i].prod)
+		}
+	})
+}

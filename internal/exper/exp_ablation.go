@@ -36,6 +36,7 @@ func RunF7Ablation(cfg Config) (*stats.Table, error) {
 		// isolates one mechanism at a time against the cold search; the
 		// two seeding rows then measure incumbent seeding explicitly.
 		{name: "full algorithm (cold)", opts: core.Options{DisableWarmStart: true}},
+		{name: "no dominance memo", opts: core.Options{DisableWarmStart: true, DisableDominance: true}},
 		{name: "no Lemma 3 (V-pruning)", opts: core.Options{DisableWarmStart: true, DisableVPruning: true}},
 		{name: "no Lemma 2 (closure)", opts: core.Options{DisableWarmStart: true, DisableClosure: true}},
 		{name: "loose bounds", opts: core.Options{DisableWarmStart: true, LooseBounds: true}},
@@ -47,7 +48,7 @@ func RunF7Ablation(cfg Config) (*stats.Table, error) {
 
 	table := stats.NewTable(
 		"F7: per-rule ablation (same optimum, different work)",
-		"N", "configuration", "nodes (mean)", "time (ms, mean)", "closures", "v-jumps")
+		"N", "configuration", "nodes (mean)", "time (ms, mean)", "closures", "v-jumps", "dom prunes")
 	table.Note = "selectivities drawn from [0.6, 1] so pruning is under real pressure"
 
 	for _, n := range ns {
@@ -69,7 +70,7 @@ func RunF7Ablation(cfg Config) (*stats.Table, error) {
 			if c.skipLargest && n > ns[0] {
 				continue
 			}
-			var nodes, closures, vjumps []float64
+			var nodes, closures, vjumps, domPrunes []float64
 			var elapsed time.Duration
 			for _, q := range queries {
 				opts := c.opts
@@ -87,6 +88,7 @@ func RunF7Ablation(cfg Config) (*stats.Table, error) {
 				nodes = append(nodes, float64(res.Stats.NodesExpanded))
 				closures = append(closures, float64(res.Stats.Closures))
 				vjumps = append(vjumps, float64(res.Stats.VJumps))
+				domPrunes = append(domPrunes, float64(res.Stats.DominancePrunes))
 				elapsed += res.Stats.Elapsed
 			}
 			table.MustAddRow(
@@ -96,6 +98,7 @@ func RunF7Ablation(cfg Config) (*stats.Table, error) {
 				msString(elapsed/time.Duration(len(queries))),
 				stats.Fmt(stats.Mean(closures)),
 				stats.Fmt(stats.Mean(vjumps)),
+				stats.Fmt(stats.Mean(domPrunes)),
 			)
 		}
 	}

@@ -27,6 +27,7 @@ package planner
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +99,8 @@ type Planner struct {
 	memoHits     atomic.Int64
 	searchNodes  atomic.Int64
 	searchMicros atomic.Int64
+	domPrunes    atomic.Int64
+	domOccBits   atomic.Uint64 // Float64bits of the latest search's table occupancy
 
 	rawBufs sync.Pool // *[]byte scratch for encodeRaw
 }
@@ -171,10 +174,20 @@ type Stats struct {
 	// hot path.
 	SearchNodes  int64 `json:"searchNodes"`
 	SearchMicros int64 `json:"searchMicros"`
+
+	// DominancePrunes accumulates the subtree prunes the subset-dominance
+	// transposition table contributed across every executed search;
+	// DominanceOccupancy is the table occupancy of the most recent search
+	// (0 before any search ran, or with dominance disabled).
+	DominancePrunes    int64   `json:"dominancePrunes"`
+	DominanceOccupancy float64 `json:"dominanceOccupancy"`
 }
 
-// HitRate returns the plan-cache hit fraction in [0, 1] (0 when no lookups
-// happened yet).
+// HitRate returns the plan-cache hit fraction in [0, 1]. The
+// zero-denominator case (no lookups yet — a freshly started planner, or
+// caching disabled) returns 0, not NaN: dqserve serializes this value
+// into /stats, and encoding/json refuses NaN outright, which would turn
+// the endpoint's first scrape into an empty body.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -186,11 +199,13 @@ func (s Stats) HitRate() float64 {
 // Stats returns a point-in-time snapshot of the planner counters.
 func (p *Planner) Stats() Stats {
 	s := Stats{
-		Searches:     p.searches.Load(),
-		SharedWaits:  p.sharedWaits.Load(),
-		MemoHits:     p.memoHits.Load(),
-		SearchNodes:  p.searchNodes.Load(),
-		SearchMicros: p.searchMicros.Load(),
+		Searches:           p.searches.Load(),
+		SharedWaits:        p.sharedWaits.Load(),
+		MemoHits:           p.memoHits.Load(),
+		SearchNodes:        p.searchNodes.Load(),
+		SearchMicros:       p.searchMicros.Load(),
+		DominancePrunes:    p.domPrunes.Load(),
+		DominanceOccupancy: math.Float64frombits(p.domOccBits.Load()),
 	}
 	if p.cache != nil {
 		s.Hits = p.cache.hits.Load()
@@ -381,6 +396,8 @@ func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature) (co
 	if err == nil {
 		p.searchNodes.Add(res.Stats.NodesExpanded)
 		p.searchMicros.Add(res.Stats.Elapsed.Microseconds())
+		p.domPrunes.Add(res.Stats.DominancePrunes)
+		p.domOccBits.Store(math.Float64bits(res.Stats.DominanceOccupancy))
 	}
 	return res, err
 }

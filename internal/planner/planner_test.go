@@ -379,6 +379,12 @@ func TestSearchStatsAccumulate(t *testing.T) {
 	q := testQuery(t, gen.Default(8, 11))
 	ctx := context.Background()
 
+	// Fresh planner: zero lookups must yield a 0 hit rate, never NaN —
+	// dqserve serializes this straight into /stats JSON.
+	if fresh := p.Stats().HitRate(); fresh != 0 {
+		t.Fatalf("fresh hit rate = %v, want exactly 0", fresh)
+	}
+
 	if _, err := p.Optimize(ctx, q); err != nil {
 		t.Fatal(err)
 	}
@@ -399,5 +405,37 @@ func TestSearchStatsAccumulate(t *testing.T) {
 	}
 	if afterHit.HitRate() != 0.5 {
 		t.Fatalf("hit rate %v after 1 hit / 1 miss, want 0.5", afterHit.HitRate())
+	}
+}
+
+// TestDominanceStatsSurface pins the planner-level view of the dominance
+// table: a search hard enough for the table to fire accumulates
+// DominancePrunes and reports the run's occupancy; disabling dominance
+// through the base options zeroes both.
+func TestDominanceStatsSurface(t *testing.T) {
+	t.Parallel()
+	params := gen.Default(12, 20156)
+	params.SelMin = 0.85
+	q := testQuery(t, params)
+	ctx := context.Background()
+
+	p := New(Config{Search: core.Options{DisableWarmStart: true}})
+	if _, err := p.Optimize(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.DominancePrunes <= 0 {
+		t.Fatalf("DominancePrunes = %d after a hard search, want > 0", st.DominancePrunes)
+	}
+	if st.DominanceOccupancy <= 0 || st.DominanceOccupancy > 1 {
+		t.Fatalf("DominanceOccupancy = %v, want in (0, 1]", st.DominanceOccupancy)
+	}
+
+	off := New(Config{Search: core.Options{DisableWarmStart: true, DisableDominance: true}})
+	if _, err := off.Optimize(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.Stats(); st.DominancePrunes != 0 || st.DominanceOccupancy != 0 {
+		t.Fatalf("dominance-off planner reported table activity: %+v", st)
 	}
 }

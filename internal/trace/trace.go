@@ -40,6 +40,15 @@ const (
 
 	// KindIncumbent marks an improvement of the best complete plan.
 	KindIncumbent
+
+	// KindPruneDominance marks a subset-dominance prune: the prefix's
+	// (placed-set, last-service) state was already committed to extension
+	// with an equal-or-better finalized bottleneck.
+	KindPruneDominance
+
+	// kindCount bounds per-kind iteration (Render's totals); every Kind
+	// must be declared above it.
+	kindCount
 )
 
 // String returns the event kind's display name.
@@ -59,6 +68,8 @@ func (k Kind) String() string {
 		return "prune-strong-lb"
 	case KindIncumbent:
 		return "incumbent"
+	case KindPruneDominance:
+		return "prune-dominance"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -158,6 +169,8 @@ func (r *Recorder) Render(w io.Writer) error {
 			fmt.Fprintf(&b, " eps=%.6g >= ebar=%.6g", e.Epsilon, e.Bound)
 		case KindPruneIncumbent, KindPruneStrongLB:
 			fmt.Fprintf(&b, " eps=%.6g >= rho=%.6g", e.Epsilon, e.Bound)
+		case KindPruneDominance:
+			fmt.Fprintf(&b, " maxDone=%.6g (rho=%.6g)", e.Epsilon, e.Bound)
 		case KindIncumbent:
 			fmt.Fprintf(&b, " cost=%.6g", e.Epsilon)
 		case KindVJump:
@@ -170,7 +183,7 @@ func (r *Recorder) Render(w io.Writer) error {
 		fmt.Fprintf(&b, " (%d evicted from ring)", d)
 	}
 	b.WriteByte('\n')
-	for k := KindPairStart; k <= KindIncumbent; k++ {
+	for k := KindPairStart; k < kindCount; k++ {
 		if c := r.counts[k]; c > 0 {
 			fmt.Fprintf(&b, "   %-16s %d\n", k, c)
 		}
