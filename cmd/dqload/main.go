@@ -1,0 +1,166 @@
+// Command dqload is the serving-path load generator: it hammers a dqserve
+// instance (self-hosted in-process by default, or any -target URL) with
+// zipf-skewed query workloads and reports throughput, latency quantiles,
+// allocations per request, and cache hit rates — with every sampled
+// response cross-checked against independently computed optima, so a
+// faster-but-wrong serving path can never pass.
+//
+// Two modes:
+//
+//	dqload -conc 16 -duration 5s            ad-hoc closed-loop run
+//	dqload -open -rate 2000 -duration 5s    ad-hoc open-loop run (latency
+//	                                        includes queueing delay)
+//
+//	dqload -json BENCH_serve.json           measure + write the baseline
+//	dqload -quick -json new.json \
+//	       -compare BENCH_serve.json        CI: fresh run vs committed
+//	                                        baseline; regressing cells
+//	                                        fail the run
+//
+// The tracked suite (see BENCH_serve.json at the repo root) runs three
+// cells — warm-single, warm-batch32, cold-single — each against a fresh
+// self-hosted server. -legacy measures the pre-v4 serving path (mutex LRU
+// cache + encoding/json responses) for A/B comparison; the committed
+// baseline embeds a legacy run as its "previous" block.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dqload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dqload", flag.ContinueOnError)
+	var (
+		// Suite / baseline flags (mirroring dqbench).
+		jsonOut  = fs.String("json", "", "run the load-test suite and write the report to this path")
+		compare  = fs.String("compare", "", "previous serve-bench report to diff against (implies the suite); cells regressing beyond the thresholds fail the run")
+		quick    = fs.Bool("quick", false, "CI-sized measurement windows")
+		rpsReg   = fs.Float64("rps-regress", 1.75, "-compare fails when a cell's req/s falls below baseline divided by this factor (0 disables)")
+		p99Reg   = fs.Float64("p99-regress", 3, "-compare fails when a cell's p99 exceeds baseline times this factor (0 disables)")
+		allocReg = fs.Float64("alloc-regress", 1.3, "-compare fails when a cell's allocs/op exceeds baseline times this factor (0 disables)")
+		regOk    = fs.Bool("regress-ok", false, "report regressions without failing (baseline refreshes)")
+
+		// Workload flags (ad-hoc mode; -duration also overrides suite cells).
+		mode     = fs.String("mode", "warm", "workload mode: warm (zipf over a pre-warmed corpus) or cold (every request first-sight)")
+		batch    = fs.Int("batch", 0, "instances per request via /optimize/batch (0 = single /optimize)")
+		conc     = fs.Int("conc", 8, "closed-loop worker count")
+		corpus   = fs.Int("corpus", 64, "distinct corpus queries (warm) or unique-query pool (cold)")
+		nSvc     = fs.Int("n", 12, "base service count per query")
+		zipfS    = fs.Float64("zipf", 1.2, "zipf skew over corpus ranks (values <= 1 mean uniform)")
+		duration = fs.Duration("duration", 0, "measurement window per cell (0 = mode default)")
+		open     = fs.Bool("open", false, "open-loop arrivals at -rate instead of closed-loop workers")
+		rate     = fs.Float64("rate", 1000, "open-loop arrivals per second")
+		target   = fs.String("target", "", "external dqserve base URL (default: self-host the handler in-process)")
+		legacy   = fs.Bool("legacy", false, "measure the pre-v4 serving path: mutex LRU cache + encoding/json responses")
+		seed     = fs.Int64("seed", 1, "workload generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := loadOpts{
+		seed:     *seed,
+		legacy:   *legacy,
+		target:   *target,
+		duration: *duration,
+		open:     *open,
+		rate:     *rate,
+		verbose:  os.Stdout,
+	}
+
+	if *jsonOut != "" || *compare != "" {
+		thr := serveThresholds{rps: *rpsReg, p99: *p99Reg, allocs: *allocReg}
+		if *regOk {
+			thr = serveThresholds{}
+		}
+		return runServeBenchCmd(*jsonOut, *compare, *quick, thr, opts)
+	}
+
+	// Ad-hoc single cell.
+	spec := cellSpec{
+		Name:   fmt.Sprintf("adhoc-%s", *mode),
+		Mode:   *mode,
+		Batch:  *batch,
+		Conc:   *conc,
+		Corpus: *corpus,
+		N:      *nSvc,
+		Zipf:   *zipfS,
+	}
+	if spec.Mode != "warm" && spec.Mode != "cold" {
+		return fmt.Errorf("-mode %q: want warm or cold", spec.Mode)
+	}
+	if opts.duration == 0 {
+		opts.duration = 3 * time.Second
+	}
+	entry, err := runCell(spec, opts)
+	if err != nil {
+		return err
+	}
+	loop := "closed-loop"
+	if *open {
+		loop = fmt.Sprintf("open-loop %.0f/s offered", *rate)
+	}
+	fmt.Printf("%s %s: %d requests in %v\n", spec.Name, loop, entry.Requests, opts.duration)
+	fmt.Printf("  throughput  %10.0f req/s\n", entry.ReqPerSec)
+	fmt.Printf("  latency     p50 %.1fµs  p99 %.1fµs\n", entry.P50Micros, entry.P99Micros)
+	if entry.AllocsPerOp > 0 {
+		fmt.Printf("  allocs/op   %10.1f (whole process: client + server)\n", entry.AllocsPerOp)
+	}
+	fmt.Printf("  cache hits  %9.1f%%   verified %d/%d sampled responses\n", 100*entry.HitRate, entry.Verified, entry.Requests)
+	return nil
+}
+
+// runServeBenchCmd drives the suite: measure, optionally diff against a
+// previous report, optionally persist (embedding the compared report as
+// the recorded "previous" so the baseline file carries its own
+// before/after story). Cells regressing beyond thr fail the run — after
+// the report is written, so CI still uploads the artifact that explains
+// the failure.
+func runServeBenchCmd(jsonOut, comparePath string, quick bool, thr serveThresholds, opts loadOpts) error {
+	started := time.Now()
+	rep, err := runServeBench(quick, opts)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	if comparePath != "" {
+		old, err := loadServeReport(comparePath)
+		if err != nil {
+			return err
+		}
+		if regressions, err = compareServeReports(old, rep, thr, os.Stdout); err != nil {
+			return err
+		}
+		rep.Previous = old.Entries
+		note := fmt.Sprintf("baseline from %s (generated %s)", comparePath, old.GeneratedAt)
+		if old.Legacy {
+			note += " [legacy serving path: mutex LRU + encoding/json]"
+		}
+		rep.PreviousNote = note
+	}
+	if jsonOut != "" {
+		if err := writeServeReport(rep, jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells) in %v\n", jsonOut, len(rep.Entries), time.Since(started).Round(time.Millisecond))
+	}
+	if len(regressions) > 0 {
+		fmt.Println("regressed cells:")
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		return fmt.Errorf("%d load-test cell(s) regressed beyond threshold vs %s (rerun with -regress-ok to accept)",
+			len(regressions), comparePath)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSuiteTinyRuns drives the full suite machinery end to end with
+// miniature windows: every cell must complete requests, verify sampled
+// responses, and produce sane metrics.
+func TestSuiteTinyRuns(t *testing.T) {
+	rep, err := runServeBench(true, loadOpts{seed: 1, duration: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("suite produced %d cells, want 3", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.Requests <= 0 {
+			t.Errorf("%s: zero requests", e.Scenario)
+		}
+		if e.ReqPerSec <= 0 {
+			t.Errorf("%s: req/s = %v", e.Scenario, e.ReqPerSec)
+		}
+		if e.P50Micros <= 0 || e.P99Micros < e.P50Micros {
+			t.Errorf("%s: quantiles malformed: p50=%v p99=%v", e.Scenario, e.P50Micros, e.P99Micros)
+		}
+		if e.Verified <= 0 {
+			t.Errorf("%s: no responses were cross-checked", e.Scenario)
+		}
+		if e.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs/op not measured on a self-hosted run", e.Scenario)
+		}
+		switch e.Mode {
+		case "warm":
+			if e.HitRate < 0.99 {
+				t.Errorf("%s: warm cell hit rate %v, want ~1", e.Scenario, e.HitRate)
+			}
+		case "cold":
+			if e.HitRate != 0 {
+				t.Errorf("%s: cold cell hit rate %v, want 0", e.Scenario, e.HitRate)
+			}
+		}
+	}
+}
+
+// TestAdhocOpenLoop exercises the open-loop dispatcher: offered-rate
+// arrivals, bounded outstanding, queueing-inclusive latency.
+func TestAdhocOpenLoop(t *testing.T) {
+	spec := cellSpec{Name: "adhoc-warm", Mode: "warm", Conc: 2, Corpus: 8, N: 6, Zipf: 1.2}
+	entry, err := runCell(spec, loadOpts{seed: 3, duration: 200 * time.Millisecond, open: true, rate: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Requests <= 0 || entry.ReqPerSec <= 0 {
+		t.Fatalf("open loop made no progress: %+v", entry)
+	}
+	// Offered 500/s for 200ms => ~100 arrivals; allow broad slack for a
+	// loaded test machine but catch runaway dispatch.
+	if entry.Requests > 150 {
+		t.Fatalf("open loop issued %d requests, offered ~100", entry.Requests)
+	}
+}
+
+// TestBatchCellVerifies: the batch path decodes and cross-checks sampled
+// batch responses.
+func TestBatchCellVerifies(t *testing.T) {
+	spec := cellSpec{Name: "adhoc-batch", Mode: "warm", Batch: 4, Conc: 2, Corpus: 8, N: 6, Zipf: 1.2}
+	entry, err := runCell(spec, loadOpts{seed: 5, duration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Verified <= 0 {
+		t.Fatal("no batch responses were cross-checked")
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := &serveReport{Schema: serveBenchSchema, Entries: []serveEntry{
+		{Scenario: "warm-single", ReqPerSec: 10000, P50Micros: 100, P99Micros: 500, AllocsPerOp: 100},
+		{Scenario: "cold-single", ReqPerSec: 2000, P50Micros: 800, P99Micros: 4000, AllocsPerOp: 900},
+	}}
+	thr := serveThresholds{rps: 1.75, p99: 3, allocs: 1.3}
+
+	// Faster and leaner: no regressions.
+	better := &serveReport{Schema: serveBenchSchema, Entries: []serveEntry{
+		{Scenario: "warm-single", ReqPerSec: 20000, P50Micros: 50, P99Micros: 300, AllocsPerOp: 40},
+		{Scenario: "cold-single", ReqPerSec: 2100, P50Micros: 700, P99Micros: 3900, AllocsPerOp: 890},
+	}}
+	regs, err := compareServeReports(old, better, thr, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// Throughput halved-and-then-some, p99 blown, allocs inflated.
+	worse := &serveReport{Schema: serveBenchSchema, Entries: []serveEntry{
+		{Scenario: "warm-single", ReqPerSec: 4000, P50Micros: 100, P99Micros: 2000, AllocsPerOp: 200},
+		{Scenario: "cold-single", ReqPerSec: 1900, P50Micros: 820, P99Micros: 4100, AllocsPerOp: 910},
+	}}
+	regs, err = compareServeReports(old, worse, thr, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("expected 3 regression lines (rps, p99, allocs on warm-single), got %d: %v", len(regs), regs)
+	}
+	for _, r := range regs {
+		if !strings.HasPrefix(r, "warm-single:") {
+			t.Errorf("regression attributed to wrong cell: %s", r)
+		}
+	}
+
+	// Zeroed thresholds (-regress-ok) report nothing.
+	regs, err = compareServeReports(old, worse, serveThresholds{}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("disabled thresholds still flagged: %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	rep := &serveReport{
+		Schema:      serveBenchSchema,
+		GeneratedAt: "2026-07-29T00:00:00Z",
+		GoVersion:   "go1.24.0",
+		GOMAXPROCS:  1,
+		Entries:     []serveEntry{{Scenario: "warm-single", Mode: "warm", Conc: 8, Requests: 100, ReqPerSec: 12345, P50Micros: 80, P99Micros: 400, AllocsPerOp: 50, HitRate: 1, Verified: 13}},
+	}
+	if err := writeServeReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadServeReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0] != rep.Entries[0] {
+		t.Fatalf("round trip mangled the entry: %+v vs %+v", got.Entries[0], rep.Entries[0])
+	}
+
+	// Schema mismatches are refused outright.
+	if err := os.WriteFile(path, []byte(`{"schema":"something/else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadServeReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestCompareCLIEndToEnd drives the real flag surface: write a tiny
+// baseline, re-compare against it (same code, should pass), then verify a
+// doctored baseline fails the run.
+func TestCompareCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real load cells")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := run([]string{"-quick", "-duration", "80ms", "-json", base}); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	// Doctor the baseline to claim implausibly high throughput and tiny
+	// allocs: the fresh run must regress against it and fail.
+	rep, err := loadServeReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Entries {
+		rep.Entries[i].ReqPerSec *= 1000
+		rep.Entries[i].AllocsPerOp /= 1000
+	}
+	doctored := filepath.Join(dir, "doctored.json")
+	if err := writeServeReport(rep, doctored); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-quick", "-duration", "80ms", "-compare", doctored})
+	if err == nil {
+		t.Fatal("regression against doctored baseline did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "regressed beyond threshold") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+
+	// -regress-ok downgrades the same comparison to a report.
+	if err := run([]string{"-quick", "-duration", "80ms", "-compare", doctored, "-regress-ok"}); err != nil {
+		t.Fatalf("-regress-ok still failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-mode", "lukewarm", "-duration", "10ms"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

@@ -1,7 +1,9 @@
 // Command dqserve exposes the planner service layer over HTTP: a long-lived
 // optimizer process with a canonical plan cache, singleflight deduplication,
 // and batch fan-out, so many clients amortize branch-and-bound across
-// structurally identical queries.
+// structurally identical queries. The handler itself lives in
+// internal/serve (shared with the cmd/dqload load generator); this command
+// binds it to a hardened http.Server.
 //
 // Endpoints:
 //
@@ -11,9 +13,10 @@
 //	POST /optimize/batch  body: {"instances": [{...}, ...]}
 //	                      reply: {"results": [...]} in input order; a bad
 //	                      instance fails alone, not the batch.
-//	GET  /stats           cache hit/miss/eviction and dedup counters, the
-//	                      plan-cache hit rate, and aggregate search stats
-//	                      (nodes expanded, search micros).
+//	GET  /stats           cache hit/miss/eviction/touch and dedup counters,
+//	                      the plan-cache hit rate, optimize-latency
+//	                      quantiles (p50/p90/p99), and aggregate search
+//	                      stats (nodes expanded, search micros).
 //	GET  /healthz         liveness probe.
 //	GET  /debug/pprof/*   runtime profiling, only with -pprof.
 //
@@ -21,6 +24,7 @@
 //
 //	dqserve -addr :8080 -cache 4096 -batch-workers 8
 //	dqserve -pprof       # expose /debug/pprof for production profiling
+//	dqserve -legacy      # pre-v4 serving path (mutex LRU + encoding/json)
 //
 // Example:
 //
@@ -29,21 +33,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"serviceordering/internal/core"
-	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
+	"serviceordering/internal/serve"
 )
 
 func main() {
@@ -68,6 +69,20 @@ func run(args []string, ready chan<- string) error {
 		nodeLimit    = fs.Int64("node-limit", 0, "per-search node budget (0 = none)")
 		maxBody      = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof endpoints for live profiling")
+		legacy       = fs.Bool("legacy", false, "pre-v4 serving path: mutex LRU cache + encoding/json responses (A/B measurement)")
+
+		// Server hardening. ReadTimeout covers the whole request read —
+		// headers and body — so a client dribbling its body is cut off.
+		// WriteTimeout bounds handler-plus-response time, so it must
+		// comfortably exceed the search time limit or long optimizations
+		// are severed mid-write; with -time-limit defaulting to 0
+		// (unbounded search) and batches running many searches per
+		// request, no finite default is safe, so it ships disabled —
+		// deployments that set -time-limit should set this alongside it.
+		readTimeout  = fs.Duration("read-timeout", time.Minute, "max duration for reading an entire request, body included (0 = none)")
+		writeTimeout = fs.Duration("write-timeout", 0, "max duration from end of request read to end of response write (0 = none; pair with -time-limit)")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests (0 = none)")
+		maxHeader    = fs.Int("max-header", 1<<20, "request header size limit in bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,11 +94,16 @@ func run(args []string, ready chan<- string) error {
 		SearchWorkers:     *workers,
 		BatchWorkers:      *batchWorkers,
 		Search:            core.Options{TimeLimit: *timeLimit, NodeLimit: *nodeLimit},
+		LegacyLRUCache:    *legacy,
 	})
 
 	srv := &http.Server{
-		Handler:           newHandler(p, *maxBody, *pprofOn),
+		Handler:           serve.NewHandler(p, serve.Options{MaxBody: *maxBody, Pprof: *pprofOn, LegacyEncode: *legacy}),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeader,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -105,190 +125,4 @@ func run(args []string, ready chan<- string) error {
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
-}
-
-// OptimizeResponse is the reply document of POST /optimize: the solved
-// instance plus planner provenance.
-type OptimizeResponse struct {
-	model.Instance
-
-	// Cost shadows Instance.Cost to drop its omitempty: a legitimately
-	// zero-cost optimum must still serialize a "cost" key.
-	Cost float64 `json:"cost"`
-
-	// Optimal reports whether the plan carries an optimality proof.
-	Optimal bool `json:"optimal"`
-
-	// Cached / Shared report how the request was served (plan cache hit,
-	// singleflight piggyback, or a fresh search when both are false).
-	Cached bool `json:"cached"`
-	Shared bool `json:"shared"`
-
-	// Signature is the query's canonical identity (hex).
-	Signature string `json:"signature"`
-
-	// NodesExpanded and ElapsedMicros describe the search that produced
-	// the plan; both are zero on a cache hit.
-	NodesExpanded int64 `json:"nodesExpanded"`
-	ElapsedMicros int64 `json:"elapsedMicros"`
-}
-
-type batchRequest struct {
-	Instances []*model.Instance `json:"instances"`
-}
-
-type batchResponse struct {
-	Results []batchItem `json:"results"`
-}
-
-type batchItem struct {
-	*OptimizeResponse
-
-	// Error is the per-instance failure, when the instance was invalid
-	// or its search failed.
-	Error string `json:"error,omitempty"`
-}
-
-type statsResponse struct {
-	planner.Stats
-
-	// HitRate is the plan-cache hit fraction in [0, 1].
-	HitRate float64 `json:"hitRate"`
-
-	// Uptime is seconds since the server started.
-	Uptime float64 `json:"uptimeSeconds"`
-}
-
-// newHandler builds the dqserve route table around one shared planner.
-func newHandler(p *planner.Planner, maxBody int64, pprofOn bool) http.Handler {
-	started := time.Now()
-	mux := http.NewServeMux()
-
-	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
-		inst, err := decodeInstance(w, r, maxBody)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		res, err := p.Optimize(r.Context(), inst.Query)
-		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, solvedResponse(inst, res))
-	})
-
-	mux.HandleFunc("POST /optimize/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req batchRequest
-		if err := decodeJSON(w, r, maxBody, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		qs := make([]*model.Query, len(req.Instances))
-		for i, inst := range req.Instances {
-			if inst != nil {
-				qs[i] = inst.Query // nil Query rejected by the planner
-			}
-		}
-		results := p.OptimizeBatch(r.Context(), qs)
-		resp := batchResponse{Results: make([]batchItem, len(results))}
-		for i, br := range results {
-			if br.Err != nil {
-				resp.Results[i] = batchItem{Error: br.Err.Error()}
-				continue
-			}
-			resp.Results[i] = batchItem{OptimizeResponse: solvedResponse(req.Instances[i], br.Result)}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		st := p.Stats()
-		writeJSON(w, http.StatusOK, statsResponse{
-			Stats:   st,
-			HitRate: st.HitRate(),
-			Uptime:  time.Since(started).Seconds(),
-		})
-	})
-
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-
-	// Profiling endpoints are opt-in: pprof handlers expose heap contents
-	// and stack traces, so production deployments enable them behind
-	// their own network policy.
-	if pprofOn {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-
-	return mux
-}
-
-func solvedResponse(inst *model.Instance, res planner.Result) *OptimizeResponse {
-	out := &OptimizeResponse{
-		Instance: model.Instance{
-			Comment: inst.Comment,
-			Query:   inst.Query,
-			Plan:    res.Plan,
-		},
-		Cost:          res.Cost,
-		Optimal:       res.Optimal,
-		Cached:        res.Cached,
-		Shared:        res.Shared,
-		Signature:     res.Signature.String(),
-		NodesExpanded: res.Stats.NodesExpanded,
-		ElapsedMicros: res.Stats.Elapsed.Microseconds(),
-	}
-	return out
-}
-
-// decodeInstance reads and validates one instance document.
-func decodeInstance(w http.ResponseWriter, r *http.Request, maxBody int64) (*model.Instance, error) {
-	var inst model.Instance
-	if err := decodeJSON(w, r, maxBody, &inst); err != nil {
-		return nil, err
-	}
-	if inst.Query == nil {
-		return nil, errors.New("instance has no query")
-	}
-	if err := inst.Query.Validate(); err != nil {
-		return nil, err
-	}
-	return &inst, nil
-}
-
-func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
-	}
-	return nil
-}
-
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout
-	default:
-		return http.StatusUnprocessableEntity
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }

@@ -3,167 +3,81 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
-	"net/http/httptest"
+	"syscall"
 	"testing"
+	"time"
 
 	"serviceordering/internal/model"
-	"serviceordering/internal/planner"
+	"serviceordering/internal/serve"
 )
 
-// fixtureInstance returns the hand-checked 3-service instance (optimum
-// [a b c], cost 2.5).
-func fixtureInstance(t *testing.T) *model.Instance {
+// startServer runs the real dqserve server (flags and all) on a loopback
+// port and returns its base URL plus a stop function that exercises the
+// signal-driven graceful shutdown. Tests using it must not run in
+// parallel: stop() delivers SIGTERM to the whole test process, relying on
+// this server's signal.NotifyContext being the only active handler.
+func startServer(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	stop := func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatalf("signaling shutdown: %v", err)
+		}
+		select {
+		case err := <-done:
+			if err != nil && err != http.ErrServerClosed {
+				t.Errorf("server shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("server did not shut down after SIGTERM")
+		}
+	}
+	return "http://" + addr, stop
+}
+
+func fixtureBody(t *testing.T) []byte {
 	t.Helper()
 	q, err := model.NewQuery(
 		[]model.Service{
 			{Name: "a", Cost: 2, Selectivity: 0.5},
 			{Name: "b", Cost: 1, Selectivity: 0.8},
-			{Name: "c", Cost: 4, Selectivity: 0.25},
 		},
 		[][]float64{
-			{0, 1, 2},
-			{3, 0, 1},
-			{2, 5, 0},
+			{0, 1},
+			{3, 0},
 		})
 	if err != nil {
-		t.Fatalf("NewQuery: %v", err)
+		t.Fatal(err)
 	}
-	return &model.Instance{Comment: "fixture", Query: q}
-}
-
-func newTestServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	srv := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20, true))
-	t.Cleanup(srv.Close)
-	return srv
-}
-
-func postJSON(t *testing.T, url string, body any) *http.Response {
-	t.Helper()
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(body); err != nil {
-		t.Fatalf("encode: %v", err)
-	}
-	resp, err := http.Post(url, "application/json", &buf)
-	if err != nil {
-		t.Fatalf("POST %s: %v", url, err)
-	}
-	t.Cleanup(func() { resp.Body.Close() })
-	return resp
-}
-
-func decodeBody[T any](t *testing.T, resp *http.Response) T {
-	t.Helper()
-	var v T
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatalf("decode response: %v", err)
-	}
-	return v
-}
-
-func TestOptimizeEndpoint(t *testing.T) {
-	srv := newTestServer(t)
-	inst := fixtureInstance(t)
-
-	resp := postJSON(t, srv.URL+"/optimize", inst)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, want 200", resp.StatusCode)
-	}
-	got := decodeBody[OptimizeResponse](t, resp)
-	if !got.Plan.Equal(model.Plan{0, 1, 2}) {
-		t.Errorf("plan = %v, want [0 1 2]", got.Plan)
-	}
-	if got.Cost != 2.5 {
-		t.Errorf("cost = %v, want 2.5", got.Cost)
-	}
-	if !got.Optimal {
-		t.Error("response not marked optimal")
-	}
-	if got.Cached {
-		t.Error("first request reported cached")
-	}
-	if got.Signature == "" {
-		t.Error("response missing signature")
-	}
-
-	// Second identical request: cache hit, zero search work.
-	resp2 := postJSON(t, srv.URL+"/optimize", inst)
-	got2 := decodeBody[OptimizeResponse](t, resp2)
-	if !got2.Cached {
-		t.Error("second request not served from cache")
-	}
-	if got2.NodesExpanded != 0 {
-		t.Errorf("cached response expanded %d nodes, want 0", got2.NodesExpanded)
-	}
-	if !got2.Plan.Equal(got.Plan) || got2.Cost != got.Cost {
-		t.Errorf("cached response differs: %v/%v vs %v/%v", got2.Plan, got2.Cost, got.Plan, got.Cost)
-	}
-}
-
-func TestOptimizeRejectsBadRequests(t *testing.T) {
-	srv := newTestServer(t)
-
-	resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewBufferString("{not json"))
+	raw, err := json.Marshal(&model.Instance{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
-	}
-
-	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"comment": "no query"})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("missing query: status %d, want 400", resp.StatusCode)
-	}
-
-	bad := fixtureInstance(t)
-	bad.Query.Transfer[0][0] = 7 // non-zero diagonal
-	resp = postJSON(t, srv.URL+"/optimize", bad)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
-	}
+	return raw
 }
 
-func TestBatchEndpoint(t *testing.T) {
-	srv := newTestServer(t)
-	good := fixtureInstance(t)
-	bad := fixtureInstance(t)
-	bad.Query = bad.Query.Clone()
-	bad.Query.Transfer[1][0] = -3 // invalid; must fail alone, not the batch
+// TestServeEndToEnd drives the real server binary path: listener, route
+// table, and graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	url, stop := startServer(t)
+	defer stop()
 
-	req := batchRequest{Instances: []*model.Instance{good, bad, good}}
-	resp := postJSON(t, srv.URL+"/optimize/batch", req)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, want 200", resp.StatusCode)
-	}
-	got := decodeBody[batchResponse](t, resp)
-	if len(got.Results) != 3 {
-		t.Fatalf("results = %d, want 3", len(got.Results))
-	}
-	for _, i := range []int{0, 2} {
-		r := got.Results[i]
-		if r.Error != "" {
-			t.Fatalf("instance %d failed: %s", i, r.Error)
-		}
-		if !r.Plan.Equal(model.Plan{0, 1, 2}) || r.Cost != 2.5 {
-			t.Errorf("instance %d: plan %v cost %v, want [0 1 2] / 2.5", i, r.Plan, r.Cost)
-		}
-	}
-	if got.Results[1].Error == "" {
-		t.Error("invalid instance did not report an error")
-	}
-}
-
-func TestStatsEndpoint(t *testing.T) {
-	srv := newTestServer(t)
-	inst := fixtureInstance(t)
-	postJSON(t, srv.URL+"/optimize", inst)
-	postJSON(t, srv.URL+"/optimize", inst)
-
-	resp, err := http.Get(srv.URL + "/stats")
+	resp, err := http.Post(url+"/optimize", "application/json", bytes.NewReader(fixtureBody(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,96 +85,55 @@ func TestStatsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	got := decodeBody[statsResponse](t, resp)
-	if got.Hits != 1 || got.Misses != 1 || got.Searches != 1 {
-		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 search", got.Stats)
+	var got serve.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
 	}
-	if got.Entries != 1 {
-		t.Errorf("entries = %d, want 1", got.Entries)
-	}
-	if got.HitRate != 0.5 {
-		t.Errorf("hitRate = %v, want 0.5", got.HitRate)
-	}
-	// The 3-service fixture warm-starts to a zero-node proof in under a
-	// microsecond, so only decodability is asserted here; accumulation is
-	// pinned deterministically in the planner's own tests.
-	if got.SearchNodes < 0 || got.SearchMicros < 0 {
-		t.Errorf("search counters negative: %+v", got.Stats)
-	}
-	if got.DominanceOccupancy < 0 || got.DominanceOccupancy > 1 {
-		t.Errorf("dominanceOccupancy = %v, want in [0, 1]", got.DominanceOccupancy)
+	if len(got.Plan) != 2 || !got.Optimal {
+		t.Fatalf("unexpected response: %+v", got)
 	}
 }
 
-// TestStatsEndpointFresh is the zero-denominator regression test: scraping
-// /stats before the first planner lookup must return decodable JSON with a
-// hit rate of exactly 0. A NaN here would not surface as a number — Go's
-// encoding/json refuses NaN, so the handler would emit an empty body and
-// the first scrape of every fresh deployment would break.
-func TestStatsEndpointFresh(t *testing.T) {
-	srv := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, want 200", resp.StatusCode)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(raw) == 0 {
-		t.Fatal("/stats returned an empty body on a fresh server (NaN smuggled into the encoder?)")
-	}
-	var got statsResponse
-	if err := json.Unmarshal(raw, &got); err != nil {
-		t.Fatalf("fresh /stats is not valid JSON: %v\n%s", err, raw)
-	}
-	if got.HitRate != 0 {
-		t.Errorf("fresh hitRate = %v, want exactly 0", got.HitRate)
-	}
-	if got.Hits != 0 || got.Misses != 0 || got.Searches != 0 {
-		t.Errorf("fresh counters non-zero: %+v", got.Stats)
-	}
-	if got.DominancePrunes != 0 || got.DominanceOccupancy != 0 {
-		t.Errorf("fresh dominance counters non-zero: %+v", got.Stats)
-	}
-}
+// TestSlowBodyRequestsAreCutOff pins the ReadTimeout hardening: a client
+// that sends headers and then dribbles its body must have the connection
+// severed once the read timeout expires — it cannot hold a server
+// connection (and its goroutine) open indefinitely.
+func TestSlowBodyRequestsAreCutOff(t *testing.T) {
+	url, stop := startServer(t, "-read-timeout", "300ms")
+	defer stop()
 
-func TestPprofEndpointBehindFlag(t *testing.T) {
-	srv := newTestServer(t) // newTestServer enables -pprof
-	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	// Sanity: a prompt request on the same server succeeds.
+	resp, err := http.Post(url+"/optimize", "application/json", bytes.NewReader(fixtureBody(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+		t.Fatalf("fast request status = %d, want 200", resp.StatusCode)
 	}
 
-	off := httptest.NewServer(newHandler(planner.New(planner.Config{}), 1<<20, false))
-	defer off.Close()
-	resp, err = http.Get(off.URL + "/debug/pprof/")
+	conn, err := net.Dial("tcp", url[len("http://"):])
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Fatalf("pprof exposed without -pprof")
-	}
-}
+	defer conn.Close()
+	// Declare a large body, deliver one byte, then stall.
+	fmt.Fprintf(conn, "POST /optimize HTTP/1.1\r\nHost: dqserve\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{")
 
-func TestHealthz(t *testing.T) {
-	srv := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
+	start := time.Now()
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	// The server must close the connection (with or without a terminal
+	// error response) shortly after the 300ms read timeout — long before
+	// our own 10s deadline.
+	_, err = io.ReadAll(conn)
+	elapsed := time.Since(start)
+	if netErr, ok := err.(net.Error); ok && netErr.Timeout() {
+		t.Fatalf("server never cut off the slow-body connection (client read timed out after %v)", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("connection closed only after %v; ReadTimeout was 300ms", elapsed)
 	}
 }
 

@@ -53,9 +53,55 @@
 //
 // cmd/dqserve exposes the same planner over HTTP (POST /optimize,
 // POST /optimize/batch, GET /stats) for long-lived optimizer processes;
-// GET /stats reports the plan-cache hit rate and aggregate search work
-// (nodes expanded, search microseconds), and -pprof exposes /debug/pprof
-// for live profiling of the search hot path.
+// GET /stats reports the plan-cache hit rate, optimize-latency quantiles,
+// and aggregate search work (nodes expanded, search microseconds), and
+// -pprof exposes /debug/pprof for live profiling of the search hot path.
+//
+// # The serving hot path
+//
+// At scale the common request is not a search but a warm cache hit, so
+// the planner->HTTP read path is engineered to be contention-free and
+// allocation-lean end to end. A warm /optimize hit is: hash the raw query
+// bytes, probe two lock-free caches, permute the cached plan's indices
+// into the caller's numbering, and copy pre-serialized buffers.
+//
+//   - Read-lock-free caches. The plan cache and canonicalization memo
+//     (internal/ccache) dropped the promote-on-read mutex LRU: a lookup
+//     now loads an atomically published map and sets a CLOCK touch bit
+//     with at most one CAS per entry per eviction sweep, so concurrent
+//     warm hits never serialize on a lock. Promotion-on-read was the
+//     price of exact LRU ordering; the second-chance clock sweep (clear
+//     touched entries, evict untouched ones in insertion order) buys the
+//     same hot-set retention for zero read-side writes, and a recorded
+//     trace replay against the retained LRU proves hit-for-hit identical
+//     behavior below capacity. Inserts copy the shard map
+//     (copy-on-write), a deliberate O(shard) trade — they only happen
+//     after a search or a parse, both orders of magnitude dearer.
+//   - Pre-serialized responses. Every cached plan stores its JSON
+//     fragment `"cost":...,"optimal":...,"signature":"..."` built once at
+//     record time; responses are assembled in pooled append-based buffers
+//     from the request's own raw query bytes (echoed verbatim, never
+//     re-marshaled), the permuted plan, and the spliced fragment. The one
+//     field that cannot be pre-serialized is the plan itself: cached
+//     plans live in canonical index space, and two callers submitting
+//     relabelings of the same structure each get the plan expressed in
+//     their own service numbering.
+//   - A byte-exact query memo. The dearest remaining per-request cost is
+//     reflection-driven JSON decoding of the query; since byte-identical
+//     query JSON deterministically parses to the same query, the server
+//     memoizes raw-bytes -> parsed-and-validated query (bounded, verified
+//     by full byte comparison) and skips the decode for resubmissions.
+//   - Warm-hit budgets, enforced by tests: Planner.Optimize allocates at
+//     most twice per warm hit (the caller-owned plan plus pool-refill
+//     headroom), and the full HTTP handler is pinned by its own
+//     AllocsPerRun budget.
+//
+// The serving baseline lives in BENCH_serve.json (regenerate with
+// cmd/dqload -json; the committed file embeds the pre-overhaul legacy
+// path as its "previous": 2.4-2.7x the warm-hit throughput at half the
+// p99). cmd/dqload replays zipf-skewed closed- and open-loop workloads
+// with every sampled response cross-checked against independently
+// computed optima, and CI diffs every push against the baseline.
 //
 // # The search hot path
 //

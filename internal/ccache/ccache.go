@@ -1,0 +1,324 @@
+// Package ccache provides the bounded concurrent caches behind the
+// serving hot path: a read-lock-free CLOCK / S3-FIFO-style store (the
+// default everywhere) and the legacy promote-on-read mutex LRU it
+// replaced (kept for differential tests and A/B load measurement).
+//
+// Both implement Cache and shard their key space so writers on different
+// shards never contend. The clock store's defining property is that a
+// lookup takes no lock and writes nothing on a steady-state hit: it loads
+// an atomically published map and, at most once per eviction sweep, CASes
+// a per-entry touch bit. Inserts and evictions serialize on a shard mutex
+// and publish a fresh map copy (copy-on-write) — O(shard) per insert, the
+// deliberate trade for a zero-contention read path, acceptable because
+// planner inserts only happen after work that is orders of magnitude
+// dearer (a branch-and-bound search, a color-refinement pass, a JSON
+// parse).
+//
+// Eviction is a second-chance sweep over the shard ring: touched entries
+// get their bit cleared and one more round, untouched entries leave in
+// insertion order (so one-hit wonders drain quickly, as in S3-FIFO's
+// small queue).
+package ccache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a bounded concurrent map. Get reports the value, whether it
+// was present, and whether this lookup freshly set the entry's touch bit
+// (always false for the LRU, which has no touch bits); Put reports how
+// many entries capacity displaced.
+type Cache[K comparable, V any] interface {
+	Get(key K) (val V, ok bool, touched bool)
+	Put(key K, val V) (evicted int)
+	Len() int
+}
+
+// effectiveShards clamps the shard count so a small capacity is still
+// honored: with more shards than entries, per-shard rounding would retain
+// up to `shards` entries no matter how low the configured bound. Both the
+// requested shard count and the result are powers of two, so callers'
+// shardOf values can simply be masked down.
+func effectiveShards(capacity, shards int) int {
+	for shards > 1 && shards > capacity {
+		shards >>= 1
+	}
+	return shards
+}
+
+// perShardCapacity spreads capacity across shards, rounding up so every
+// shard holds at least one entry.
+func perShardCapacity(capacity, shards int) int {
+	perShard := (capacity + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	return perShard
+}
+
+// ---------------------------------------------------------------------------
+// clock store
+
+// clockEntry is one resident (key, value) pair. key and val are
+// immutable; touched is the CLOCK reference bit, set lock-free on lookup
+// and cleared by the eviction sweep; pos is the entry's ring slot, stable
+// for the entry's lifetime and guarded by the shard mutex.
+type clockEntry[K comparable, V any] struct {
+	key     K
+	val     V
+	pos     int
+	touched atomic.Bool
+}
+
+// clockShard is one lock-striped segment. Readers only load the published
+// map pointer; writers mutate ring/hand under mu and publish a fresh map.
+type clockShard[K comparable, V any] struct {
+	mu   sync.Mutex
+	live atomic.Pointer[map[K]*clockEntry[K, V]]
+	ring []*clockEntry[K, V]
+	hand int
+	cap  int
+}
+
+func newClockShard[K comparable, V any](capacity int) *clockShard[K, V] {
+	s := &clockShard[K, V]{cap: capacity, ring: make([]*clockEntry[K, V], 0, capacity)}
+	m := make(map[K]*clockEntry[K, V], capacity)
+	s.live.Store(&m)
+	return s
+}
+
+// get is the contention-free read path: one atomic map load plus, at most
+// once per entry per sweep round, one CAS to set the touch bit. Entries
+// whose bit is already set pay a single atomic load on a read-shared line.
+func (s *clockShard[K, V]) get(key K) (V, bool, bool) {
+	e, ok := (*s.live.Load())[key]
+	if !ok {
+		var zero V
+		return zero, false, false
+	}
+	touched := false
+	if !e.touched.Load() {
+		// CAS (not Store) so two racing first-touchers count once.
+		touched = e.touched.CompareAndSwap(false, true)
+	}
+	return e.val, true, touched
+}
+
+func (s *clockShard[K, V]) put(key K, val V) (evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.live.Load()
+	e := &clockEntry[K, V]{key: key, val: val}
+	if prev, ok := old[key]; ok {
+		// Replace in place with a fresh entry so readers of the previous
+		// map still see a coherent (key, val) pair; the slot, touch state,
+		// and population are unchanged.
+		e.pos = prev.pos
+		e.touched.Store(prev.touched.Load())
+		s.ring[e.pos] = e
+		s.publish(old, e, nil)
+		return 0
+	}
+	if len(s.ring) < s.cap {
+		e.pos = len(s.ring)
+		s.ring = append(s.ring, e)
+		s.publish(old, e, nil)
+		return 0
+	}
+	// Second-chance sweep: clear-and-skip touched entries, evict the first
+	// untouched one. Concurrent readers can re-touch entries behind the
+	// hand, so the sweep is bounded at two full rounds; if readers out-race
+	// even that (every entry permanently hot), the entry under the hand is
+	// evicted regardless — bounded work beats strict policy here.
+	victim := (*clockEntry[K, V])(nil)
+	for step := 0; step < 2*s.cap; step++ {
+		cand := s.ring[s.hand]
+		if cand.touched.Load() {
+			cand.touched.Store(false)
+			s.advanceHand()
+			continue
+		}
+		victim = cand
+		break
+	}
+	if victim == nil {
+		victim = s.ring[s.hand]
+	}
+	e.pos = victim.pos
+	s.ring[e.pos] = e
+	s.advanceHand()
+	s.publish(old, e, &victim.key)
+	return 1
+}
+
+func (s *clockShard[K, V]) advanceHand() {
+	s.hand++
+	if s.hand >= len(s.ring) {
+		s.hand = 0
+	}
+}
+
+// publish installs a fresh map holding old's entries plus add, minus del.
+func (s *clockShard[K, V]) publish(old map[K]*clockEntry[K, V], add *clockEntry[K, V], del *K) {
+	next := make(map[K]*clockEntry[K, V], len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if del != nil {
+		delete(next, *del)
+	}
+	next[add.key] = add
+	s.live.Store(&next)
+}
+
+func (s *clockShard[K, V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Clock is the sharded read-lock-free store.
+type Clock[K comparable, V any] struct {
+	shards  []*clockShard[K, V]
+	shardOf func(K) int
+	mask    int // len(shards)-1; masks shardOf down when shards were clamped
+}
+
+// NewClock builds a clock store with the given total capacity across
+// shards (a power of two); shardOf maps a key onto [0, shards). When
+// capacity is below the shard count, the store uses fewer shards (masking
+// shardOf down) so the capacity bound stays honored.
+func NewClock[K comparable, V any](capacity, shards int, shardOf func(K) int) *Clock[K, V] {
+	shards = effectiveShards(capacity, shards)
+	perShard := perShardCapacity(capacity, shards)
+	c := &Clock[K, V]{shards: make([]*clockShard[K, V], shards), shardOf: shardOf, mask: shards - 1}
+	for i := range c.shards {
+		c.shards[i] = newClockShard[K, V](perShard)
+	}
+	return c
+}
+
+func (c *Clock[K, V]) Get(key K) (V, bool, bool) { return c.shards[c.shardOf(key)&c.mask].get(key) }
+func (c *Clock[K, V]) Put(key K, val V) int      { return c.shards[c.shardOf(key)&c.mask].put(key, val) }
+func (c *Clock[K, V]) Len() int {
+	total := 0
+	for _, sh := range c.shards {
+		total += sh.len()
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// legacy LRU store
+
+// lruShard is one lock-striped segment of the legacy store: a map for
+// O(1) lookup plus an intrusive recency list for O(1) eviction. Every get
+// takes the shard mutex to promote the entry — the read-path contention
+// the clock store exists to remove.
+type lruShard[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[K]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruNode[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
+	return &lruShard[K, V]{
+		cap:   capacity,
+		items: make(map[K]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// get returns the value for key, promoting it to most-recently-used.
+func (s *lruShard[K, V]) get(key K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruNode[K, V]).val, true
+}
+
+// put inserts or refreshes key, reporting how many entries were evicted.
+func (s *lruShard[K, V]) put(key K, val V) (evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruNode[K, V]).val = val
+		s.order.MoveToFront(el)
+		return 0
+	}
+	s.items[key] = s.order.PushFront(&lruNode[K, V]{key: key, val: val})
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.items, back.Value.(*lruNode[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (s *lruShard[K, V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// LRU is the sharded legacy store.
+type LRU[K comparable, V any] struct {
+	shards  []*lruShard[K, V]
+	shardOf func(K) int
+	mask    int // len(shards)-1; masks shardOf down when shards were clamped
+}
+
+// NewLRU builds a mutex-LRU store with the given total capacity, clamping
+// the shard count exactly as NewClock does.
+func NewLRU[K comparable, V any](capacity, shards int, shardOf func(K) int) *LRU[K, V] {
+	shards = effectiveShards(capacity, shards)
+	perShard := perShardCapacity(capacity, shards)
+	c := &LRU[K, V]{shards: make([]*lruShard[K, V], shards), shardOf: shardOf, mask: shards - 1}
+	for i := range c.shards {
+		c.shards[i] = newLRUShard[K, V](perShard)
+	}
+	return c
+}
+
+func (c *LRU[K, V]) Get(key K) (V, bool, bool) {
+	v, ok := c.shards[c.shardOf(key)&c.mask].get(key)
+	return v, ok, false // the LRU has no touch bits; promotion is implicit
+}
+func (c *LRU[K, V]) Put(key K, val V) int { return c.shards[c.shardOf(key)&c.mask].put(key, val) }
+func (c *LRU[K, V]) Len() int {
+	total := 0
+	for _, sh := range c.shards {
+		total += sh.len()
+	}
+	return total
+}
+
+// FNV64 is FNV-1a over b: cheap, allocation-free, and deterministic
+// across processes (unlike hash/maphash). Callers key clock/LRU stores by
+// it and must tolerate collisions, e.g. by verifying stored bytes.
+func FNV64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

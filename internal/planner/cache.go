@@ -2,22 +2,31 @@ package planner
 
 import (
 	"bytes"
-	"container/list"
-	"sync"
 	"sync/atomic"
+
+	"serviceordering/internal/ccache"
 )
 
-// This file implements the bounded, sharded LRU underlying both planner
-// caches: the plan cache (Signature -> cached plan) and the
-// canonicalization memo (raw byte hash -> signature + permutation).
-// Shards are independently locked so concurrent lookups for different
-// signatures never contend; counters are atomics aggregated on read.
+// This file binds the planner's two caches — the plan cache (Signature ->
+// cached plan) and the canonicalization memo (raw byte hash -> signature +
+// permutation) — to the bounded concurrent stores in internal/ccache. The
+// default is the read-lock-free clock store (one atomic map load per warm
+// hit, no mutex, no promotion); Config.LegacyLRUCache restores the pre-v4
+// promote-on-read mutex LRU for differential tests and A/B load
+// measurement. Counters are atomics aggregated on read.
 
 // cacheEntry is a cached optimization outcome in canonical index space.
 type cacheEntry struct {
 	plan    []int // canonical-space ordering
 	cost    float64
 	optimal bool
+
+	// frag is the pre-serialized JSON response fragment
+	// `"cost":...,"optimal":...,"signature":"..."` shared verbatim by
+	// every HTTP response assembled from this entry (the plan cannot be
+	// pre-serialized: it is permuted into each caller's own index space).
+	// Read-only after record() builds it.
+	frag []byte
 }
 
 // rawEntry memoizes the canonicalization of one exact byte serialization.
@@ -28,146 +37,87 @@ type rawEntry struct {
 	inv  []int
 }
 
-// lruShard is one lock-striped segment: a map for O(1) lookup plus an
-// intrusive recency list for O(1) eviction.
-type lruShard[K comparable, V any] struct {
-	mu    sync.Mutex
-	cap   int
-	items map[K]*list.Element
-	order *list.List // front = most recently used
-}
+// cacheShardCount is the number of shards; a power of two so the shard
+// index is a mask. 64 keeps both read-side contention and the clock
+// store's copy-on-write insert cost (O(capacity/shards)) low.
+const cacheShardCount = 64
 
-type lruNode[K comparable, V any] struct {
-	key K
-	val V
-}
+func sigShard(s Signature) int { return s.shardIndex(cacheShardCount) }
+func keyShard(k uint64) int    { return int(k & (cacheShardCount - 1)) }
 
-func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
-	return &lruShard[K, V]{
-		cap:   capacity,
-		items: make(map[K]*list.Element, capacity),
-		order: list.New(),
-	}
-}
-
-// get returns the value for key, promoting it to most-recently-used.
-func (s *lruShard[K, V]) get(key K) (V, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	s.order.MoveToFront(el)
-	return el.Value.(*lruNode[K, V]).val, true
-}
-
-// put inserts or refreshes key, reporting how many entries were evicted.
-func (s *lruShard[K, V]) put(key K, val V) (evicted int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		el.Value.(*lruNode[K, V]).val = val
-		s.order.MoveToFront(el)
-		return 0
-	}
-	s.items[key] = s.order.PushFront(&lruNode[K, V]{key: key, val: val})
-	for s.order.Len() > s.cap {
-		back := s.order.Back()
-		s.order.Remove(back)
-		delete(s.items, back.Value.(*lruNode[K, V]).key)
-		evicted++
-	}
-	return evicted
-}
-
-// len reports the entry count.
-func (s *lruShard[K, V]) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.order.Len()
-}
-
-// planCache is the sharded signature-keyed plan cache with hit/miss/
-// eviction accounting.
+// planCache is the sharded signature-keyed plan cache with
+// hit/miss/eviction/touch accounting.
 type planCache struct {
-	shards []*lruShard[Signature, *cacheEntry]
+	store ccache.Cache[Signature, *cacheEntry]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	touches   atomic.Int64
 }
 
-// cacheShardCount is the number of lock stripes; a power of two so
-// Signature.shardIndex is a mask.
-const cacheShardCount = 16
-
-func newPlanCache(capacity int) *planCache {
-	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
-	if perShard < 1 {
-		perShard = 1
-	}
-	c := &planCache{shards: make([]*lruShard[Signature, *cacheEntry], cacheShardCount)}
-	for i := range c.shards {
-		c.shards[i] = newLRUShard[Signature, *cacheEntry](perShard)
+func newPlanCache(capacity int, legacyLRU bool) *planCache {
+	c := &planCache{}
+	if legacyLRU {
+		c.store = ccache.NewLRU[Signature, *cacheEntry](capacity, cacheShardCount, sigShard)
+	} else {
+		c.store = ccache.NewClock[Signature, *cacheEntry](capacity, cacheShardCount, sigShard)
 	}
 	return c
 }
 
 func (c *planCache) get(sig Signature) (*cacheEntry, bool) {
-	e, ok := c.shards[sig.shardIndex(cacheShardCount)].get(sig)
+	e, ok, touched := c.store.Get(sig)
 	if ok {
 		c.hits.Add(1)
+		if touched {
+			c.touches.Add(1)
+		}
 	} else {
 		c.misses.Add(1)
 	}
 	return e, ok
 }
 
-// peek looks up sig without touching the hit/miss counters (still promotes
-// recency). Used for the post-flight-join double-check, which re-examines a
-// lookup already accounted for.
+// peek looks up sig without touching the hit/miss counters (the touch bit
+// is still set, and counted). Used for the post-flight-join double-check,
+// which re-examines a lookup already accounted for.
 func (c *planCache) peek(sig Signature) (*cacheEntry, bool) {
-	return c.shards[sig.shardIndex(cacheShardCount)].get(sig)
+	e, ok, touched := c.store.Get(sig)
+	if ok && touched {
+		c.touches.Add(1)
+	}
+	return e, ok
 }
 
 func (c *planCache) put(sig Signature, e *cacheEntry) {
-	if n := c.shards[sig.shardIndex(cacheShardCount)].put(sig, e); n > 0 {
+	if n := c.store.Put(sig, e); n > 0 {
 		c.evictions.Add(int64(n))
 	}
 }
 
-func (c *planCache) len() int {
-	total := 0
-	for _, s := range c.shards {
-		total += s.len()
-	}
-	return total
-}
+func (c *planCache) len() int { return c.store.Len() }
 
 // rawMemo is the sharded canonicalization memo keyed by the FNV-64 hash of
 // the query's exact serialization. Bucket collisions are disambiguated by
 // comparing the stored bytes; a mismatch is treated as a miss and the
 // bucket is overwritten (the newer query is the hotter one).
 type rawMemo struct {
-	shards []*lruShard[uint64, *rawEntry]
+	store ccache.Cache[uint64, *rawEntry]
 }
 
-func newRawMemo(capacity int) *rawMemo {
-	perShard := (capacity + cacheShardCount - 1) / cacheShardCount
-	if perShard < 1 {
-		perShard = 1
-	}
-	m := &rawMemo{shards: make([]*lruShard[uint64, *rawEntry], cacheShardCount)}
-	for i := range m.shards {
-		m.shards[i] = newLRUShard[uint64, *rawEntry](perShard)
+func newRawMemo(capacity int, legacyLRU bool) *rawMemo {
+	m := &rawMemo{}
+	if legacyLRU {
+		m.store = ccache.NewLRU[uint64, *rawEntry](capacity, cacheShardCount, keyShard)
+	} else {
+		m.store = ccache.NewClock[uint64, *rawEntry](capacity, cacheShardCount, keyShard)
 	}
 	return m
 }
 
 func (m *rawMemo) get(key uint64, raw []byte) (*rawEntry, bool) {
-	e, ok := m.shards[int(key&(cacheShardCount-1))].get(key)
+	e, ok, _ := m.store.Get(key)
 	if !ok || !bytes.Equal(e.raw, raw) {
 		return nil, false
 	}
@@ -175,5 +125,5 @@ func (m *rawMemo) get(key uint64, raw []byte) (*rawEntry, bool) {
 }
 
 func (m *rawMemo) put(key uint64, e *rawEntry) {
-	m.shards[int(key&(cacheShardCount-1))].put(key, e)
+	m.store.Put(key, e)
 }

@@ -1,0 +1,159 @@
+package planner
+
+import (
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+)
+
+// sigFor builds a deterministic Signature whose shard and identity derive
+// from i.
+func sigFor(i uint64) Signature {
+	var s Signature
+	binary.LittleEndian.PutUint64(s[:8], i*0x9e3779b97f4a7c15+i)
+	binary.LittleEndian.PutUint64(s[8:16], i)
+	return s
+}
+
+// TestClockVsLRUDifferentialNoEviction replays one recorded trace through
+// the legacy LRU and the clock cache with capacity above the key universe:
+// with eviction impossible the two policies are observationally identical —
+// same hit/miss outcome on every lookup, same value on every hit, same
+// final population.
+func TestClockVsLRUDifferentialNoEviction(t *testing.T) {
+	t.Parallel()
+	const keys = 200
+	capacity := cacheShardCount * 8 // 512 >= keys, per-shard headroom
+	legacy := newPlanCache(capacity, true)
+	clock := newPlanCache(capacity, false)
+
+	rng := rand.New(rand.NewSource(41))
+	entries := make(map[uint64]*cacheEntry)
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(keys))
+		sig := sigFor(k)
+		if rng.Intn(100) < 25 {
+			e := &cacheEntry{cost: float64(k), plan: []int{int(k)}}
+			entries[k] = e
+			legacy.put(sig, e)
+			clock.put(sig, e)
+			continue
+		}
+		le, lok := legacy.get(sig)
+		ce, cok := clock.get(sig)
+		if lok != cok {
+			t.Fatalf("op %d key %d: legacy hit=%v, clock hit=%v (no eviction possible)", op, k, lok, cok)
+		}
+		if lok && (le != ce || le != entries[k]) {
+			t.Fatalf("op %d key %d: hit values diverge: legacy %p clock %p want %p", op, k, le, ce, entries[k])
+		}
+	}
+	if l, c := legacy.len(), clock.len(); l != c || l != len(entries) {
+		t.Fatalf("final population: legacy %d, clock %d, want %d", l, c, len(entries))
+	}
+	if legacy.hits.Load() != clock.hits.Load() || legacy.misses.Load() != clock.misses.Load() {
+		t.Fatalf("counter divergence: legacy %d/%d, clock %d/%d",
+			legacy.hits.Load(), legacy.misses.Load(), clock.hits.Load(), clock.misses.Load())
+	}
+	if legacy.evictions.Load() != 0 || clock.evictions.Load() != 0 {
+		t.Fatalf("evictions below capacity: legacy %d, clock %d", legacy.evictions.Load(), clock.evictions.Load())
+	}
+}
+
+// TestClockVsLRUDifferentialUnderEviction drives both stores past capacity.
+// Hit/miss PATTERNS may legitimately diverge (LRU promotes exactly, the
+// clock gives one second chance per sweep — the documented policy
+// difference), but the contracts both must keep: a hit always returns the
+// exact value last stored for that key, the population never exceeds
+// capacity, and evictions happen only once capacity is reached.
+func TestClockVsLRUDifferentialUnderEviction(t *testing.T) {
+	t.Parallel()
+	const keys = 512
+	capacity := cacheShardCount // one entry per shard: maximal eviction pressure
+	legacy := newPlanCache(capacity, true)
+	clock := newPlanCache(capacity, false)
+
+	rng := rand.New(rand.NewSource(43))
+	entries := make(map[uint64]*cacheEntry)
+	zipf := rand.NewZipf(rng, 1.3, 1, keys-1)
+	for op := 0; op < 30000; op++ {
+		k := zipf.Uint64()
+		sig := sigFor(k)
+		if rng.Intn(100) < 30 {
+			e := &cacheEntry{cost: float64(k), plan: []int{int(k)}}
+			entries[k] = e
+			legacy.put(sig, e)
+			clock.put(sig, e)
+			continue
+		}
+		if le, ok := legacy.get(sig); ok && le != entries[k] {
+			t.Fatalf("op %d key %d: legacy returned a stale entry", op, k)
+		}
+		if ce, ok := clock.get(sig); ok && ce != entries[k] {
+			t.Fatalf("op %d key %d: clock returned a stale entry", op, k)
+		}
+		if l := clock.len(); l > capacity {
+			t.Fatalf("op %d: clock population %d exceeds capacity %d", op, l, capacity)
+		}
+	}
+	if legacy.evictions.Load() == 0 || clock.evictions.Load() == 0 {
+		t.Fatalf("trace above capacity evicted nothing: legacy %d, clock %d",
+			legacy.evictions.Load(), clock.evictions.Load())
+	}
+}
+
+// TestPlannerClockVsLRUDifferential is the end-to-end recorded-trace proof:
+// one zipf request sequence served by a legacy-LRU planner and a clock
+// planner with ample capacity must produce identical results on every
+// request — same plan, same cost, same optimality, same Cached flag (the
+// hit/miss outcome), same signature — and identical hit/miss totals.
+func TestPlannerClockVsLRUDifferential(t *testing.T) {
+	t.Parallel()
+	const corpus = 32
+	queries := make([]*model.Query, corpus)
+	for i := range queries {
+		queries[i] = testQuery(t, gen.Default(5+i%4, int64(9000+i)))
+	}
+	legacy := New(Config{LegacyLRUCache: true})
+	clock := New(Config{})
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(47))
+	zipf := rand.NewZipf(rng, 1.2, 1, corpus-1)
+	for op := 0; op < 400; op++ {
+		q := queries[zipf.Uint64()]
+		lr, lerr := legacy.Optimize(ctx, q)
+		cr, cerr := clock.Optimize(ctx, q)
+		if lerr != nil || cerr != nil {
+			t.Fatalf("op %d: legacy err %v, clock err %v", op, lerr, cerr)
+		}
+		if !reflect.DeepEqual(lr.Plan, cr.Plan) || lr.Cost != cr.Cost || lr.Optimal != cr.Optimal {
+			t.Fatalf("op %d: results diverge: legacy %v/%v clock %v/%v", op, lr.Plan, lr.Cost, cr.Plan, cr.Cost)
+		}
+		if lr.Cached != cr.Cached {
+			t.Fatalf("op %d: hit/miss outcome diverges: legacy cached=%v, clock cached=%v", op, lr.Cached, cr.Cached)
+		}
+		if lr.Signature != cr.Signature {
+			t.Fatalf("op %d: signatures diverge", op)
+		}
+		if string(lr.ResponseFragment) != string(cr.ResponseFragment) {
+			t.Fatalf("op %d: response fragments diverge:\n%s\n%s", op, lr.ResponseFragment, cr.ResponseFragment)
+		}
+	}
+	ls, cs := legacy.Stats(), clock.Stats()
+	if ls.Hits != cs.Hits || ls.Misses != cs.Misses || ls.Searches != cs.Searches {
+		t.Fatalf("stats diverge: legacy %d/%d/%d, clock %d/%d/%d",
+			ls.Hits, ls.Misses, ls.Searches, cs.Hits, cs.Misses, cs.Searches)
+	}
+	if ls.Touches != 0 {
+		t.Fatalf("legacy LRU reported %d touches, want 0", ls.Touches)
+	}
+	if cs.Touches == 0 {
+		t.Fatal("clock cache recorded no touches over a warm trace")
+	}
+}

@@ -26,8 +26,10 @@ package planner
 
 import (
 	"context"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +76,14 @@ type Config struct {
 	// to observe dedup behavior. It may be called from multiple
 	// goroutines concurrently.
 	OnSearch func(Signature)
+
+	// LegacyLRUCache selects the pre-v4 promote-on-read mutex LRU for the
+	// plan cache and canonicalization memo instead of the read-lock-free
+	// clock store. Every warm hit then takes a per-shard lock to promote
+	// the entry. Kept for the clock-vs-LRU differential tests and for A/B
+	// load measurement (cmd/dqload -legacy); production planners should
+	// leave it false.
+	LegacyLRUCache bool
 }
 
 // DefaultCacheCapacity is the plan-cache size used when Config.CacheCapacity
@@ -102,6 +112,10 @@ type Planner struct {
 	domPrunes    atomic.Int64
 	domOccBits   atomic.Uint64 // Float64bits of the latest search's table occupancy
 
+	// lat tracks end-to-end Optimize latency (successful requests only)
+	// in a lock-free fixed-bucket histogram; Stats surfaces p50/p90/p99.
+	lat latencyHist
+
 	rawBufs sync.Pool // *[]byte scratch for encodeRaw
 }
 
@@ -113,7 +127,7 @@ func New(cfg Config) *Planner {
 	}
 	p := &Planner{cfg: cfg}
 	if capacity > 0 {
-		p.cache = newPlanCache(capacity)
+		p.cache = newPlanCache(capacity, cfg.LegacyLRUCache)
 	}
 	memoCap := cfg.MemoCapacity
 	if memoCap <= 0 {
@@ -123,7 +137,7 @@ func New(cfg Config) *Planner {
 			memoCap = 2 * DefaultCacheCapacity
 		}
 	}
-	p.memo = newRawMemo(memoCap)
+	p.memo = newRawMemo(memoCap, cfg.LegacyLRUCache)
 	p.rawBufs.New = func() any { b := make([]byte, 0, 2048); return &b }
 	return p
 }
@@ -143,6 +157,14 @@ type Result struct {
 	// Shared reports that the request piggybacked on a concurrent
 	// identical search via singleflight rather than running its own.
 	Shared bool
+
+	// ResponseFragment is the pre-serialized JSON fragment
+	// `"cost":<num>,"optimal":<bool>,"signature":"<hex>"` for this
+	// outcome, built once when the result was recorded and shared by
+	// every request resolving to the same cache entry. HTTP servers
+	// splice it into responses instead of re-marshaling; it is read-only
+	// and must not be mutated or appended to in place.
+	ResponseFragment []byte
 }
 
 // Stats is a snapshot of the planner's cache and dedup counters.
@@ -160,6 +182,14 @@ type Stats struct {
 
 	// Evictions counts plan-cache entries displaced by capacity.
 	Evictions int64 `json:"evictions"`
+
+	// Touches counts plan-cache hits that freshly set an entry's clock
+	// touch bit (its second-chance reprieve from eviction). An entry is
+	// touched at most once per eviction sweep, so under a stable working
+	// set Touches grows far slower than Hits; a Touches rate approaching
+	// the Hits rate means the clock hand is sweeping constantly — the
+	// cache is thrashing. Always zero with Config.LegacyLRUCache.
+	Touches int64 `json:"touches"`
 
 	// MemoHits counts canonicalization-memo hits (byte-identical
 	// resubmissions that skipped color refinement).
@@ -181,6 +211,16 @@ type Stats struct {
 	// (0 before any search ran, or with dominance disabled).
 	DominancePrunes    int64   `json:"dominancePrunes"`
 	DominanceOccupancy float64 `json:"dominanceOccupancy"`
+
+	// OptimizeP50Micros, OptimizeP90Micros, and OptimizeP99Micros are
+	// end-to-end Optimize latency quantiles in microseconds over every
+	// successful request since the planner started (hits and misses
+	// alike), from a fixed-bucket lock-free histogram: each value is the
+	// upper bound of the bucket holding the quantile, at most ~12.5%
+	// above the true latency. All zero before the first request.
+	OptimizeP50Micros float64 `json:"optimizeP50Micros"`
+	OptimizeP90Micros float64 `json:"optimizeP90Micros"`
+	OptimizeP99Micros float64 `json:"optimizeP99Micros"`
 }
 
 // HitRate returns the plan-cache hit fraction in [0, 1]. The
@@ -207,10 +247,13 @@ func (p *Planner) Stats() Stats {
 		DominancePrunes:    p.domPrunes.Load(),
 		DominanceOccupancy: math.Float64frombits(p.domOccBits.Load()),
 	}
+	q := p.lat.quantiles(0.50, 0.90, 0.99)
+	s.OptimizeP50Micros, s.OptimizeP90Micros, s.OptimizeP99Micros = q[0], q[1], q[2]
 	if p.cache != nil {
 		s.Hits = p.cache.hits.Load()
 		s.Misses = p.cache.misses.Load()
 		s.Evictions = p.cache.evictions.Load()
+		s.Touches = p.cache.touches.Load()
 		s.Entries = p.cache.len()
 	}
 	return s
@@ -220,6 +263,21 @@ func (p *Planner) Stats() Stats {
 // when a structurally identical query has been optimized before and
 // otherwise running (or joining) a branch-and-bound search.
 func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) {
+	start := time.Now()
+	res, err := p.optimize(ctx, q)
+	if err == nil {
+		// Failures (canceled contexts, invalid queries) are excluded so
+		// the quantiles describe served traffic, not abandonment timing.
+		p.lat.observe(time.Since(start))
+	}
+	return res, err
+}
+
+// optimize is the uninstrumented request path. The warm hit costs: one
+// pooled raw serialization + FNV hash, one lock-free memo probe, one
+// lock-free plan-cache probe, and one plan permutation — a single
+// allocation (the caller-owned plan), pinned by TestOptimizeWarmHitAllocs.
+func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -243,8 +301,9 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 					Cost:    entry.cost,
 					Optimal: entry.optimal,
 				},
-				Signature: canon.sig,
-				Cached:    true,
+				Signature:        canon.sig,
+				Cached:           true,
+				ResponseFragment: entry.frag,
 			}, nil
 		}
 	}
@@ -267,8 +326,9 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 						Cost:    entry.cost,
 						Optimal: entry.optimal,
 					},
-					Signature: canon.sig,
-					Cached:    true,
+					Signature:        canon.sig,
+					Cached:           true,
+					ResponseFragment: entry.frag,
 				}, nil
 			}
 		}
@@ -281,7 +341,7 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Result: res, Signature: canon.sig}, nil
+		return Result{Result: res, Signature: canon.sig, ResponseFragment: entry.frag}, nil
 	}
 
 	// Follower: wait under our own context, not the leader's.
@@ -298,8 +358,9 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 				Cost:    c.entry.cost,
 				Optimal: true,
 			},
-			Signature: canon.sig,
-			Shared:    true,
+			Signature:        canon.sig,
+			Shared:           true,
+			ResponseFragment: c.entry.frag,
 		}, nil
 	}
 	// The leader failed or was truncated — an outcome of its budget and
@@ -309,22 +370,57 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	p.record(canon, res)
-	return Result{Result: res, Signature: canon.sig}, nil
+	entry := p.record(canon, res)
+	return Result{Result: res, Signature: canon.sig, ResponseFragment: entry.frag}, nil
 }
 
 // record caches a proven-optimal result and returns its canonical-space
-// entry.
-func (p *Planner) record(canon *canonical, res core.Result) *cacheEntry {
+// entry, with the response fragment pre-serialized once so every future
+// hit splices bytes instead of re-marshaling.
+func (p *Planner) record(canon canonical, res core.Result) *cacheEntry {
 	entry := &cacheEntry{
 		plan:    canon.toCanonical(res.Plan),
 		cost:    res.Cost,
 		optimal: res.Optimal,
 	}
+	entry.frag = appendResultFragment(make([]byte, 0, 96), res.Cost, res.Optimal, canon.sig)
 	if p.cache != nil && res.Optimal {
 		p.cache.put(canon.sig, entry)
 	}
 	return entry
+}
+
+// appendResultFragment serializes the canonical-space response fields
+// shared by every request hitting one cache entry. The float rendering
+// matches encoding/json's (shortest 'f' form, 'e' with a trimmed exponent
+// outside [1e-6, 1e21)), so fast-path responses and the encoding/json
+// fallback agree byte for byte.
+func appendResultFragment(dst []byte, cost float64, optimal bool, sig Signature) []byte {
+	dst = append(dst, `"cost":`...)
+	dst = appendJSONFloat(dst, cost)
+	dst = append(dst, `,"optimal":`...)
+	dst = strconv.AppendBool(dst, optimal)
+	dst = append(dst, `,"signature":"`...)
+	dst = hex.AppendEncode(dst, sig[:])
+	return append(dst, '"')
+}
+
+// appendJSONFloat renders f exactly as encoding/json does.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim a two-digit exponent's leading zero: 2e-07 -> 2e-7.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
 }
 
 // maxMemoRawBytes bounds the per-entry footprint of the canonicalization
@@ -335,8 +431,11 @@ func (p *Planner) record(canon *canonical, res core.Result) *cacheEntry {
 const maxMemoRawBytes = 16 << 10
 
 // canonicalFor resolves q's canonical identity, consulting the memo first
-// so repeat submissions of the same bytes skip refinement.
-func (p *Planner) canonicalFor(q *model.Query) *canonical {
+// so repeat submissions of the same bytes skip refinement. The memo-hit
+// fast path is allocation-free: the raw serialization lands in pooled
+// scratch, and the returned value aliases the memo entry's perm/inv
+// slices (read-only by construction) instead of copying them.
+func (p *Planner) canonicalFor(q *model.Query) canonical {
 	bufp := p.rawBufs.Get().(*[]byte)
 	raw := encodeRaw(q, (*bufp)[:0])
 	defer func() {
@@ -349,7 +448,7 @@ func (p *Planner) canonicalFor(q *model.Query) *canonical {
 	key := fnv64(raw)
 	if e, ok := p.memo.get(key, raw); ok {
 		p.memoHits.Add(1)
-		return &canonical{sig: e.sig, perm: e.perm, inv: e.inv}
+		return canonical{sig: e.sig, perm: e.perm, inv: e.inv}
 	}
 	c := canonicalize(q)
 	p.memo.put(key, &rawEntry{

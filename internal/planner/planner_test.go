@@ -171,23 +171,6 @@ func TestEvictionRespectsCapacity(t *testing.T) {
 	}
 }
 
-func TestLRUKeepsHotEntries(t *testing.T) {
-	t.Parallel()
-	shard := newLRUShard[int, int](2)
-	shard.put(1, 10)
-	shard.put(2, 20)
-	shard.get(1) // promote 1
-	if shard.put(3, 30) != 1 {
-		t.Fatal("inserting above capacity did not evict")
-	}
-	if _, ok := shard.get(2); ok {
-		t.Fatal("least-recently-used entry 2 survived")
-	}
-	if v, ok := shard.get(1); !ok || v != 10 {
-		t.Fatal("recently-used entry 1 was evicted")
-	}
-}
-
 func TestCacheDisabled(t *testing.T) {
 	t.Parallel()
 	var searches atomic.Int64
@@ -405,6 +388,54 @@ func TestSearchStatsAccumulate(t *testing.T) {
 	}
 	if afterHit.HitRate() != 0.5 {
 		t.Fatalf("hit rate %v after 1 hit / 1 miss, want 0.5", afterHit.HitRate())
+	}
+}
+
+// TestLatencyQuantilesSurface pins the Stats view of the latency
+// histogram: all-zero on a fresh planner (the values serialize straight
+// into /stats JSON, so NaN is forbidden), positive and ordered once
+// requests have flowed.
+func TestLatencyQuantilesSurface(t *testing.T) {
+	t.Parallel()
+	p := New(Config{})
+	fresh := p.Stats()
+	if fresh.OptimizeP50Micros != 0 || fresh.OptimizeP90Micros != 0 || fresh.OptimizeP99Micros != 0 {
+		t.Fatalf("fresh quantiles non-zero: %+v", fresh)
+	}
+
+	ctx := context.Background()
+	q := testQuery(t, gen.Default(8, 2026))
+	for i := 0; i < 32; i++ {
+		if _, err := p.Optimize(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.OptimizeP50Micros <= 0 {
+		t.Fatalf("p50 = %v after 32 requests, want > 0", s.OptimizeP50Micros)
+	}
+	if s.OptimizeP50Micros > s.OptimizeP90Micros || s.OptimizeP90Micros > s.OptimizeP99Micros {
+		t.Fatalf("quantiles out of order: p50=%v p90=%v p99=%v",
+			s.OptimizeP50Micros, s.OptimizeP90Micros, s.OptimizeP99Micros)
+	}
+
+	// A failed request must not be recorded: the histogram's total
+	// observation count stays put across a canceled Optimize.
+	histTotal := func() int64 {
+		var total int64
+		for i := range p.lat.buckets {
+			total += p.lat.buckets[i].Load()
+		}
+		return total
+	}
+	before := histTotal()
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.Optimize(canceled, q); err == nil {
+		t.Fatal("canceled request succeeded")
+	}
+	if after := histTotal(); after != before {
+		t.Fatalf("failed request was recorded: histogram count %d -> %d", before, after)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"serviceordering/internal/ccache"
 	"serviceordering/internal/model"
 )
 
@@ -33,6 +34,9 @@ func (s Signature) shardIndex(n int) int {
 
 // canonical holds the result of canonicalizing one query: the signature and
 // the permutation linking canonical positions to the query's own indices.
+// It is passed by value so the warm hit path never heap-allocates one: a
+// raw-memo hit hands back the memo entry's shared perm/inv slices inside a
+// stack-resident struct (the slices are read-only after construction).
 type canonical struct {
 	sig Signature
 
@@ -45,7 +49,7 @@ type canonical struct {
 
 // toCanonical relabels a plan expressed in the query's index space into
 // canonical index space.
-func (c *canonical) toCanonical(p model.Plan) model.Plan {
+func (c canonical) toCanonical(p model.Plan) model.Plan {
 	out := make(model.Plan, len(p))
 	for i, s := range p {
 		out[i] = c.inv[s]
@@ -55,7 +59,7 @@ func (c *canonical) toCanonical(p model.Plan) model.Plan {
 
 // fromCanonical relabels a canonical-space plan into the query's own index
 // space.
-func (c *canonical) fromCanonical(p model.Plan) model.Plan {
+func (c canonical) fromCanonical(p model.Plan) model.Plan {
 	out := make(model.Plan, len(p))
 	for i, s := range p {
 		out[i] = c.perm[s]
@@ -83,7 +87,7 @@ const maxCanonCandidates = 20160 // 8!/2, comfortably above realistic tie groups
 // resolved by enumerating orderings within tie groups and keeping the
 // lexicographically least serialization, so relabelings of the same
 // structure — including automorphic ones — converge to identical bytes.
-func canonicalize(q *model.Query) *canonical {
+func canonicalize(q *model.Query) canonical {
 	n := q.N()
 	colors := initialColors(q)
 	refineColors(q, colors)
@@ -140,15 +144,11 @@ func canonicalize(q *model.Query) *canonical {
 			permuteRange(perm, gr.lo, gr.hi, func() { walk(g + 1) })
 		}
 		walk(0)
-		c := &canonical{sig: sha256.Sum256(bestBytes), perm: best}
-		c.inv = invert(best)
-		return c
+		return canonical{sig: sha256.Sum256(bestBytes), perm: best, inv: invert(best)}
 	}
 
 	bytes := encodeCanonical(q, best, nil)
-	c := &canonical{sig: sha256.Sum256(bytes), perm: best}
-	c.inv = invert(best)
-	return c
+	return canonical{sig: sha256.Sum256(bytes), perm: best, inv: invert(best)}
 }
 
 func invert(perm []int) []int {
@@ -384,22 +384,12 @@ func appendFloat(dst []byte, v float64) []byte {
 	return appendUint64(dst, math.Float64bits(v))
 }
 
-// fnv64 is FNV-1a over b: cheap, allocation-free, and deterministic across
-// processes (unlike hash/maphash). It is used for refinement colors and the
-// raw-memo bucket key; both tolerate collisions (colors merely coarsen the
-// partition, the raw memo verifies full bytes before trusting a bucket).
-func fnv64(b []byte) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
-}
+// fnv64 is ccache.FNV64 (FNV-1a): cheap, allocation-free, and
+// deterministic across processes (unlike hash/maphash). It is used for
+// refinement colors and the raw-memo bucket key; both tolerate collisions
+// (colors merely coarsen the partition, the raw memo verifies full bytes
+// before trusting a bucket).
+func fnv64(b []byte) uint64 { return ccache.FNV64(b) }
 
 // mix combines two words into one (used for (weight, color) profile
 // entries) with a xorshift-multiply finalizer.

@@ -1,0 +1,552 @@
+// Package serve implements the dqserve HTTP layer over the planner
+// service: request decoding, the response fast path, and the route table.
+// It lives outside cmd/dqserve so the load generator (cmd/dqload) and the
+// handler tests can host the exact production handler in-process.
+//
+// The serving hot path is a warm plan-cache hit, and this package keeps it
+// allocation-lean end to end: the request's query is captured as raw bytes
+// (json.RawMessage) and echoed verbatim into the response instead of being
+// re-marshaled; the plan is appended integer by integer (it is the one
+// response field that differs per caller — cached plans live in canonical
+// index space and are permuted into the caller's numbering); and the
+// cost/optimal/signature tail is spliced from the cache entry's
+// pre-serialized fragment (planner.Result.ResponseFragment). Responses are
+// assembled in pooled append-based buffers and written with a single
+// Write. The legacy encoding/json path survives behind Options.LegacyEncode
+// for differential tests and A/B load measurement.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"serviceordering/internal/ccache"
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// Options configures a handler.
+type Options struct {
+	// MaxBody bounds request body size in bytes (0 = 8 MiB).
+	MaxBody int64
+
+	// Pprof exposes /debug/pprof endpoints (heap contents and stack
+	// traces — production deployments enable it behind their own
+	// network policy).
+	Pprof bool
+
+	// LegacyEncode replays the pre-v4 response path: every response is
+	// built by encoding/json with two-space indentation, no raw-bytes
+	// echo, no fragment splicing, no query memo. Kept for the
+	// fast-vs-legacy encoder differential test and for A/B load
+	// measurement (cmd/dqload -legacy); production servers leave it
+	// false.
+	LegacyEncode bool
+
+	// QueryMemoCapacity bounds the query memo: a bounded byte-exact
+	// cache from raw query JSON to its parsed, validated model.Query, so
+	// byte-identical resubmissions — the warm-hit workload — skip
+	// reflection-driven JSON decoding of the services and transfer
+	// matrix, by far the dearest step left on the hit path. Zero means
+	// DefaultQueryMemoCapacity; negative disables the memo.
+	QueryMemoCapacity int
+}
+
+// DefaultQueryMemoCapacity matches twice the planner's default plan-cache
+// capacity, mirroring the canonicalization memo it sits in front of.
+const DefaultQueryMemoCapacity = 2 * planner.DefaultCacheCapacity
+
+// OptimizeResponse is the reply document of POST /optimize: the solved
+// instance plus planner provenance. The fast path emits this shape by hand
+// (appendSolved); the struct remains the schema of record, the legacy
+// encoder's input, and the decoding target for clients and tests.
+type OptimizeResponse struct {
+	model.Instance
+
+	// Cost shadows Instance.Cost to drop its omitempty: a legitimately
+	// zero-cost optimum must still serialize a "cost" key.
+	Cost float64 `json:"cost"`
+
+	// Optimal reports whether the plan carries an optimality proof.
+	Optimal bool `json:"optimal"`
+
+	// Cached / Shared report how the request was served (plan cache hit,
+	// singleflight piggyback, or a fresh search when both are false).
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared"`
+
+	// Signature is the query's canonical identity (hex).
+	Signature string `json:"signature"`
+
+	// NodesExpanded and ElapsedMicros describe the search that produced
+	// the plan; both are zero on a cache hit.
+	NodesExpanded int64 `json:"nodesExpanded"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+// BatchRequest is the body of POST /optimize/batch.
+type BatchRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+}
+
+// BatchResponse is the reply of POST /optimize/batch, results in input
+// order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// BatchItem is one batch outcome: a solved instance or a per-instance
+// error (a bad instance fails alone, not the batch).
+type BatchItem struct {
+	*OptimizeResponse
+
+	// Error is the per-instance failure, when the instance was invalid
+	// or its search failed.
+	Error string `json:"error,omitempty"`
+}
+
+// StatsResponse is the GET /stats document.
+type StatsResponse struct {
+	planner.Stats
+
+	// HitRate is the plan-cache hit fraction in [0, 1].
+	HitRate float64 `json:"hitRate"`
+
+	// QueryMemoHits counts requests whose query bytes were matched in the
+	// server's query memo, skipping the JSON parse entirely.
+	QueryMemoHits int64 `json:"queryMemoHits"`
+
+	// Uptime is seconds since the server started.
+	Uptime float64 `json:"uptimeSeconds"`
+}
+
+// optimizeRequest mirrors model.Instance field for field but captures the
+// parts the response echoes (comment, query) as raw bytes, so the fast
+// path can splice them back verbatim instead of re-marshaling. plan and
+// cost are accepted (the interchange format carries them) but ignored —
+// the response always holds the freshly computed plan.
+type optimizeRequest struct {
+	Comment json.RawMessage `json:"comment"`
+	Query   json.RawMessage `json:"query"`
+	Plan    json.RawMessage `json:"plan"`
+	Cost    json.RawMessage `json:"cost"`
+
+	query     *model.Query // parsed Query (nil when the instance has none)
+	validated bool         // query came from the memo, already validated
+}
+
+// queryMemoEntry is one memoized parse: the exact query bytes (verified
+// on lookup — the memo key is a 64-bit hash) and the decoded, validated
+// query. The query is shared across requests and must be treated as
+// read-only; the planner only ever reads it.
+type queryMemoEntry struct {
+	raw []byte
+	q   *model.Query
+}
+
+type handler struct {
+	p       *planner.Planner
+	opts    Options
+	started time.Time
+
+	// qmemo maps FNV-64(raw query JSON) -> parsed query; nil when
+	// disabled. Read-lock-free (ccache clock store).
+	qmemo     *ccache.Clock[uint64, *queryMemoEntry]
+	qmemoHits atomic.Int64
+
+	// bufs holds response-assembly scratch (*[]byte). Buffers that grew
+	// beyond maxPooledBuf are dropped rather than pooled, so one giant
+	// batch cannot pin its footprint forever.
+	bufs sync.Pool
+}
+
+const (
+	defaultMaxBody = 8 << 20
+	maxPooledBuf   = 1 << 20
+
+	// maxMemoQueryBytes bounds the per-entry footprint of the query memo,
+	// matching the planner's canonicalization memo bound so the two
+	// memos' worst-case resident bytes stay comparable (capacity x 16KiB;
+	// larger queries simply re-parse — they are search-dominated anyway).
+	// Together with the core.MaxServices admission check below, this also
+	// keeps unservable giant queries from occupying slots.
+	maxMemoQueryBytes = 16 << 10
+
+	// queryMemoShards: power of two, same sharding story as the planner
+	// caches.
+	queryMemoShards = 64
+)
+
+// NewHandler builds the dqserve route table around one shared planner.
+func NewHandler(p *planner.Planner, opts Options) http.Handler {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = defaultMaxBody
+	}
+	h := &handler{p: p, opts: opts, started: time.Now()}
+	h.bufs.New = func() any { b := make([]byte, 0, 4096); return &b }
+	if cap := opts.QueryMemoCapacity; cap >= 0 && !opts.LegacyEncode {
+		if cap == 0 {
+			cap = DefaultQueryMemoCapacity
+		}
+		h.qmemo = ccache.NewClock[uint64, *queryMemoEntry](cap, queryMemoShards,
+			func(k uint64) int { return int(k & (queryMemoShards - 1)) })
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", h.optimize)
+	mux.HandleFunc("POST /optimize/batch", h.optimizeBatch)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	if opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func (h *handler) optimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := h.decodeOptimizeRequest(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := h.p.Optimize(r.Context(), req.query)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	if h.opts.LegacyEncode {
+		writeJSON(w, http.StatusOK, legacySolved(&req, res))
+		return
+	}
+	bufp := h.getBuf()
+	b := appendSolved((*bufp)[:0], &req, res)
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}
+
+func (h *handler) optimizeBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if err := decodeJSON(w, r, h.opts.MaxBody, &batch); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs := make([]optimizeRequest, len(batch.Instances))
+	qs := make([]*model.Query, len(batch.Instances))
+	for i, raw := range batch.Instances {
+		if len(raw) == 0 || string(raw) == "null" {
+			continue // nil query rejected by the planner, fails alone
+		}
+		if err := h.decodeInstanceBytes(raw, &reqs[i]); err != nil {
+			// Malformed JSON inside an instance fails the whole request,
+			// matching the legacy whole-document decode.
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: instance %d: %w", i, err))
+			return
+		}
+		qs[i] = reqs[i].query
+	}
+	results := h.p.OptimizeBatch(r.Context(), qs)
+
+	if h.opts.LegacyEncode {
+		resp := BatchResponse{Results: make([]BatchItem, len(results))}
+		for i, br := range results {
+			if br.Err != nil {
+				resp.Results[i] = BatchItem{Error: br.Err.Error()}
+				continue
+			}
+			resp.Results[i] = BatchItem{OptimizeResponse: legacySolved(&reqs[i], br.Result)}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	bufp := h.getBuf()
+	b := append((*bufp)[:0], `{"results":[`...)
+	for i, br := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if br.Err != nil {
+			b = append(b, `{"error":`...)
+			b = appendJSONString(b, br.Err.Error())
+			b = append(b, '}')
+			continue
+		}
+		b = appendSolved(b, &reqs[i], br.Result)
+	}
+	b = append(b, `]}`...)
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.p.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:         st,
+		HitRate:       st.HitRate(),
+		QueryMemoHits: h.qmemoHits.Load(),
+		Uptime:        time.Since(h.started).Seconds(),
+	})
+}
+
+func (h *handler) getBuf() *[]byte { return h.bufs.Get().(*[]byte) }
+
+func (h *handler) putBuf(p *[]byte, b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
+	*p = b
+	h.bufs.Put(p)
+}
+
+// decodeOptimizeRequest reads and validates one instance document,
+// capturing comment and query as raw bytes for verbatim echo. Both
+// malformed JSON and an invalid query are request errors (400) on the
+// single-instance path.
+func (h *handler) decodeOptimizeRequest(w http.ResponseWriter, r *http.Request, req *optimizeRequest) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.opts.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if err := h.finishInstanceDecode(req); err != nil {
+		return err
+	}
+	if req.query == nil {
+		return errors.New("instance has no query")
+	}
+	if req.validated {
+		return nil // memo hit: these exact bytes validated before
+	}
+	return req.query.Validate()
+}
+
+// decodeInstanceBytes decodes one batch instance from its raw bytes with
+// the same strictness as the single-instance path. Semantic validation of
+// the query is deliberately left to the planner so an invalid instance
+// fails alone, not the batch.
+func (h *handler) decodeInstanceBytes(raw []byte, req *optimizeRequest) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return err
+	}
+	return h.finishInstanceDecode(req)
+}
+
+// finishInstanceDecode type-checks the raw envelope fields and parses the
+// query (without semantic validation on the fresh-parse path). The
+// envelope decode captured comment/plan/cost as raw bytes for speed; they
+// are still checked against their declared types so a request the legacy
+// decoder would have rejected stays rejected.
+//
+// The query parse itself consults the query memo first: byte-identical
+// query JSON deterministically decodes to the same query, so a verified
+// byte match (the hash is only a bucket key) reuses the previously
+// parsed, previously validated query and skips both the reflection-driven
+// decode and re-validation — the "hash" step of the warm hit path's
+// hash -> probe -> permute -> copy pipeline.
+func (h *handler) finishInstanceDecode(req *optimizeRequest) error {
+	if jsonNull(req.Comment) {
+		req.Comment = nil
+	} else if len(req.Comment) > 0 && req.Comment[0] != '"' {
+		return errors.New("decoding request: comment must be a string")
+	}
+	if len(req.Plan) > 0 && !jsonNull(req.Plan) {
+		var p model.Plan
+		if err := json.Unmarshal(req.Plan, &p); err != nil {
+			return fmt.Errorf("decoding request: %w", err)
+		}
+	}
+	if len(req.Cost) > 0 && !jsonNull(req.Cost) {
+		var c float64
+		if err := json.Unmarshal(req.Cost, &c); err != nil {
+			return fmt.Errorf("decoding request: %w", err)
+		}
+	}
+	if len(req.Query) == 0 || jsonNull(req.Query) {
+		return nil // no query: the planner reports it per request
+	}
+
+	memoable := h.qmemo != nil && len(req.Query) <= maxMemoQueryBytes
+	var key uint64
+	if memoable {
+		key = ccache.FNV64(req.Query)
+		if e, ok, _ := h.qmemo.Get(key); ok && bytes.Equal(e.raw, req.Query) {
+			h.qmemoHits.Add(1)
+			req.query = e.q
+			req.validated = true
+			return nil
+		}
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(req.Query))
+	dec.DisallowUnknownFields()
+	var q model.Query
+	if err := dec.Decode(&q); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	req.query = &q
+	// Only queries that fully validate — and that the exact optimizer can
+	// actually serve — are memoized, so a memo hit can skip validation
+	// outright; invalid or oversized ones re-parse per request (they
+	// never reach a search anyway).
+	if memoable && q.N() <= core.MaxServices && q.Validate() == nil {
+		raw := append([]byte(nil), req.Query...)
+		h.qmemo.Put(key, &queryMemoEntry{raw: raw, q: &q})
+		req.validated = true
+	}
+	return nil
+}
+
+func jsonNull(raw json.RawMessage) bool {
+	return len(raw) == 4 && string(raw) == "null"
+}
+
+// appendSolved assembles one solved-instance response object. Field set
+// and shape match OptimizeResponse; comment and query are the request's
+// own bytes, the plan is appended per caller, and the
+// cost/optimal/signature tail comes pre-serialized from the planner.
+func appendSolved(b []byte, req *optimizeRequest, res planner.Result) []byte {
+	b = append(b, '{')
+	// An explicit empty comment is omitted like an absent one, matching
+	// the legacy encoder (Instance.Comment carries omitempty).
+	if len(req.Comment) > 0 && string(req.Comment) != `""` {
+		b = append(b, `"comment":`...)
+		b = append(b, req.Comment...)
+		b = append(b, ',')
+	}
+	b = append(b, `"query":`...)
+	b = append(b, req.Query...)
+	b = append(b, `,"plan":[`...)
+	for i, s := range res.Plan {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(s), 10)
+	}
+	b = append(b, `],`...)
+	if len(res.ResponseFragment) > 0 {
+		b = append(b, res.ResponseFragment...)
+	} else {
+		// Defensive: every successful planner result carries a fragment
+		// today; keep the response well-formed if that ever changes.
+		b = append(b, `"cost":`...)
+		b = strconv.AppendFloat(b, res.Cost, 'g', -1, 64)
+		b = append(b, `,"optimal":`...)
+		b = strconv.AppendBool(b, res.Optimal)
+		b = append(b, `,"signature":`...)
+		b = appendJSONString(b, res.Signature.String())
+	}
+	b = append(b, `,"cached":`...)
+	b = strconv.AppendBool(b, res.Cached)
+	b = append(b, `,"shared":`...)
+	b = strconv.AppendBool(b, res.Shared)
+	b = append(b, `,"nodesExpanded":`...)
+	b = strconv.AppendInt(b, res.Stats.NodesExpanded, 10)
+	b = append(b, `,"elapsedMicros":`...)
+	b = strconv.AppendInt(b, res.Stats.Elapsed.Microseconds(), 10)
+	return append(b, '}')
+}
+
+// appendJSONString appends s as a JSON string. Plain ASCII without
+// escapes — the overwhelmingly common case for comments and error
+// messages — is a straight copy; anything else defers to encoding/json
+// for exact escaping semantics (including HTML escaping, matching the
+// legacy encoder).
+func appendJSONString(b []byte, s string) []byte {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' || c >= utf8.RuneSelf {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		b = append(b, '"')
+		b = append(b, s...)
+		return append(b, '"')
+	}
+	out, err := json.Marshal(s)
+	if err != nil { // unreachable: strings always marshal
+		return append(b, `""`...)
+	}
+	return append(b, out...)
+}
+
+// legacySolved rebuilds the pre-v4 response struct for the encoding/json
+// path.
+func legacySolved(req *optimizeRequest, res planner.Result) *OptimizeResponse {
+	var comment string
+	if len(req.Comment) > 0 {
+		_ = json.Unmarshal(req.Comment, &comment)
+	}
+	return &OptimizeResponse{
+		Instance: model.Instance{
+			Comment: comment,
+			Query:   req.query,
+			Plan:    res.Plan,
+		},
+		Cost:          res.Cost,
+		Optimal:       res.Optimal,
+		Cached:        res.Cached,
+		Shared:        res.Shared,
+		Signature:     res.Signature.String(),
+		NodesExpanded: res.Stats.NodesExpanded,
+		ElapsedMicros: res.Stats.Elapsed.Microseconds(),
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// fixtureInstance returns the hand-checked 3-service instance (optimum
+// [a b c], cost 2.5).
+func fixtureInstance(t testing.TB) *model.Instance {
+	t.Helper()
+	q, err := model.NewQuery(
+		[]model.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+			{Name: "c", Cost: 4, Selectivity: 0.25},
+		},
+		[][]float64{
+			{0, 1, 2},
+			{3, 0, 1},
+			{2, 5, 0},
+		})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return &model.Instance{Comment: "fixture", Query: q}
+}
+
+func newTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{MaxBody: 1 << 20, Pprof: true}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t testing.TB, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+
+	resp := postJSON(t, srv.URL+"/optimize", inst)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	got := decodeBody[OptimizeResponse](t, resp)
+	if !got.Plan.Equal(model.Plan{0, 1, 2}) {
+		t.Errorf("plan = %v, want [0 1 2]", got.Plan)
+	}
+	if got.Cost != 2.5 {
+		t.Errorf("cost = %v, want 2.5", got.Cost)
+	}
+	if !got.Optimal {
+		t.Error("response not marked optimal")
+	}
+	if got.Cached {
+		t.Error("first request reported cached")
+	}
+	if got.Signature == "" {
+		t.Error("response missing signature")
+	}
+	if got.Comment != "fixture" {
+		t.Errorf("comment = %q, want fixture echoed back", got.Comment)
+	}
+	if got.Query == nil || len(got.Query.Services) != 3 {
+		t.Fatalf("query echo missing or truncated: %+v", got.Query)
+	}
+	if got.Query.Services[0].Name != "a" || got.Query.Transfer[2][1] != 5 {
+		t.Errorf("query echo corrupted: %+v", got.Query)
+	}
+
+	// Second identical request: cache hit, zero search work.
+	resp2 := postJSON(t, srv.URL+"/optimize", inst)
+	got2 := decodeBody[OptimizeResponse](t, resp2)
+	if !got2.Cached {
+		t.Error("second request not served from cache")
+	}
+	if got2.NodesExpanded != 0 {
+		t.Errorf("cached response expanded %d nodes, want 0", got2.NodesExpanded)
+	}
+	if !got2.Plan.Equal(got.Plan) || got2.Cost != got.Cost {
+		t.Errorf("cached response differs: %v/%v vs %v/%v", got2.Plan, got2.Cost, got.Plan, got.Cost)
+	}
+}
+
+// TestFastVsLegacyEncodeDifferential drives the same request sequence
+// through the fast append-based encoder and the legacy encoding/json
+// path: after JSON decoding, every field must agree on every request
+// (miss, hit, relabeled hit, batch).
+func TestFastVsLegacyEncodeDifferential(t *testing.T) {
+	fast := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{}))
+	defer fast.Close()
+	legacy := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{LegacyEncode: true}))
+	defer legacy.Close()
+
+	inst := fixtureInstance(t)
+	for round := 0; round < 3; round++ { // miss, then hits
+		fr := decodeBody[OptimizeResponse](t, postJSON(t, fast.URL+"/optimize", inst))
+		lr := decodeBody[OptimizeResponse](t, postJSON(t, legacy.URL+"/optimize", inst))
+		fr.ElapsedMicros, lr.ElapsedMicros = 0, 0 // wall clock, legitimately differs
+		if !reflect.DeepEqual(fr, lr) {
+			t.Fatalf("round %d: fast and legacy responses diverge:\nfast:   %+v\nlegacy: %+v", round, fr, lr)
+		}
+	}
+
+	req := BatchRequest{Instances: mustRawInstances(t, inst, inst)}
+	fb := decodeBody[BatchResponse](t, postJSON(t, fast.URL+"/optimize/batch", req))
+	lb := decodeBody[BatchResponse](t, postJSON(t, legacy.URL+"/optimize/batch", req))
+	for _, resp := range [][]BatchItem{fb.Results, lb.Results} {
+		for i := range resp {
+			if resp[i].OptimizeResponse != nil {
+				resp[i].ElapsedMicros = 0
+			}
+		}
+	}
+	if !reflect.DeepEqual(fb, lb) {
+		t.Fatalf("batch responses diverge:\nfast:   %+v\nlegacy: %+v", fb, lb)
+	}
+}
+
+func mustRawInstances(t testing.TB, insts ...*model.Instance) []json.RawMessage {
+	t.Helper()
+	out := make([]json.RawMessage, len(insts))
+	for i, inst := range insts {
+		raw, err := json.Marshal(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = raw
+	}
+	return out
+}
+
+// TestOptimizeEchoesUnusualComments: comments needing JSON escaping round
+// trip through the raw-bytes echo path intact.
+func TestOptimizeEchoesUnusualComments(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+	inst.Comment = "tabs\tand \"quotes\" and <html> & ünïcode"
+	got := decodeBody[OptimizeResponse](t, postJSON(t, srv.URL+"/optimize", inst))
+	if got.Comment != inst.Comment {
+		t.Errorf("comment round trip: got %q, want %q", got.Comment, inst.Comment)
+	}
+
+	inst.Comment = ""
+	got = decodeBody[OptimizeResponse](t, postJSON(t, srv.URL+"/optimize", inst))
+	if got.Comment != "" {
+		t.Errorf("empty comment came back as %q", got.Comment)
+	}
+
+	// An EXPLICIT empty comment (omitempty strips it from marshaled
+	// instances, so build the body by hand) must be omitted from the
+	// response like the legacy encoder does — not echoed as "".
+	q, err := json.Marshal(inst.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"comment":"","query":` + string(q) + `}`)
+	resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte(`"comment"`)) {
+		t.Errorf("explicit empty comment was echoed: %s", raw[:80])
+	}
+}
+
+func TestOptimizeRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewBufferString("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"comment": "no query"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"comment": 42, "query": fixtureInstance(t).Query})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-string comment: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"unknown": 1, "query": fixtureInstance(t).Query})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/optimize", map[string]any{"cost": "not a number", "query": fixtureInstance(t).Query})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mistyped cost: status %d, want 400", resp.StatusCode)
+	}
+
+	bad := fixtureInstance(t)
+	bad.Query.Transfer[0][0] = 7 // non-zero diagonal
+	resp = postJSON(t, srv.URL+"/optimize", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	good := fixtureInstance(t)
+	bad := fixtureInstance(t)
+	bad.Query = bad.Query.Clone()
+	bad.Query.Transfer[1][0] = -3 // invalid; must fail alone, not the batch
+
+	req := BatchRequest{Instances: mustRawInstances(t, good, bad, good)}
+	resp := postJSON(t, srv.URL+"/optimize/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeBody[BatchResponse](t, resp)
+	if len(got.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(got.Results))
+	}
+	for _, i := range []int{0, 2} {
+		r := got.Results[i]
+		if r.Error != "" {
+			t.Fatalf("instance %d failed: %s", i, r.Error)
+		}
+		if !r.Plan.Equal(model.Plan{0, 1, 2}) || r.Cost != 2.5 {
+			t.Errorf("instance %d: plan %v cost %v, want [0 1 2] / 2.5", i, r.Plan, r.Cost)
+		}
+	}
+	if got.Results[1].Error == "" {
+		t.Error("invalid instance did not report an error")
+	}
+}
+
+func TestBatchRejectsMalformedInstance(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"instances":[{"query":{"services":`
+	resp, err := http.Post(srv.URL+"/optimize/batch", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+	postJSON(t, srv.URL+"/optimize", inst)
+	postJSON(t, srv.URL+"/optimize", inst)
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	got := decodeBody[StatsResponse](t, resp)
+	if got.Hits != 1 || got.Misses != 1 || got.Searches != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 search", got.Stats)
+	}
+	if got.Entries != 1 {
+		t.Errorf("entries = %d, want 1", got.Entries)
+	}
+	if got.HitRate != 0.5 {
+		t.Errorf("hitRate = %v, want 0.5", got.HitRate)
+	}
+	if got.Touches != 1 {
+		t.Errorf("touches = %d after one warm hit, want 1", got.Touches)
+	}
+	if got.OptimizeP50Micros <= 0 || got.OptimizeP99Micros < got.OptimizeP50Micros {
+		t.Errorf("latency quantiles malformed: p50=%v p99=%v", got.OptimizeP50Micros, got.OptimizeP99Micros)
+	}
+	// The 3-service fixture warm-starts to a zero-node proof in under a
+	// microsecond, so only decodability is asserted here; accumulation is
+	// pinned deterministically in the planner's own tests.
+	if got.SearchNodes < 0 || got.SearchMicros < 0 {
+		t.Errorf("search counters negative: %+v", got.Stats)
+	}
+	if got.DominanceOccupancy < 0 || got.DominanceOccupancy > 1 {
+		t.Errorf("dominanceOccupancy = %v, want in [0, 1]", got.DominanceOccupancy)
+	}
+}
+
+// TestStatsEndpointFresh is the zero-denominator regression test: scraping
+// /stats before the first planner lookup must return decodable JSON with a
+// hit rate (and latency quantiles) of exactly 0. A NaN here would not
+// surface as a number — Go's encoding/json refuses NaN, so the handler
+// would emit an empty body and the first scrape of every fresh deployment
+// would break.
+func TestStatsEndpointFresh(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("/stats returned an empty body on a fresh server (NaN smuggled into the encoder?)")
+	}
+	var got StatsResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("fresh /stats is not valid JSON: %v\n%s", err, raw)
+	}
+	if got.HitRate != 0 {
+		t.Errorf("fresh hitRate = %v, want exactly 0", got.HitRate)
+	}
+	if got.Hits != 0 || got.Misses != 0 || got.Searches != 0 {
+		t.Errorf("fresh counters non-zero: %+v", got.Stats)
+	}
+	if got.DominancePrunes != 0 || got.DominanceOccupancy != 0 {
+		t.Errorf("fresh dominance counters non-zero: %+v", got.Stats)
+	}
+	if got.Touches != 0 || got.OptimizeP50Micros != 0 || got.OptimizeP90Micros != 0 || got.OptimizeP99Micros != 0 {
+		t.Errorf("fresh hot-path counters non-zero: %+v", got.Stats)
+	}
+}
+
+func TestPprofEndpointBehindFlag(t *testing.T) {
+	srv := newTestServer(t) // newTestServer enables pprof
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{}))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof exposed without Pprof option")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// handlerAllocBudget pins the full warm-hit handler cost in allocations
+// per request, measured through ServeHTTP with httptest scaffolding. With
+// the query memo skipping the reflection JSON decode, the budget is
+// dominated by the envelope scan (RawMessage captures) and the httptest
+// request/recorder themselves; the response side contributes ~zero
+// (pooled buffer, verbatim echo, fragment splice). Losing the memo fast
+// path roughly doubles this number, and falling back to encoding/json
+// marshaling doubles it again — those are the regressions this guards
+// (measured: ~36 with both fast paths, ~65 without the memo, ~79 legacy).
+const handlerAllocBudget = 45
+
+// TestQueryMemo pins the byte-exact parse memo: identical query bytes hit
+// (skipping the decode), different bytes for the same query miss, and a
+// memo hit still resolves through the planner (plan-cache counters tick).
+func TestQueryMemo(t *testing.T) {
+	srv := newTestServer(t)
+	inst := fixtureInstance(t)
+
+	var bufA bytes.Buffer // fixed serialization, sent twice
+	if err := json.NewEncoder(&bufA).Encode(inst); err != nil {
+		t.Fatal(err)
+	}
+	bodyA := bufA.Bytes()
+	post := func(body []byte) OptimizeResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var out OptimizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	scrape := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return decodeBody[StatsResponse](t, resp)
+	}
+
+	first := post(bodyA)
+	if hits := scrape().QueryMemoHits; hits != 0 {
+		t.Fatalf("queryMemoHits = %d after first sight, want 0", hits)
+	}
+	second := post(bodyA)
+	if hits := scrape().QueryMemoHits; hits != 1 {
+		t.Fatalf("queryMemoHits = %d after byte-identical resubmission, want 1", hits)
+	}
+	if !second.Cached {
+		t.Fatal("memo-hit request bypassed the plan cache")
+	}
+	if !second.Plan.Equal(first.Plan) || second.Cost != first.Cost {
+		t.Fatalf("memo hit diverged: %v/%v vs %v/%v", second.Plan, second.Cost, first.Plan, first.Cost)
+	}
+
+	// Same instance, different serialization (indented): memo miss, same
+	// answer.
+	bodyB, err := json.MarshalIndent(inst, "", "   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := post(bodyB)
+	if hits := scrape().QueryMemoHits; hits != 1 {
+		t.Fatalf("queryMemoHits = %d after different serialization, want still 1", hits)
+	}
+	if !third.Plan.Equal(first.Plan) || third.Cost != first.Cost {
+		t.Fatalf("re-serialized request diverged: %v/%v", third.Plan, third.Cost)
+	}
+}
+
+// TestQueryMemoDoesNotCacheInvalidQueries: an invalid query is rejected
+// on every submission, not accidentally legitimized by the memo.
+func TestQueryMemoDoesNotCacheInvalidQueries(t *testing.T) {
+	srv := newTestServer(t)
+	bad := fixtureInstance(t)
+	bad.Query.Transfer[0][0] = 7
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/optimize", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submission %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerWarmHitAllocs(t *testing.T) {
+	h := NewHandler(planner.New(planner.Config{}), Options{})
+	body, err := json.Marshal(fixtureInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := do(); code != http.StatusOK { // warm the cache
+		t.Fatalf("warmup status = %d", code)
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if code := do(); code != http.StatusOK {
+			t.Fatalf("status = %d mid-measurement", code)
+		}
+	})
+	if allocs > handlerAllocBudget {
+		t.Errorf("warm-hit handler allocates %.1f/op, budget %d", allocs, handlerAllocBudget)
+	}
+}
