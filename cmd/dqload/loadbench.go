@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"serviceordering/internal/adapt"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
@@ -103,8 +104,9 @@ type loadOpts struct {
 	legacy   bool
 	target   string // external server URL; empty = self-host
 	duration time.Duration
-	open     bool    // open-loop arrivals instead of closed-loop workers
-	rate     float64 // open-loop arrivals per second
+	open     bool          // open-loop arrivals instead of closed-loop workers
+	rate     float64       // open-loop arrivals per second
+	adaptive *adapt.Config // non-nil: self-host with the adaptive replanning loop
 	verbose  io.Writer
 }
 
@@ -126,7 +128,14 @@ func startTarget(opts loadOpts) (*loadTarget, error) {
 	if opts.target != "" {
 		return &loadTarget{url: opts.target, client: client, close: transport.CloseIdleConnections}, nil
 	}
-	p := planner.New(planner.Config{LegacyLRUCache: opts.legacy})
+	var registry *adapt.Registry
+	if opts.adaptive != nil {
+		var err error
+		if registry, err = adapt.New(*opts.adaptive); err != nil {
+			return nil, err
+		}
+	}
+	p := planner.New(planner.Config{LegacyLRUCache: opts.legacy, Adaptive: registry})
 	srv := &http.Server{Handler: serve.NewHandler(p, serve.Options{MaxBody: 64 << 20, LegacyEncode: opts.legacy})}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -630,6 +639,22 @@ func runServeBench(quick bool, opts loadOpts) (*serveReport, error) {
 		if opts.verbose != nil {
 			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  %6.1f allocs/op  hit %5.1f%%  (%d reqs, %d verified)\n",
 				entry.Scenario, entry.ReqPerSec, entry.P50Micros, entry.P99Micros, entry.AllocsPerOp, 100*entry.HitRate, entry.Requests, entry.Verified)
+		}
+	}
+
+	// The drift cell: the adaptive replanning loop end to end, under the
+	// same regression gate. Self-hosted only — the scenario must control
+	// the ground truth its execution reports describe.
+	if opts.target == "" {
+		res, err := runDriftScenario(defaultDriftSpec(quick), opts)
+		if err != nil {
+			return nil, fmt.Errorf("drift-replan: %w", err)
+		}
+		rep.Entries = append(rep.Entries, res.entry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (converged in %d obs, %d generations, %d replans, %d verified)\n",
+				res.entry.Scenario, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros,
+				res.obsToConverge, res.generations, res.replans, res.entry.Verified)
 		}
 	}
 	return rep, nil

@@ -17,11 +17,13 @@
 //	                                        baseline; regressing cells
 //	                                        fail the run
 //
-// The tracked suite (see BENCH_serve.json at the repo root) runs three
-// cells — warm-single, warm-batch32, cold-single — each against a fresh
-// self-hosted server. -legacy measures the pre-v4 serving path (mutex LRU
-// cache + encoding/json responses) for A/B comparison; the committed
-// baseline embeds a legacy run as its "previous" block.
+// The tracked suite (see BENCH_serve.json at the repo root) runs four
+// cells — warm-single, warm-batch32, cold-single, and drift-replan (the
+// adaptive replanning loop: a mid-run oracle perturbation that served
+// plans must recover from, run standalone with -drift) — each against a
+// fresh self-hosted server. -legacy measures the pre-v4 serving path
+// (mutex LRU cache + encoding/json responses) for A/B comparison; the
+// committed baseline embeds its predecessor as the "previous" block.
 package main
 
 import (
@@ -62,6 +64,8 @@ func run(args []string) error {
 		rate     = fs.Float64("rate", 1000, "open-loop arrivals per second")
 		target   = fs.String("target", "", "external dqserve base URL (default: self-host the handler in-process)")
 		legacy   = fs.Bool("legacy", false, "measure the pre-v4 serving path: mutex LRU cache + encoding/json responses")
+		drift    = fs.Bool("drift", false, "run the adaptive-replanning drift scenario: perturb the oracle mid-run and assert served plans re-converge to the new optima")
+		quickAd  = fs.Bool("drift-quick", false, "with -drift: the CI-sized scenario (smaller observation budget)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +88,22 @@ func run(args []string) error {
 			thr = serveThresholds{}
 		}
 		return runServeBenchCmd(*jsonOut, *compare, *quick, thr, opts)
+	}
+
+	if *drift {
+		res, err := runDriftScenario(defaultDriftSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drift scenario: recovered in %d observations (%d generations, %d replans)\n",
+			res.obsToConverge, res.generations, res.replans)
+		fmt.Printf("  drift threshold  %.3f (regret budget 1%%, robust-derived)\n", res.driftDelta)
+		fmt.Printf("  true optimum     %.6g -> %.6g after perturbation\n", res.preDriftCost, res.postDriftCost)
+		fmt.Printf("  stale plan       %.2f%% regret under the new truth; final served regret %.4f%%\n",
+			100*res.oldPlanRegret, 100*res.finalRegret)
+		fmt.Printf("  traffic          %d requests, %.0f req/s, p50 %.1fµs p99 %.1fµs, %d verified\n",
+			res.entry.Requests, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros, res.entry.Verified)
+		return nil
 	}
 
 	// Ad-hoc single cell.

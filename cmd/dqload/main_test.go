@@ -16,8 +16,8 @@ func TestSuiteTinyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 3 {
-		t.Fatalf("suite produced %d cells, want 3", len(rep.Entries))
+	if len(rep.Entries) != 4 {
+		t.Fatalf("suite produced %d cells, want 4 (warm-single, warm-batch32, cold-single, drift-replan)", len(rep.Entries))
 	}
 	for _, e := range rep.Entries {
 		if e.Requests <= 0 {
@@ -32,7 +32,7 @@ func TestSuiteTinyRuns(t *testing.T) {
 		if e.Verified <= 0 {
 			t.Errorf("%s: no responses were cross-checked", e.Scenario)
 		}
-		if e.AllocsPerOp <= 0 {
+		if e.AllocsPerOp <= 0 && e.Mode != "drift" {
 			t.Errorf("%s: allocs/op not measured on a self-hosted run", e.Scenario)
 		}
 		switch e.Mode {
@@ -204,5 +204,48 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "lukewarm", "-duration", "10ms"}); err == nil {
 		t.Fatal("bad mode accepted")
+	}
+}
+
+// TestDriftScenario is the end-to-end adaptive replanning gate: a mid-run
+// oracle perturbation must be recovered — served plans re-converge to
+// within the regret budget of the post-drift optimum inside the
+// observation budget, with zero stale-generation plans served after the
+// replan generation is published (runDriftScenario fails on any
+// violation; the assertions here pin the metrics it reports).
+func TestDriftScenario(t *testing.T) {
+	res, err := runDriftScenario(defaultDriftSpec(true), loadOpts{seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.obsToConverge <= 0 {
+		t.Fatalf("converged in %d observations, want > 0 (the perturbation must actually break the plan)", res.obsToConverge)
+	}
+	if res.generations == 0 || res.replans == 0 {
+		t.Fatalf("loop did not exercise the machinery: %d generations, %d replans", res.generations, res.replans)
+	}
+	if res.oldPlanRegret < 0.03 {
+		t.Fatalf("stale plan regret %v under the new truth — the scenario's perturbation is vacuous", res.oldPlanRegret)
+	}
+	if res.staleServed != 0 {
+		t.Fatalf("%d stale-generation plans served after the replan generation was published", res.staleServed)
+	}
+	if res.finalRegret > 0.01 {
+		t.Fatalf("final served regret %v, budget 0.01", res.finalRegret)
+	}
+	if res.entry.Scenario != "drift-replan" || res.entry.Requests <= 0 || res.entry.Verified <= 0 {
+		t.Fatalf("malformed drift cell: %+v", res.entry)
+	}
+	// The threshold is regret-derived, not a hard-coded default.
+	if res.driftDelta <= 0 || res.driftDelta > 0.25 {
+		t.Fatalf("drift threshold %v outside the probed range", res.driftDelta)
+	}
+}
+
+// TestDriftScenarioRejectsExternalTarget: the scenario must refuse to run
+// against a server whose ground truth it cannot control.
+func TestDriftScenarioRejectsExternalTarget(t *testing.T) {
+	if _, err := runDriftScenario(defaultDriftSpec(true), loadOpts{seed: 1, target: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("external target accepted")
 	}
 }

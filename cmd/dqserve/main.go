@@ -13,10 +13,16 @@
 //	POST /optimize/batch  body: {"instances": [{...}, ...]}
 //	                      reply: {"results": [...]} in input order; a bad
 //	                      instance fails alone, not the batch.
+//	POST /observe         body: one execution report {"services": [...],
+//	                      "transfers": [...]} (only with -adaptive); feeds
+//	                      the drift detector. Reply: current generation,
+//	                      live drift, and whether this report published a
+//	                      new generation.
 //	GET  /stats           cache hit/miss/eviction/touch and dedup counters,
 //	                      the plan-cache hit rate, optimize-latency
-//	                      quantiles (p50/p90/p99), and aggregate search
-//	                      stats (nodes expanded, search micros).
+//	                      quantiles (p50/p90/p99), aggregate search stats
+//	                      (nodes expanded, search micros), and — with
+//	                      -adaptive — generation/drift/replan counters.
 //	GET  /healthz         liveness probe.
 //	GET  /debug/pprof/*   runtime profiling, only with -pprof.
 //
@@ -25,6 +31,9 @@
 //	dqserve -addr :8080 -cache 4096 -batch-workers 8
 //	dqserve -pprof       # expose /debug/pprof for production profiling
 //	dqserve -legacy      # pre-v4 serving path (mutex LRU + encoding/json)
+//	dqserve -adaptive    # online adaptive replanning: POST /observe feeds
+//	                     # EWMA statistics; drift past -drift-delta bumps
+//	                     # the generation and lazily replans cached plans
 //
 // Example:
 //
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"serviceordering/internal/adapt"
 	"serviceordering/internal/core"
 	"serviceordering/internal/planner"
 	"serviceordering/internal/serve"
@@ -71,6 +81,13 @@ func run(args []string, ready chan<- string) error {
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof endpoints for live profiling")
 		legacy       = fs.Bool("legacy", false, "pre-v4 serving path: mutex LRU cache + encoding/json responses (A/B measurement)")
 
+		// Adaptive replanning loop (POST /observe + generation-versioned
+		// cache invalidation).
+		adaptiveOn = fs.Bool("adaptive", false, "enable online adaptive replanning: ingest execution reports on POST /observe, overlay fitted statistics onto queries, replan on drift")
+		driftDelta = fs.Float64("drift-delta", adapt.DefaultDriftDelta, "relative parameter drift that publishes a new statistics generation (derive from a regret budget with adapt.ThresholdFromRegret)")
+		ewmaAlpha  = fs.Float64("ewma-alpha", adapt.DefaultAlpha, "EWMA smoothing factor for observed statistics, in (0, 1]")
+		minObs     = fs.Int("min-obs", adapt.DefaultMinObservations, "observations per parameter before its estimate is trusted")
+
 		// Server hardening. ReadTimeout covers the whole request read —
 		// headers and body — so a client dribbling its body is cut off.
 		// WriteTimeout bounds handler-plus-response time, so it must
@@ -88,6 +105,19 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 
+	var registry *adapt.Registry
+	if *adaptiveOn {
+		var err error
+		registry, err = adapt.New(adapt.Config{
+			Alpha:           *ewmaAlpha,
+			MinObservations: *minObs,
+			DriftDelta:      *driftDelta,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	p := planner.New(planner.Config{
 		CacheCapacity:     *cacheCap,
 		ParallelThreshold: *searchState,
@@ -95,6 +125,7 @@ func run(args []string, ready chan<- string) error {
 		BatchWorkers:      *batchWorkers,
 		Search:            core.Options{TimeLimit: *timeLimit, NodeLimit: *nodeLimit},
 		LegacyLRUCache:    *legacy,
+		Adaptive:          registry,
 	})
 
 	srv := &http.Server{

@@ -103,6 +103,52 @@
 // with every sampled response cross-checked against independently
 // computed optima, and CI diffs every push against the baseline.
 //
+// # The adaptive loop
+//
+// The paper's optimum is only optimal for the measured parameters, and
+// measured parameters drift: a deployed service gets slower, a filter's
+// selectivity shifts with the data, a network path degrades. A cached
+// plan is then the exact answer to a question nobody is asking anymore.
+// The adaptive loop (internal/adapt, enabled with dqserve -adaptive)
+// closes this online, in four stages that never stop the serving path:
+//
+//   - Observe. Execution layers POST /observe reports of what their
+//     services actually did — tuples in/out and busy times per service,
+//     tuples and sending time per transfer edge. The registry fits them
+//     with the exact formulas of the offline calibrator
+//     (internal/calibrate) and folds them into per-parameter EWMA
+//     estimates, matched by service name.
+//   - Detect. Live estimates are compared against the anchor — the
+//     parameter snapshot plans are currently computed from. The drift
+//     threshold is a regret statement, not a guess:
+//     adapt.ThresholdFromRegret runs the internal/robust Monte Carlo
+//     analysis to find the largest perturbation the incumbent plan
+//     survives within a regret budget, so "under threshold" means "the
+//     plan we keep serving stays within budget of optimal".
+//   - Invalidate. Crossing the threshold publishes a new generation: an
+//     immutable snapshot plus a monotone counter. Every plan-cache and
+//     canonicalization-memo entry is stamped with the generation it was
+//     computed under (internal/ccache stores the stamp), so the publish
+//     invalidates lazily — stale entries read as misses on their next
+//     touch and age out; there is no stop-the-world flush, and the warm
+//     hit path pays one atomic snapshot load and a stamp compare (still
+//     at most 2 allocs/op, pinned by test).
+//   - Re-optimize. A request that finds its entry stale replans against
+//     the new snapshot's parameters (overlaid onto the client's query by
+//     service name), seeding the branch-and-bound with the stale plan as
+//     its initial incumbent — the previous optimum is usually a tight
+//     upper bound, so the replan prunes hard from node one. The result is
+//     re-cached under the new generation.
+//
+// GET /stats exposes the loop end to end: generation, driftEvents,
+// observations, live drift, and replans. The dqload -drift scenario
+// proves convergence against the production stack: it perturbs a hidden
+// ground truth mid-run, streams execution reports of the new reality, and
+// asserts served plans return to within 1% regret of the post-drift
+// optimum inside a fixed observation budget — and never regress after the
+// replan generation publishes. The same scenario runs as the
+// "drift-replan" cell of BENCH_serve.json under the CI regression gate.
+//
 // # The search hot path
 //
 // The exact search is engineered so a dfs node costs tens of nanoseconds

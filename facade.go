@@ -3,6 +3,7 @@ package serviceordering
 import (
 	"context"
 
+	"serviceordering/internal/adapt"
 	"serviceordering/internal/baseline"
 	"serviceordering/internal/choreo"
 	"serviceordering/internal/core"
@@ -101,6 +102,25 @@ type (
 	BatchResult = planner.BatchResult
 )
 
+// Adaptive replanning types, re-exported from internal/adapt: the online
+// statistics registry behind PlannerConfig.Adaptive and dqserve -adaptive.
+type (
+	// AdaptiveRegistry ingests execution reports, maintains EWMA
+	// parameter estimates, and publishes generation snapshots on drift —
+	// attach one via PlannerConfig.Adaptive to close the observe ->
+	// detect -> invalidate -> re-optimize loop.
+	AdaptiveRegistry = adapt.Registry
+
+	// AdaptiveConfig tunes the registry (EWMA alpha, confidence floor,
+	// drift threshold). The zero value is production-ready.
+	AdaptiveConfig = adapt.Config
+
+	// ExecutionReport is one observed execution: per-service tuple
+	// counts and busy times, per-edge transfer observations — the POST
+	// /observe payload of dqserve.
+	ExecutionReport = adapt.Report
+)
+
 // Choreography transports.
 const (
 	// TransportInProc connects service nodes with buffered channels.
@@ -132,6 +152,21 @@ func OptimizeWithOptions(q *Query, opts Options) (Result, error) {
 // Use it instead of Optimize when the same (or structurally identical)
 // queries recur across requests.
 func NewPlanner(cfg PlannerConfig) *Planner { return planner.New(cfg) }
+
+// NewAdaptiveRegistry builds the online statistics registry of the
+// adaptive replanning loop (zero config = defaults). Attach it to a
+// planner via PlannerConfig.Adaptive and feed it execution reports with
+// Observe; drift past the threshold publishes a new statistics generation
+// that lazily invalidates every cached plan computed under the old one.
+func NewAdaptiveRegistry(cfg AdaptiveConfig) (*AdaptiveRegistry, error) { return adapt.New(cfg) }
+
+// DriftThresholdFromRegret derives an AdaptiveConfig.DriftDelta from a
+// regret budget: the largest perturbation scale (probed by the robust
+// Monte Carlo analysis) that plan survives on q with worst-case regret
+// within budget.
+func DriftThresholdFromRegret(q *Query, plan Plan, budget float64, cfg RobustConfig) (float64, error) {
+	return adapt.ThresholdFromRegret(q, plan, budget, cfg)
+}
 
 // Baselines returns the comparison algorithms keyed by name: exhaustive,
 // greedy variants, the Srivastava et al. uniform-communication optimum,

@@ -12,10 +12,44 @@ package calibrate
 
 import (
 	"fmt"
+	"math"
 
 	"serviceordering/internal/model"
 	"serviceordering/internal/sim"
 )
+
+// FitService converts aggregate observations of one service — total busy
+// processing time and tuple counts over any number of executions — into
+// the model's per-tuple parameters: cost c_i = busy/in and selectivity
+// sigma_i = out/in. It is the single fitting formula shared by the offline
+// Estimator below and the online adaptive registry (internal/adapt), so
+// the two loops can never disagree on what an observation means.
+func FitService(busyProcessing float64, tuplesIn, tuplesOut int64) (cost, selectivity float64, err error) {
+	if tuplesIn <= 0 {
+		return 0, 0, fmt.Errorf("calibrate: service fit needs tuplesIn > 0, got %d", tuplesIn)
+	}
+	if tuplesOut < 0 {
+		return 0, 0, fmt.Errorf("calibrate: service fit needs tuplesOut >= 0, got %d", tuplesOut)
+	}
+	if math.IsNaN(busyProcessing) || math.IsInf(busyProcessing, 0) || busyProcessing < 0 {
+		return 0, 0, fmt.Errorf("calibrate: service fit needs finite busyProcessing >= 0, got %v", busyProcessing)
+	}
+	return busyProcessing / float64(tuplesIn), float64(tuplesOut) / float64(tuplesIn), nil
+}
+
+// FitEdge converts aggregate observations of one directed transfer edge —
+// total busy sending time over the tuples shipped — into the per-tuple
+// transfer cost t_ij = busy/tuples. Shared by Estimator and the adaptive
+// registry, mirroring FitService.
+func FitEdge(busySending float64, tuples int64) (float64, error) {
+	if tuples <= 0 {
+		return 0, fmt.Errorf("calibrate: edge fit needs tuples > 0, got %d", tuples)
+	}
+	if math.IsNaN(busySending) || math.IsInf(busySending, 0) || busySending < 0 {
+		return 0, fmt.Errorf("calibrate: edge fit needs finite busySending >= 0, got %v", busySending)
+	}
+	return busySending / float64(tuples), nil
+}
 
 // Estimator accumulates per-service and per-edge observations across
 // executed plans and fits a query instance.
@@ -23,8 +57,7 @@ type Estimator struct {
 	n int
 
 	procTime   []float64 // total busy processing time per service
-	procTuples []int64   // tuples processed per service
-	inTuples   []int64
+	procTuples []int64   // tuples processed (= received) per service
 	outTuples  []int64
 
 	edgeTime   map[[2]int]float64 // total sending busy time per directed edge
@@ -40,7 +73,6 @@ func NewEstimator(n int) (*Estimator, error) {
 		n:          n,
 		procTime:   make([]float64, n),
 		procTuples: make([]int64, n),
-		inTuples:   make([]int64, n),
 		outTuples:  make([]int64, n),
 		edgeTime:   make(map[[2]int]float64, n*(n-1)),
 		edgeTuples: make(map[[2]int]int64, n*(n-1)),
@@ -63,7 +95,6 @@ func (e *Estimator) ObserveSim(plan model.Plan, rep *sim.Report) error {
 		}
 		e.procTime[s] += st.BusyProcessing
 		e.procTuples[s] += st.TuplesIn
-		e.inTuples[s] += st.TuplesIn
 		e.outTuples[s] += st.TuplesOut
 		if pos+1 < e.n && st.TuplesOut > 0 {
 			edge := [2]int{s, plan[pos+1]}
@@ -90,10 +121,14 @@ func (e *Estimator) Estimate(fallback *model.Query) (*model.Query, error) {
 		if e.procTuples[s] == 0 {
 			return nil, fmt.Errorf("calibrate: service %d was never observed processing", s)
 		}
+		cost, sel, err := FitService(e.procTime[s], e.procTuples[s], e.outTuples[s])
+		if err != nil {
+			return nil, err
+		}
 		services[s] = model.Service{
 			Name:        fmt.Sprintf("ws%d", s),
-			Cost:        e.procTime[s] / float64(e.procTuples[s]),
-			Selectivity: float64(e.outTuples[s]) / float64(e.inTuples[s]),
+			Cost:        cost,
+			Selectivity: sel,
 		}
 		if fallback != nil && s < fallback.N() && fallback.Services[s].Name != "" {
 			services[s].Name = fallback.Services[s].Name
@@ -111,7 +146,11 @@ func (e *Estimator) Estimate(fallback *model.Query) (*model.Query, error) {
 			}
 			edge := [2]int{i, j}
 			if tuples := e.edgeTuples[edge]; tuples > 0 {
-				transfer[i][j] = e.edgeTime[edge] / float64(tuples)
+				t, err := FitEdge(e.edgeTime[edge], tuples)
+				if err != nil {
+					return nil, err
+				}
+				transfer[i][j] = t
 				continue
 			}
 			if fallback == nil {

@@ -194,3 +194,39 @@ func TestEstimateFallbackForUnobservedEdges(t *testing.T) {
 		t.Errorf("observed edge poorly fitted: %v vs %v", fitted.Transfer[0][1], truth.Transfer[0][1])
 	}
 }
+
+// TestFitHelpers pins the shared fitting formulas: they are the exact
+// ratio-of-aggregates the Estimator has always used, exported so the
+// online adaptive registry (internal/adapt) fits observations identically.
+func TestFitHelpers(t *testing.T) {
+	cost, sel, err := FitService(3.0, 1000, 250)
+	if err != nil {
+		t.Fatalf("FitService: %v", err)
+	}
+	if cost != 3.0/1000 || sel != 0.25 {
+		t.Fatalf("FitService = (%v, %v), want (0.003, 0.25)", cost, sel)
+	}
+	if _, _, err := FitService(1, 0, 0); err == nil {
+		t.Fatal("FitService accepted zero tuplesIn")
+	}
+	if _, _, err := FitService(-1, 10, 5); err == nil {
+		t.Fatal("FitService accepted negative busy time")
+	}
+	if _, _, err := FitService(1, 10, -1); err == nil {
+		t.Fatal("FitService accepted negative tuplesOut")
+	}
+
+	tr, err := FitEdge(0.5, 250)
+	if err != nil {
+		t.Fatalf("FitEdge: %v", err)
+	}
+	if tr != 0.5/250 {
+		t.Fatalf("FitEdge = %v, want 0.002", tr)
+	}
+	if _, err := FitEdge(1, 0); err == nil {
+		t.Fatal("FitEdge accepted zero tuples")
+	}
+	if _, err := FitEdge(math.Inf(1), 10); err == nil {
+		t.Fatal("FitEdge accepted infinite busy time")
+	}
+}

@@ -30,9 +30,23 @@ import (
 // was present, and whether this lookup freshly set the entry's touch bit
 // (always false for the LRU, which has no touch bits); Put reports how
 // many entries capacity displaced.
+//
+// Every entry additionally carries an immutable generation stamp, the
+// invalidation mechanism behind adaptive replanning: a caller that
+// versions its key space (the planner stamps entries with the statistics
+// generation they were computed under) reads the stamp back from GetGen
+// and treats a mismatched entry as stale — typically a miss whose resident
+// value still serves as a warm-start incumbent. The store itself never
+// interprets the stamp: there is no stop-the-world flush on a generation
+// bump, stale entries simply stop matching and age out through the normal
+// eviction sweep (or are overwritten in place by their fresh-generation
+// replacement). Get/Put are the gen-oblivious forms: Put stamps generation
+// zero, Get drops the stamp.
 type Cache[K comparable, V any] interface {
 	Get(key K) (val V, ok bool, touched bool)
+	GetGen(key K) (val V, gen uint64, ok bool, touched bool)
 	Put(key K, val V) (evicted int)
+	PutGen(key K, val V, gen uint64) (evicted int)
 	Len() int
 }
 
@@ -61,13 +75,14 @@ func perShardCapacity(capacity, shards int) int {
 // ---------------------------------------------------------------------------
 // clock store
 
-// clockEntry is one resident (key, value) pair. key and val are
+// clockEntry is one resident (key, value) pair. key, val and gen are
 // immutable; touched is the CLOCK reference bit, set lock-free on lookup
 // and cleared by the eviction sweep; pos is the entry's ring slot, stable
 // for the entry's lifetime and guarded by the shard mutex.
 type clockEntry[K comparable, V any] struct {
 	key     K
 	val     V
+	gen     uint64
 	pos     int
 	touched atomic.Bool
 }
@@ -92,29 +107,30 @@ func newClockShard[K comparable, V any](capacity int) *clockShard[K, V] {
 // get is the contention-free read path: one atomic map load plus, at most
 // once per entry per sweep round, one CAS to set the touch bit. Entries
 // whose bit is already set pay a single atomic load on a read-shared line.
-func (s *clockShard[K, V]) get(key K) (V, bool, bool) {
+func (s *clockShard[K, V]) get(key K) (V, uint64, bool, bool) {
 	e, ok := (*s.live.Load())[key]
 	if !ok {
 		var zero V
-		return zero, false, false
+		return zero, 0, false, false
 	}
 	touched := false
 	if !e.touched.Load() {
 		// CAS (not Store) so two racing first-touchers count once.
 		touched = e.touched.CompareAndSwap(false, true)
 	}
-	return e.val, true, touched
+	return e.val, e.gen, true, touched
 }
 
-func (s *clockShard[K, V]) put(key K, val V) (evicted int) {
+func (s *clockShard[K, V]) put(key K, val V, gen uint64) (evicted int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := *s.live.Load()
-	e := &clockEntry[K, V]{key: key, val: val}
+	e := &clockEntry[K, V]{key: key, val: val, gen: gen}
 	if prev, ok := old[key]; ok {
 		// Replace in place with a fresh entry so readers of the previous
-		// map still see a coherent (key, val) pair; the slot, touch state,
-		// and population are unchanged.
+		// map still see a coherent (key, val, gen) triple; the slot, touch
+		// state, and population are unchanged. The generation stamp is the
+		// new one: re-putting a key is how a stale entry is refreshed.
 		e.pos = prev.pos
 		e.touched.Store(prev.touched.Load())
 		s.ring[e.pos] = e
@@ -200,8 +216,20 @@ func NewClock[K comparable, V any](capacity, shards int, shardOf func(K) int) *C
 	return c
 }
 
-func (c *Clock[K, V]) Get(key K) (V, bool, bool) { return c.shards[c.shardOf(key)&c.mask].get(key) }
-func (c *Clock[K, V]) Put(key K, val V) int      { return c.shards[c.shardOf(key)&c.mask].put(key, val) }
+func (c *Clock[K, V]) Get(key K) (V, bool, bool) {
+	v, _, ok, touched := c.shards[c.shardOf(key)&c.mask].get(key)
+	return v, ok, touched
+}
+
+func (c *Clock[K, V]) GetGen(key K) (V, uint64, bool, bool) {
+	return c.shards[c.shardOf(key)&c.mask].get(key)
+}
+
+func (c *Clock[K, V]) Put(key K, val V) int { return c.PutGen(key, val, 0) }
+
+func (c *Clock[K, V]) PutGen(key K, val V, gen uint64) int {
+	return c.shards[c.shardOf(key)&c.mask].put(key, val, gen)
+}
 func (c *Clock[K, V]) Len() int {
 	total := 0
 	for _, sh := range c.shards {
@@ -227,6 +255,7 @@ type lruShard[K comparable, V any] struct {
 type lruNode[K comparable, V any] struct {
 	key K
 	val V
+	gen uint64
 }
 
 func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
@@ -238,28 +267,33 @@ func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
 }
 
 // get returns the value for key, promoting it to most-recently-used.
-func (s *lruShard[K, V]) get(key K) (V, bool) {
+func (s *lruShard[K, V]) get(key K) (V, uint64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
 		var zero V
-		return zero, false
+		return zero, 0, false
 	}
 	s.order.MoveToFront(el)
-	return el.Value.(*lruNode[K, V]).val, true
+	n := el.Value.(*lruNode[K, V])
+	return n.val, n.gen, true
 }
 
 // put inserts or refreshes key, reporting how many entries were evicted.
-func (s *lruShard[K, V]) put(key K, val V) (evicted int) {
+// A refresh restamps the node's generation together with its value (both
+// are mutated under the shard mutex, matching the clock store's
+// whole-entry replacement).
+func (s *lruShard[K, V]) put(key K, val V, gen uint64) (evicted int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*lruNode[K, V]).val = val
+		n := el.Value.(*lruNode[K, V])
+		n.val, n.gen = val, gen
 		s.order.MoveToFront(el)
 		return 0
 	}
-	s.items[key] = s.order.PushFront(&lruNode[K, V]{key: key, val: val})
+	s.items[key] = s.order.PushFront(&lruNode[K, V]{key: key, val: val, gen: gen})
 	for s.order.Len() > s.cap {
 		back := s.order.Back()
 		s.order.Remove(back)
@@ -295,10 +329,20 @@ func NewLRU[K comparable, V any](capacity, shards int, shardOf func(K) int) *LRU
 }
 
 func (c *LRU[K, V]) Get(key K) (V, bool, bool) {
-	v, ok := c.shards[c.shardOf(key)&c.mask].get(key)
+	v, _, ok := c.shards[c.shardOf(key)&c.mask].get(key)
 	return v, ok, false // the LRU has no touch bits; promotion is implicit
 }
-func (c *LRU[K, V]) Put(key K, val V) int { return c.shards[c.shardOf(key)&c.mask].put(key, val) }
+
+func (c *LRU[K, V]) GetGen(key K) (V, uint64, bool, bool) {
+	v, gen, ok := c.shards[c.shardOf(key)&c.mask].get(key)
+	return v, gen, ok, false
+}
+
+func (c *LRU[K, V]) Put(key K, val V) int { return c.PutGen(key, val, 0) }
+
+func (c *LRU[K, V]) PutGen(key K, val V, gen uint64) int {
+	return c.shards[c.shardOf(key)&c.mask].put(key, val, gen)
+}
 func (c *LRU[K, V]) Len() int {
 	total := 0
 	for _, sh := range c.shards {

@@ -11,29 +11,29 @@ import (
 func TestClockSecondChance(t *testing.T) {
 	t.Parallel()
 	s := newClockShard[int, int](2)
-	s.put(1, 10)
-	s.put(2, 20)
-	if _, _, fresh := s.get(1); !fresh {
+	s.put(1, 10, 0)
+	s.put(2, 20, 0)
+	if _, _, _, fresh := s.get(1); !fresh {
 		t.Fatal("first lookup did not set the touch bit")
 	}
-	if _, _, fresh := s.get(1); fresh {
+	if _, _, _, fresh := s.get(1); fresh {
 		t.Fatal("second lookup re-reported a fresh touch")
 	}
-	if s.put(3, 30) != 1 {
+	if s.put(3, 30, 0) != 1 {
 		t.Fatal("inserting above capacity did not evict")
 	}
-	if _, ok, _ := s.get(2); ok {
+	if _, _, ok, _ := s.get(2); ok {
 		t.Fatal("untouched entry 2 survived the sweep")
 	}
-	if v, ok, _ := s.get(1); !ok || v != 10 {
+	if v, _, ok, _ := s.get(1); !ok || v != 10 {
 		t.Fatal("touched entry 1 was evicted")
 	}
 	// Entry 1's bit was cleared by the sweep; with 1 re-touched (by the
 	// get above) the next insert evicts 3, the oldest untouched entry.
-	if s.put(4, 40) != 1 {
+	if s.put(4, 40, 0) != 1 {
 		t.Fatal("second over-capacity insert did not evict")
 	}
-	if _, ok, _ := s.get(3); ok {
+	if _, _, ok, _ := s.get(3); ok {
 		t.Fatal("untouched entry 3 survived while a touched entry existed")
 	}
 }
@@ -44,14 +44,14 @@ func TestClockUntouchedIsFIFO(t *testing.T) {
 	t.Parallel()
 	s := newClockShard[int, int](3)
 	for k := 1; k <= 3; k++ {
-		s.put(k, k)
+		s.put(k, k, 0)
 	}
-	s.put(4, 4)
-	if _, ok, _ := s.get(1); ok {
+	s.put(4, 4, 0)
+	if _, _, ok, _ := s.get(1); ok {
 		t.Fatal("oldest untouched entry 1 survived")
 	}
 	for k := 2; k <= 4; k++ {
-		if _, ok, _ := s.get(k); !ok {
+		if _, _, ok, _ := s.get(k); !ok {
 			t.Fatalf("entry %d missing", k)
 		}
 	}
@@ -62,11 +62,11 @@ func TestClockUntouchedIsFIFO(t *testing.T) {
 func TestClockReplaceExisting(t *testing.T) {
 	t.Parallel()
 	s := newClockShard[int, int](2)
-	s.put(1, 10)
-	if s.put(1, 11) != 0 {
+	s.put(1, 10, 0)
+	if s.put(1, 11, 0) != 0 {
 		t.Fatal("value replacement reported an eviction")
 	}
-	if v, ok, _ := s.get(1); !ok || v != 11 {
+	if v, _, ok, _ := s.get(1); !ok || v != 11 {
 		t.Fatalf("got %v, want replaced value 11", v)
 	}
 	if s.len() != 1 {
@@ -80,11 +80,11 @@ func TestEvictionOnlyAtCapacity(t *testing.T) {
 	t.Parallel()
 	s := newClockShard[int, int](4)
 	for k := 0; k < 4; k++ {
-		if s.put(k, k) != 0 {
+		if s.put(k, k, 0) != 0 {
 			t.Fatalf("eviction with only %d of 4 slots used", k)
 		}
 	}
-	if s.put(4, 4) != 1 {
+	if s.put(4, 4, 0) != 1 {
 		t.Fatal("insert at capacity did not evict exactly one entry")
 	}
 }
@@ -93,16 +93,16 @@ func TestEvictionOnlyAtCapacity(t *testing.T) {
 func TestLRUKeepsHotEntries(t *testing.T) {
 	t.Parallel()
 	s := newLRUShard[int, int](2)
-	s.put(1, 10)
-	s.put(2, 20)
+	s.put(1, 10, 0)
+	s.put(2, 20, 0)
 	s.get(1) // promote 1
-	if s.put(3, 30) != 1 {
+	if s.put(3, 30, 0) != 1 {
 		t.Fatal("inserting above capacity did not evict")
 	}
-	if _, ok := s.get(2); ok {
+	if _, _, ok := s.get(2); ok {
 		t.Fatal("least-recently-used entry 2 survived")
 	}
-	if v, ok := s.get(1); !ok || v != 10 {
+	if v, _, ok := s.get(1); !ok || v != 10 {
 		t.Fatal("recently-used entry 1 was evicted")
 	}
 }
@@ -128,7 +128,7 @@ func TestClockConcurrentStress(t *testing.T) {
 				default:
 				}
 				k := uint64(rng.Intn(keys))
-				if v, ok, _ := s.get(k); ok && v != k*3 {
+				if v, _, ok, _ := s.get(k); ok && v != k*3 {
 					t.Errorf("key %d returned value %d, want %d", k, v, k*3)
 					return
 				}
@@ -137,7 +137,7 @@ func TestClockConcurrentStress(t *testing.T) {
 	}
 	for op := 0; op < 50000; op++ {
 		k := uint64(op % keys)
-		s.put(k, k*3)
+		s.put(k, k*3, 0)
 	}
 	close(stop)
 	wg.Wait()

@@ -14,6 +14,19 @@ import (
 // hit, no mutex, no promotion); Config.LegacyLRUCache restores the pre-v4
 // promote-on-read mutex LRU for differential tests and A/B load
 // measurement. Counters are atomics aggregated on read.
+//
+// Both caches are generation-versioned for adaptive replanning: every
+// entry is stamped (via ccache.PutGen) with the statistics generation it
+// was computed under, and a lookup is only a hit when the entry's stamp
+// matches the request's generation. A stale entry reads as a miss but is
+// handed back separately — the resident plan seeds the re-optimization as
+// its initial incumbent, and the stale raw-memo mapping locates the
+// previous generation's plan for byte-identical resubmissions whose
+// effective signature changed. There is no flush on a generation bump:
+// stale entries are overwritten by their replacements or age out through
+// the normal eviction sweep. Without an adaptive registry the generation
+// is always zero and every path below is byte-for-byte the pre-v5
+// behavior.
 
 // cacheEntry is a cached optimization outcome in canonical index space.
 type cacheEntry struct {
@@ -66,32 +79,54 @@ func newPlanCache(capacity int, legacyLRU bool) *planCache {
 	return c
 }
 
-func (c *planCache) get(sig Signature) (*cacheEntry, bool) {
-	e, ok, touched := c.store.Get(sig)
-	if ok {
+// get looks sig up at the given generation. A resident entry stamped with
+// a different generation is a miss (counted as one) whose value is still
+// returned as stale: the caller seeds its re-optimization with the stale
+// plan instead of discarding the work it embodies.
+func (c *planCache) get(sig Signature, gen uint64) (e *cacheEntry, fresh bool, stale *cacheEntry) {
+	e, egen, ok, touched := c.store.GetGen(sig)
+	if ok && egen == gen {
 		c.hits.Add(1)
 		if touched {
 			c.touches.Add(1)
 		}
-	} else {
-		c.misses.Add(1)
+		return e, true, nil
 	}
-	return e, ok
+	c.misses.Add(1)
+	if ok {
+		return nil, false, e
+	}
+	return nil, false, nil
 }
 
 // peek looks up sig without touching the hit/miss counters (the touch bit
 // is still set, and counted). Used for the post-flight-join double-check,
 // which re-examines a lookup already accounted for.
-func (c *planCache) peek(sig Signature) (*cacheEntry, bool) {
-	e, ok, touched := c.store.Get(sig)
+func (c *planCache) peek(sig Signature, gen uint64) (*cacheEntry, bool) {
+	e, egen, ok, touched := c.store.GetGen(sig)
+	if ok && touched {
+		c.touches.Add(1)
+	}
+	if !ok || egen != gen {
+		return nil, false
+	}
+	return e, true
+}
+
+// peekAny returns whatever is resident under sig regardless of its
+// generation stamp, with no counter side effects beyond the touch bit.
+// It exists for one purpose: locating the previous generation's plan (via
+// a stale raw-memo mapping) to warm-start a replan.
+func (c *planCache) peekAny(sig Signature) (*cacheEntry, bool) {
+	e, _, ok, touched := c.store.GetGen(sig)
 	if ok && touched {
 		c.touches.Add(1)
 	}
 	return e, ok
 }
 
-func (c *planCache) put(sig Signature, e *cacheEntry) {
-	if n := c.store.Put(sig, e); n > 0 {
+func (c *planCache) put(sig Signature, e *cacheEntry, gen uint64) {
+	if n := c.store.PutGen(sig, e, gen); n > 0 {
 		c.evictions.Add(int64(n))
 	}
 }
@@ -116,14 +151,23 @@ func newRawMemo(capacity int, legacyLRU bool) *rawMemo {
 	return m
 }
 
-func (m *rawMemo) get(key uint64, raw []byte) (*rawEntry, bool) {
-	e, ok, _ := m.store.Get(key)
+// get resolves the memoized canonicalization of raw at the given
+// generation. A byte-verified entry stamped with another generation is a
+// miss (the overlay parameters — and therefore the effective signature and
+// permutation — may have changed) returned separately as stale, so the
+// caller can chase the previous generation's signature to its cached plan
+// and warm-start the replan.
+func (m *rawMemo) get(key uint64, raw []byte, gen uint64) (e *rawEntry, fresh bool, stale *rawEntry) {
+	e, egen, ok, _ := m.store.GetGen(key)
 	if !ok || !bytes.Equal(e.raw, raw) {
-		return nil, false
+		return nil, false, nil
 	}
-	return e, true
+	if egen != gen {
+		return nil, false, e
+	}
+	return e, true, nil
 }
 
-func (m *rawMemo) put(key uint64, e *rawEntry) {
-	m.store.Put(key, e)
+func (m *rawMemo) put(key uint64, e *rawEntry, gen uint64) {
+	m.store.PutGen(key, e, gen)
 }

@@ -40,12 +40,12 @@ func TestClockVsLRUDifferentialNoEviction(t *testing.T) {
 		if rng.Intn(100) < 25 {
 			e := &cacheEntry{cost: float64(k), plan: []int{int(k)}}
 			entries[k] = e
-			legacy.put(sig, e)
-			clock.put(sig, e)
+			legacy.put(sig, e, 0)
+			clock.put(sig, e, 0)
 			continue
 		}
-		le, lok := legacy.get(sig)
-		ce, cok := clock.get(sig)
+		le, lok, _ := legacy.get(sig, 0)
+		ce, cok, _ := clock.get(sig, 0)
 		if lok != cok {
 			t.Fatalf("op %d key %d: legacy hit=%v, clock hit=%v (no eviction possible)", op, k, lok, cok)
 		}
@@ -87,14 +87,14 @@ func TestClockVsLRUDifferentialUnderEviction(t *testing.T) {
 		if rng.Intn(100) < 30 {
 			e := &cacheEntry{cost: float64(k), plan: []int{int(k)}}
 			entries[k] = e
-			legacy.put(sig, e)
-			clock.put(sig, e)
+			legacy.put(sig, e, 0)
+			clock.put(sig, e, 0)
 			continue
 		}
-		if le, ok := legacy.get(sig); ok && le != entries[k] {
+		if le, ok, _ := legacy.get(sig, 0); ok && le != entries[k] {
 			t.Fatalf("op %d key %d: legacy returned a stale entry", op, k)
 		}
-		if ce, ok := clock.get(sig); ok && ce != entries[k] {
+		if ce, ok, _ := clock.get(sig, 0); ok && ce != entries[k] {
 			t.Fatalf("op %d key %d: clock returned a stale entry", op, k)
 		}
 		if l := clock.len(); l > capacity {

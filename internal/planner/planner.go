@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"serviceordering/internal/adapt"
 	"serviceordering/internal/core"
 	"serviceordering/internal/model"
 )
@@ -84,6 +85,18 @@ type Config struct {
 	// load measurement (cmd/dqload -legacy); production planners should
 	// leave it false.
 	LegacyLRUCache bool
+
+	// Adaptive attaches the online statistics registry (internal/adapt)
+	// and with it the adaptive replanning loop: every request resolves
+	// against the registry's current generation snapshot — published
+	// parameters overlay the client's (matched by service name) before
+	// canonicalization and search — and every cache entry is stamped with
+	// that generation. When drift publishes a new generation, stale
+	// entries lazily read as misses and their plans seed the
+	// re-optimization as initial incumbents. Nil (the default) disables
+	// the loop entirely: generation stays 0 and the planner behaves
+	// exactly as before.
+	Adaptive *adapt.Registry
 }
 
 // DefaultCacheCapacity is the plan-cache size used when Config.CacheCapacity
@@ -107,6 +120,7 @@ type Planner struct {
 	searches     atomic.Int64
 	sharedWaits  atomic.Int64
 	memoHits     atomic.Int64
+	replans      atomic.Int64
 	searchNodes  atomic.Int64
 	searchMicros atomic.Int64
 	domPrunes    atomic.Int64
@@ -158,6 +172,11 @@ type Result struct {
 	// identical search via singleflight rather than running its own.
 	Shared bool
 
+	// Replanned reports that this request's search was warm-started from
+	// a previous statistics generation's plan — the adaptive loop's
+	// re-optimization path (Cached is then false: a real search ran).
+	Replanned bool
+
 	// ResponseFragment is the pre-serialized JSON fragment
 	// `"cost":<num>,"optimal":<bool>,"signature":"<hex>"` for this
 	// outcome, built once when the result was recorded and shared by
@@ -194,6 +213,15 @@ type Stats struct {
 	// MemoHits counts canonicalization-memo hits (byte-identical
 	// resubmissions that skipped color refinement).
 	MemoHits int64 `json:"memoHits"`
+
+	// Generation is the adaptive statistics generation requests are
+	// currently resolved under (0 with no adaptive registry, or before
+	// the first drift publish).
+	Generation uint64 `json:"generation"`
+
+	// Replans counts searches warm-started from a stale generation's
+	// plan — the adaptive loop's cache-invalidation re-optimizations.
+	Replans int64 `json:"replans"`
 
 	// Entries is the current plan-cache population.
 	Entries int `json:"entries"`
@@ -242,6 +270,8 @@ func (p *Planner) Stats() Stats {
 		Searches:           p.searches.Load(),
 		SharedWaits:        p.sharedWaits.Load(),
 		MemoHits:           p.memoHits.Load(),
+		Generation:         snapGen(p.adaptiveSnap()),
+		Replans:            p.replans.Load(),
 		SearchNodes:        p.searchNodes.Load(),
 		SearchMicros:       p.searchMicros.Load(),
 		DominancePrunes:    p.domPrunes.Load(),
@@ -273,10 +303,46 @@ func (p *Planner) Optimize(ctx context.Context, q *model.Query) (Result, error) 
 	return res, err
 }
 
+// adaptiveSnap returns the current statistics snapshot, or nil when the
+// adaptive loop is disabled. One atomic pointer load; the snapshot is held
+// for the whole request so a concurrent drift publish cannot split one
+// request across two generations (at worst the request's outcome is
+// stamped with the generation it started under and lazily replanned by a
+// later request).
+func (p *Planner) adaptiveSnap() *adapt.Snapshot {
+	if p.cfg.Adaptive == nil {
+		return nil
+	}
+	return p.cfg.Adaptive.Current()
+}
+
+func snapGen(s *adapt.Snapshot) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Gen
+}
+
+// overlay applies the snapshot's published parameters to q (by service
+// name), returning q itself when there is nothing to apply.
+func overlay(q *model.Query, snap *adapt.Snapshot) *model.Query {
+	if snap == nil {
+		return q
+	}
+	eff, _ := snap.Overlay(q)
+	return eff
+}
+
+// Adaptive returns the attached statistics registry (nil when the
+// adaptive loop is disabled). The serve layer uses it to ingest POST
+// /observe reports and surface drift counters.
+func (p *Planner) Adaptive() *adapt.Registry { return p.cfg.Adaptive }
+
 // optimize is the uninstrumented request path. The warm hit costs: one
-// pooled raw serialization + FNV hash, one lock-free memo probe, one
-// lock-free plan-cache probe, and one plan permutation — a single
-// allocation (the caller-owned plan), pinned by TestOptimizeWarmHitAllocs.
+// pooled raw serialization + FNV hash, one lock-free memo probe (plus a
+// generation-stamp compare), one lock-free plan-cache probe, and one plan
+// permutation — a single allocation (the caller-owned plan), pinned by
+// TestOptimizeWarmHitAllocs with and without an adaptive registry.
 func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -291,10 +357,23 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 		return Result{}, fmt.Errorf("planner: exact optimization supports at most %d services, got %d", core.MaxServices, q.N())
 	}
 
-	canon := p.canonicalFor(q)
+	snap := p.adaptiveSnap()
+	gen := snapGen(snap)
+	canon, eff, staleMemo := p.canonicalFor(q, snap)
+	// effQuery materializes the overlaid query lazily: the warm hit never
+	// needs it, and on the memo-hit-but-plan-miss path it is rebuilt just
+	// before the search.
+	effQuery := func() *model.Query {
+		if eff == nil {
+			eff = overlay(q, snap)
+		}
+		return eff
+	}
 
+	var staleEntry *cacheEntry
 	if p.cache != nil {
-		if entry, ok := p.cache.get(canon.sig); ok {
+		entry, fresh, stale := p.cache.get(canon.sig, gen)
+		if fresh {
 			return Result{
 				Result: core.Result{
 					Plan:    canon.fromCanonical(entry.plan),
@@ -306,7 +385,9 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 				ResponseFragment: entry.frag,
 			}, nil
 		}
+		staleEntry = stale
 	}
+	incumbent := p.staleIncumbent(canon, staleEntry, staleMemo, effQuery)
 
 	// Miss: run (or join) the search for this signature. The leader
 	// keeps its own core result so the miss path returns the exact plan
@@ -318,7 +399,7 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 		// cached) between our miss above and winning the flight, and a
 		// redundant search here would also flake dedup accounting.
 		if p.cache != nil {
-			if entry, ok := p.cache.peek(canon.sig); ok {
+			if entry, ok := p.cache.peek(canon.sig, gen); ok {
 				p.flight.complete(canon.sig, c, entry, nil)
 				return Result{
 					Result: core.Result{
@@ -332,16 +413,16 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 				}, nil
 			}
 		}
-		res, err := p.search(ctx, q, canon.sig)
+		res, err := p.search(ctx, effQuery(), canon.sig, incumbent)
 		var entry *cacheEntry
 		if err == nil {
-			entry = p.record(canon, res)
+			entry = p.record(canon, res, gen)
 		}
 		p.flight.complete(canon.sig, c, entry, err)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Result: res, Signature: canon.sig, ResponseFragment: entry.frag}, nil
+		return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, ResponseFragment: entry.frag}, nil
 	}
 
 	// Follower: wait under our own context, not the leader's.
@@ -366,18 +447,57 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 	// The leader failed or was truncated — an outcome of its budget and
 	// context, not ours. Run our own search rather than propagate it
 	// (followers on this rare path search independently of one another).
-	res, err := p.search(ctx, q, canon.sig)
+	res, err := p.search(ctx, effQuery(), canon.sig, incumbent)
 	if err != nil {
 		return Result{}, err
 	}
-	entry := p.record(canon, res)
-	return Result{Result: res, Signature: canon.sig, ResponseFragment: entry.frag}, nil
+	entry := p.record(canon, res, gen)
+	return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, ResponseFragment: entry.frag}, nil
 }
 
-// record caches a proven-optimal result and returns its canonical-space
-// entry, with the response fragment pre-serialized once so every future
-// hit splices bytes instead of re-marshaling.
-func (p *Planner) record(canon canonical, res core.Result) *cacheEntry {
+// staleIncumbent recovers the previous generation's plan for this request,
+// in the client's own index space, so the replan starts from the incumbent
+// instead of a heuristic guess. Two sources, tried in order:
+//
+//   - a stale entry resident under the current effective signature (the
+//     overlay left this query's parameters unchanged across the bump, or
+//     they drifted back): identical canonical structure, so the current
+//     permutation relabels it;
+//   - a stale raw-memo mapping for these exact query bytes: its old
+//     signature locates the old plan-cache entry, and its old permutation
+//     relabels that plan out of the old canonical space.
+//
+// The recovered plan is validated against the effective query (it came
+// from a structurally identical instance, but a hash collision or an
+// evicted-and-repopulated entry must never poison a search) and dropped on
+// any mismatch — the search then falls back to its usual warm-start
+// pipeline.
+func (p *Planner) staleIncumbent(canon canonical, staleEntry *cacheEntry, staleMemo *rawEntry, effQuery func() *model.Query) model.Plan {
+	var plan model.Plan
+	switch {
+	case staleEntry != nil && len(staleEntry.plan) == len(canon.perm):
+		plan = canon.fromCanonical(staleEntry.plan)
+	case staleMemo != nil && p.cache != nil:
+		old, ok := p.cache.peekAny(staleMemo.sig)
+		if !ok || len(old.plan) != len(staleMemo.perm) {
+			return nil
+		}
+		prev := canonical{sig: staleMemo.sig, perm: staleMemo.perm, inv: staleMemo.inv}
+		plan = prev.fromCanonical(old.plan)
+	default:
+		return nil
+	}
+	if plan.Validate(effQuery()) != nil {
+		return nil
+	}
+	return plan
+}
+
+// record caches a proven-optimal result under the generation the request
+// resolved against and returns its canonical-space entry, with the
+// response fragment pre-serialized once so every future hit splices bytes
+// instead of re-marshaling.
+func (p *Planner) record(canon canonical, res core.Result, gen uint64) *cacheEntry {
 	entry := &cacheEntry{
 		plan:    canon.toCanonical(res.Plan),
 		cost:    res.Cost,
@@ -385,7 +505,7 @@ func (p *Planner) record(canon canonical, res core.Result) *cacheEntry {
 	}
 	entry.frag = appendResultFragment(make([]byte, 0, 96), res.Cost, res.Optimal, canon.sig)
 	if p.cache != nil && res.Optimal {
-		p.cache.put(canon.sig, entry)
+		p.cache.put(canon.sig, entry, gen)
 	}
 	return entry
 }
@@ -430,40 +550,56 @@ func appendJSONFloat(dst []byte, f float64) []byte {
 // anyway.
 const maxMemoRawBytes = 16 << 10
 
-// canonicalFor resolves q's canonical identity, consulting the memo first
-// so repeat submissions of the same bytes skip refinement. The memo-hit
-// fast path is allocation-free: the raw serialization lands in pooled
-// scratch, and the returned value aliases the memo entry's perm/inv
-// slices (read-only by construction) instead of copying them.
-func (p *Planner) canonicalFor(q *model.Query) canonical {
+// canonicalFor resolves q's canonical identity under the given statistics
+// snapshot, consulting the memo first so repeat submissions of the same
+// bytes skip both the overlay and refinement. The memo-hit fast path is
+// allocation-free: the raw serialization lands in pooled scratch, and the
+// returned value aliases the memo entry's perm/inv slices (read-only by
+// construction) instead of copying them.
+//
+// The memo key is the client's exact bytes, but the memoized signature and
+// permutation describe the *effective* (overlay-applied) query, so memo
+// entries are generation-stamped: after a drift publish the same bytes
+// resolve to a fresh canonicalization of the new effective query, and the
+// superseded mapping comes back as stale so the caller can chase it to the
+// previous plan. The second result is the effective query when this call
+// materialized it (miss paths), nil on a memo hit; the third is the stale
+// previous-generation mapping, if any.
+func (p *Planner) canonicalFor(q *model.Query, snap *adapt.Snapshot) (canonical, *model.Query, *rawEntry) {
 	bufp := p.rawBufs.Get().(*[]byte)
 	raw := encodeRaw(q, (*bufp)[:0])
 	defer func() {
 		*bufp = raw
 		p.rawBufs.Put(bufp)
 	}()
+	gen := snapGen(snap)
 	if len(raw) > maxMemoRawBytes {
-		return canonicalize(q)
+		eff := overlay(q, snap)
+		return canonicalize(eff), eff, nil
 	}
 	key := fnv64(raw)
-	if e, ok := p.memo.get(key, raw); ok {
+	e, fresh, stale := p.memo.get(key, raw, gen)
+	if fresh {
 		p.memoHits.Add(1)
-		return canonical{sig: e.sig, perm: e.perm, inv: e.inv}
+		return canonical{sig: e.sig, perm: e.perm, inv: e.inv}, nil, nil
 	}
-	c := canonicalize(q)
+	eff := overlay(q, snap)
+	c := canonicalize(eff)
 	p.memo.put(key, &rawEntry{
 		raw:  append([]byte(nil), raw...),
 		sig:  c.sig,
 		perm: c.perm,
 		inv:  c.inv,
-	})
-	return c
+	}, gen)
+	return c, eff, stale
 }
 
 // search runs one branch-and-bound: sequential below the parallel
 // threshold, core.OptimizeParallel at or above it. A context deadline
-// tightens the configured time limit.
-func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature) (core.Result, error) {
+// tightens the configured time limit. A non-nil incumbent (the previous
+// generation's plan, already validated for q) seeds the search in place of
+// the heuristic warm-start pipeline and counts as a replan.
+func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature, incumbent model.Plan) (core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Result{}, err
 	}
@@ -472,6 +608,10 @@ func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature) (co
 		p.cfg.OnSearch(sig)
 	}
 	opts := p.cfg.Search
+	if incumbent != nil {
+		opts.InitialIncumbent = incumbent
+		p.replans.Add(1)
+	}
 	if deadline, ok := ctx.Deadline(); ok {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {

@@ -30,6 +30,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"serviceordering/internal/adapt"
 	"serviceordering/internal/ccache"
 	"serviceordering/internal/core"
 	"serviceordering/internal/model"
@@ -127,9 +128,23 @@ type StatsResponse struct {
 	// server's query memo, skipping the JSON parse entirely.
 	QueryMemoHits int64 `json:"queryMemoHits"`
 
+	// Adaptive carries the drift-loop counters (generation, drift events,
+	// observations, live drift, tracked parameters) when the planner runs
+	// with an adaptive registry; omitted entirely when the loop is
+	// disabled. The embedded planner Stats always carry generation and
+	// replans (zero without a registry).
+	Adaptive *adapt.Stats `json:"adaptive,omitempty"`
+
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptimeSeconds"`
 }
+
+// ObserveResponse is the reply document of POST /observe: the registry's
+// outcome for the ingested execution report, serialized as-is —
+// generation (after this report), live drift (0 when it published), and
+// whether this observation published a new generation, lazily
+// invalidating every plan cached under the previous one.
+type ObserveResponse = adapt.Outcome
 
 // optimizeRequest mirrors model.Instance field for field but captures the
 // parts the response echoes (comment, query) as raw bytes, so the fast
@@ -206,6 +221,7 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", h.optimize)
 	mux.HandleFunc("POST /optimize/batch", h.optimizeBatch)
+	mux.HandleFunc("POST /observe", h.observe)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -302,14 +318,44 @@ func (h *handler) optimizeBatch(w http.ResponseWriter, r *http.Request) {
 	h.putBuf(bufp, b)
 }
 
+// observe ingests one execution report into the adaptive statistics
+// registry. This is the feedback half of the adaptive replanning loop:
+// execution layers (or the dqload -drift harness) POST what their services
+// actually did, the registry refits its EWMA estimates through calibrate's
+// formulas, and a drift past the threshold publishes a new generation —
+// the response says whether this report was the one that tipped it.
+func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
+	reg := h.p.Adaptive()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, errors.New("adaptive replanning disabled (start the server with -adaptive)"))
+		return
+	}
+	var rep adapt.Report
+	if err := decodeJSON(w, r, h.opts.MaxBody, &rep); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := reg.Observe(&rep)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	st := h.p.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Stats:         st,
 		HitRate:       st.HitRate(),
 		QueryMemoHits: h.qmemoHits.Load(),
 		Uptime:        time.Since(h.started).Seconds(),
-	})
+	}
+	if reg := h.p.Adaptive(); reg != nil {
+		s := reg.Stats()
+		resp.Adaptive = &s
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *handler) getBuf() *[]byte { return h.bufs.Get().(*[]byte) }
