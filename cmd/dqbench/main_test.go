@@ -48,17 +48,32 @@ func TestSearchBenchJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loadBenchReport: %v", err)
 	}
-	if len(rep.Entries) != len(exper.SearchBenchFamilies)*len(searchBenchModes()) {
-		t.Fatalf("report holds %d entries, want %d", len(rep.Entries), len(exper.SearchBenchFamilies)*len(searchBenchModes()))
+	// Every exact family yields one entry per mode plus an htier regret
+	// cell; the large-n heuristic families add one htier cell per quick
+	// size.
+	want := len(exper.SearchBenchFamilies)*(len(searchBenchModes())+1) +
+		len(exper.HeuristicBenchFamilies)*len(exper.HeuristicBenchQuickSizes)
+	if len(rep.Entries) != want {
+		t.Fatalf("report holds %d entries, want %d", len(rep.Entries), want)
 	}
 	for _, e := range rep.Entries {
+		if e.Mode == "htier" {
+			if e.NsPerOp <= 0 || e.Source == "" {
+				t.Fatalf("degenerate htier entry %+v", e)
+			}
+			continue
+		}
 		if e.NsPerOp <= 0 || e.Nodes <= 0 || !e.Optimal {
 			t.Fatalf("degenerate entry %+v", e)
 		}
 	}
-	// Second run comparing + embedding the first as baseline.
+	// Second run comparing + embedding the first as baseline. -regress-ok
+	// keeps the timing gate out of it: two back-to-back measurements in
+	// one test process (doubly so under coverage instrumentation) are too
+	// noisy to gate on, and the gate semantics are pinned separately by
+	// TestCompareDetectsRegressions.
 	out2 := filepath.Join(t.TempDir(), "bench2.json")
-	if err := run([]string{"-quick", "-json", out2, "-compare", out}); err != nil {
+	if err := run([]string{"-quick", "-json", out2, "-compare", out, "-regress-ok"}); err != nil {
 		t.Fatalf("run -compare: %v", err)
 	}
 	rep2, err := loadBenchReport(out2)

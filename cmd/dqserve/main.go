@@ -34,6 +34,13 @@
 //	dqserve -adaptive    # online adaptive replanning: POST /observe feeds
 //	                     # EWMA statistics; drift past -drift-delta bumps
 //	                     # the generation and lazily replans cached plans
+//	dqserve -heuristic-threshold 20   # route n >= 20 to the heuristic tier
+//	dqserve -heuristic-threshold -1   # exact only: n > 64 rejected with 422
+//
+// Instances with more services than the exact core's 64-service limit are
+// served by the heuristic planning tier (greedy + beam + local search, and
+// budgeted branch-and-bound where it still fits); every response reports
+// which tier produced its plan in the "tier" field.
 //
 // Example:
 //
@@ -53,6 +60,7 @@ import (
 
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/core"
+	"serviceordering/internal/htier"
 	"serviceordering/internal/planner"
 	"serviceordering/internal/serve"
 )
@@ -80,6 +88,11 @@ func run(args []string, ready chan<- string) error {
 		maxBody      = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof endpoints for live profiling")
 		legacy       = fs.Bool("legacy", false, "pre-v4 serving path: mutex LRU cache + encoding/json responses (A/B measurement)")
+
+		// Heuristic planning tier (large n).
+		htThreshold = fs.Int("heuristic-threshold", 0, "instance size routed to the heuristic tier (0 = default 15, -1 disables: queries past the 64-service exact limit are rejected)")
+		htBeamWidth = fs.Int("beam-width", 0, "heuristic tier beam width (0 = default, -1 disables the beam member)")
+		htBBBudget  = fs.Int64("heuristic-bb-nodes", 0, "node budget for the heuristic tier's anytime branch-and-bound member on n <= 64 (0 = default, -1 disables)")
 
 		// Adaptive replanning loop (POST /observe + generation-versioned
 		// cache invalidation).
@@ -119,13 +132,18 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	p := planner.New(planner.Config{
-		CacheCapacity:     *cacheCap,
-		ParallelThreshold: *searchState,
-		SearchWorkers:     *workers,
-		BatchWorkers:      *batchWorkers,
-		Search:            core.Options{TimeLimit: *timeLimit, NodeLimit: *nodeLimit},
-		LegacyLRUCache:    *legacy,
-		Adaptive:          registry,
+		CacheCapacity:      *cacheCap,
+		ParallelThreshold:  *searchState,
+		SearchWorkers:      *workers,
+		BatchWorkers:       *batchWorkers,
+		Search:             core.Options{TimeLimit: *timeLimit, NodeLimit: *nodeLimit},
+		LegacyLRUCache:     *legacy,
+		Adaptive:           registry,
+		HeuristicThreshold: *htThreshold,
+		Heuristic: htier.Options{
+			BeamWidth:    *htBeamWidth,
+			BBNodeBudget: *htBBBudget,
+		},
 	})
 
 	srv := &http.Server{

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
 	"serviceordering/internal/serve"
 )
@@ -91,6 +93,74 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if len(got.Plan) != 2 || !got.Optimal {
 		t.Fatalf("unexpected response: %+v", got)
+	}
+}
+
+// TestLargeInstancesEndToEnd drives n=128 and n=256 instances through the
+// real server: both are past the exact core's 64-service limit, so both
+// must be admitted, solved by the heuristic tier, and answered 200 with
+// the producing tier reported.
+func TestLargeInstancesEndToEnd(t *testing.T) {
+	url, stop := startServer(t)
+	defer stop()
+
+	for _, n := range []int{128, 256} {
+		q, err := gen.Default(n, int64(4000+n)).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(&model.Instance{Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("n=%d: status = %d, want 200", n, resp.StatusCode)
+		}
+		var got serve.OptimizeResponse
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(got.Tier, "heuristic/") {
+			t.Errorf("n=%d: tier = %q, want heuristic/*", n, got.Tier)
+		}
+		if got.Optimal {
+			t.Errorf("n=%d: response claims optimality without a proof", n)
+		}
+		if err := got.Plan.Validate(q); err != nil {
+			t.Errorf("n=%d: served plan invalid: %v", n, err)
+		}
+	}
+}
+
+// TestExactOnlyModeRejectsLargeInstances: -heuristic-threshold -1 restores
+// the exact-only server, which answers oversized queries with the typed
+// 422 rejection instead of serving a heuristic plan.
+func TestExactOnlyModeRejectsLargeInstances(t *testing.T) {
+	url, stop := startServer(t, "-heuristic-threshold", "-1")
+	defer stop()
+
+	q, err := gen.Default(80, 5).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(&model.Instance{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
 	}
 }
 

@@ -57,6 +57,47 @@
 // and aggregate search work (nodes expanded, search microseconds), and
 // -pprof exposes /debug/pprof for live profiling of the search hot path.
 //
+// # The planning tiers
+//
+// The exact branch-and-bound is the right tool up to a few dozen
+// services; past that its uint64 placed-set masks stop at 64 services and
+// its runtime stops being interactive long before. The planner therefore
+// routes every request through one of two tiers:
+//
+//   - exact (the default below the threshold): the full branch-and-bound
+//     with its optimality proof. Responses report tier "exact" and
+//     optimal true.
+//   - heuristic (internal/htier, n >= PlannerConfig.HeuristicThreshold,
+//     default 15, and always past 64 services): a deterministic portfolio
+//     run on the same prefix-bottleneck machinery as the exact core —
+//     greedy constructions (minimum-epsilon append, nearest-neighbor by
+//     transfer), beam search over the prefix DAG (width- and
+//     budget-bounded, precedence-feasible expansions only), bottleneck
+//     local search refining the incumbent under an evaluation budget,
+//     and, up to 64 services, an anytime budget-bounded branch-and-bound
+//     seeded with the portfolio's best plan. The winner is the cheapest
+//     member plan; responses report tier "heuristic/<member>" and
+//     optimal true only when the bounded branch-and-bound completed its
+//     proof within budget.
+//
+// Model-layer support goes past the mask width: precedence relations keep
+// their single-word fast path up to 64 services and switch to multi-word
+// bitsets above it, so 128- or 256-service constrained instances plan,
+// validate, and serve end to end. Heuristic results flow through the same
+// canonical signature cache as exact ones (they are deterministic given
+// the budgets, so byte-identical resubmissions hit warm); only a
+// wall-clock-truncated branch-and-bound member marks a result
+// non-shareable. GET /stats reports executed searches per tier in
+// tierCounts. Setting HeuristicThreshold to -1 restores the exact-only
+// planner, whose oversized queries fail with ErrQueryTooLarge (HTTP 422
+// through dqserve).
+//
+// The heuristic tier is gated on quality, not vibes: dqbench measures
+// every exact-suite instance through the portfolio and fails if the
+// heuristic cost lands more than 5% off the proven optimum, and the
+// htier differential suite pins per-member regret bounds (greedy and
+// beam within 5%, the refined portfolio within 1%) on pinned seeds.
+//
 // # The serving hot path
 //
 // At scale the common request is not a search but a warm cache hit, so
@@ -78,8 +119,8 @@
 //     (copy-on-write), a deliberate O(shard) trade — they only happen
 //     after a search or a parse, both orders of magnitude dearer.
 //   - Pre-serialized responses. Every cached plan stores its JSON
-//     fragment `"cost":...,"optimal":...,"signature":"..."` built once at
-//     record time; responses are assembled in pooled append-based buffers
+//     fragment `"cost":...,"optimal":...,"signature":"...","tier":"..."`
+//     built once at record time; responses are assembled in pooled append-based buffers
 //     from the request's own raw query bytes (echoed verbatim, never
 //     re-marshaled), the permuted plan, and the spliced fragment. The one
 //     field that cannot be pre-serialized is the plan itself: cached

@@ -426,3 +426,92 @@ func TestRegistryAllRun(t *testing.T) {
 		}
 	}
 }
+
+// largeConstrainedQuery builds a valid n-service query with a precedence
+// chain through services spanning several mask words, exercising the
+// wide-relation (n > 64) code paths in every construction.
+func largeConstrainedQuery(t *testing.T, n int) *model.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	q := randQuery(rng, n, true, false)
+	q.Precedence = [][2]int{{0, n - 1}, {n / 2, n - 2}, {1, n / 2}, {n - 3, n - 4}}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return q
+}
+
+func TestConstructionsBeyondMaskWidth(t *testing.T) {
+	q := largeConstrainedQuery(t, 80)
+	prec := q.CompiledPrecedence()
+
+	check := func(name string, plan model.Plan, cost float64) {
+		t.Helper()
+		if err := plan.Validate(q); err != nil {
+			t.Fatalf("%s: invalid plan: %v", name, err)
+		}
+		if !prec.AllowsPlan(plan) {
+			t.Fatalf("%s: plan violates precedence", name)
+		}
+		if got := q.Cost(plan); math.Abs(got-cost) > 1e-9 {
+			t.Fatalf("%s: reported cost %g, recomputed %g", name, cost, got)
+		}
+	}
+
+	for _, name := range []string{"greedy-epsilon", "greedy-transfer", "srivastava", "local-search", "identity"} {
+		res, err := Registry()[name](q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		check(name, res.Plan, res.Cost)
+	}
+
+	plan, err := RandomPlan(q, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("RandomPlan: %v", err)
+	}
+	check("random", plan, q.Cost(plan))
+}
+
+func TestLocalSearchBudget(t *testing.T) {
+	q := largeConstrainedQuery(t, 70)
+	seed := q.CompiledPrecedence().TopologicalPlan()
+	seedCost := q.Cost(seed)
+
+	// A tiny budget must still return a valid plan no worse than the seed.
+	small, err := LocalSearchBudget(q, seed, 50)
+	if err != nil {
+		t.Fatalf("LocalSearchBudget: %v", err)
+	}
+	if small.Evaluated > 50 {
+		t.Fatalf("budget overrun: evaluated %d > 50", small.Evaluated)
+	}
+	if small.Cost > seedCost {
+		t.Fatalf("budgeted search worse than seed: %g > %g", small.Cost, seedCost)
+	}
+	if err := small.Plan.Validate(q); err != nil {
+		t.Fatalf("budgeted plan invalid: %v", err)
+	}
+
+	// A generous budget must match the unbounded search exactly.
+	full, err := LocalSearch(q, seed)
+	if err != nil {
+		t.Fatalf("LocalSearch: %v", err)
+	}
+	capped, err := LocalSearchBudget(q, seed, full.Evaluated*2+10)
+	if err != nil {
+		t.Fatalf("LocalSearchBudget: %v", err)
+	}
+	if capped.Cost != full.Cost {
+		t.Fatalf("generous budget diverged: %g vs %g", capped.Cost, full.Cost)
+	}
+
+	// Determinism: same inputs, same plan.
+	again, err := LocalSearchBudget(q, seed, 50)
+	if err != nil {
+		t.Fatalf("LocalSearchBudget: %v", err)
+	}
+	if q.Cost(again.Plan) != q.Cost(small.Plan) {
+		t.Fatalf("budgeted search nondeterministic")
+	}
+}

@@ -11,7 +11,9 @@ import (
 // service that minimizes the partial plan's bottleneck cost (epsilon). The
 // first service is chosen as the head of the cheapest feasible pair,
 // mirroring the paper's pair seeding, so the construction is a one-branch
-// walk of the branch-and-bound search tree.
+// walk of the branch-and-bound search tree. Placed-service tracking uses
+// model.Bitset, so the construction works for any n, not just the exact
+// core's 64-service band.
 func GreedyMinEpsilon(q *model.Query) (Result, error) {
 	prec, err := validateForSearch(q)
 	if err != nil {
@@ -24,18 +26,20 @@ func GreedyMinEpsilon(q *model.Query) (Result, error) {
 	}
 
 	plan := make(model.Plan, 0, n)
-	var placed uint64
+	placed := model.NewBitset(n)
 	st := model.EmptyPrefix()
 	var evaluated int64
 
-	// Seed with the cheapest feasible ordered pair.
+	// Seed with the cheapest feasible ordered pair. placed is empty here,
+	// toggling a in and out gives the {a}-placed set without scratch.
 	bestA, bestB, bestCost := -1, -1, math.Inf(1)
 	for a := 0; a < n; a++ {
-		if !prec.CanPlace(a, 0) {
+		if !prec.CanPlaceBits(a, placed) {
 			continue
 		}
+		placed.Set(a)
 		for b := 0; b < n; b++ {
-			if b == a || !prec.CanPlace(b, 1<<uint(a)) {
+			if b == a || !prec.CanPlaceBits(b, placed) {
 				continue
 			}
 			evaluated++
@@ -43,21 +47,21 @@ func GreedyMinEpsilon(q *model.Query) (Result, error) {
 				bestA, bestB, bestCost = a, b, c
 			}
 		}
+		placed.Clear(a)
 	}
 	if bestA < 0 {
 		return Result{}, fmt.Errorf("baseline: no feasible pair (unsatisfiable precedence constraints)")
 	}
 	for _, s := range []int{bestA, bestB} {
 		plan = append(plan, s)
-		placed |= 1 << uint(s)
+		placed.Set(s)
 		st = st.Append(q, s)
 	}
 
 	for len(plan) < n {
 		next, nextEps := -1, math.Inf(1)
 		for s := 0; s < n; s++ {
-			bit := uint64(1) << uint(s)
-			if placed&bit != 0 || !prec.CanPlace(s, placed) {
+			if placed.Test(s) || !prec.CanPlaceBits(s, placed) {
 				continue
 			}
 			evaluated++
@@ -69,7 +73,7 @@ func GreedyMinEpsilon(q *model.Query) (Result, error) {
 			return Result{}, fmt.Errorf("baseline: stuck at %v (unsatisfiable precedence constraints)", plan)
 		}
 		plan = append(plan, next)
-		placed |= 1 << uint(next)
+		placed.Set(next)
 		st = st.Append(q, next)
 	}
 	return Result{Plan: plan, Cost: st.Complete(q), Evaluated: evaluated}, nil
@@ -86,10 +90,11 @@ func GreedyNearestNeighbor(q *model.Query) (Result, error) {
 		return Result{}, err
 	}
 	n := q.N()
+	placed := model.NewBitset(n)
 
 	start, startCost := -1, math.Inf(1)
 	for s := 0; s < n; s++ {
-		if !prec.CanPlace(s, 0) {
+		if !prec.CanPlaceBits(s, placed) {
 			continue
 		}
 		c := q.Services[s].Cost
@@ -105,7 +110,7 @@ func GreedyNearestNeighbor(q *model.Query) (Result, error) {
 	}
 
 	plan := model.Plan{start}
-	placed := uint64(1) << uint(start)
+	placed.Set(start)
 	st := model.EmptyPrefix().Append(q, start)
 	var evaluated int64
 
@@ -113,8 +118,7 @@ func GreedyNearestNeighbor(q *model.Query) (Result, error) {
 		last := plan[len(plan)-1]
 		next, nextT := -1, math.Inf(1)
 		for s := 0; s < n; s++ {
-			bit := uint64(1) << uint(s)
-			if placed&bit != 0 || !prec.CanPlace(s, placed) {
+			if placed.Test(s) || !prec.CanPlaceBits(s, placed) {
 				continue
 			}
 			evaluated++
@@ -126,7 +130,7 @@ func GreedyNearestNeighbor(q *model.Query) (Result, error) {
 			return Result{}, fmt.Errorf("baseline: stuck at %v (unsatisfiable precedence constraints)", plan)
 		}
 		plan = append(plan, next)
-		placed |= 1 << uint(next)
+		placed.Set(next)
 		st = st.Append(q, next)
 	}
 	return Result{Plan: plan, Cost: st.Complete(q), Evaluated: evaluated}, nil

@@ -16,6 +16,22 @@ import (
 // and stops at a local optimum. It terminates because the cost strictly
 // decreases at every accepted move.
 func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
+	return localSearch(q, seed, 0)
+}
+
+// LocalSearchBudget is LocalSearch bounded to at most maxEvals candidate
+// cost evaluations (maxEvals <= 0 means unbounded). When the budget runs
+// out mid-round the round stops scanning, the best improving move found so
+// far is still applied, and the search returns — so the result is never
+// worse than the seed and the cutoff is deterministic. A full round costs
+// about 2·n² evaluations; the heuristic tier uses this to keep the
+// refinement's wall time bounded at large n, where a run to the local
+// optimum is no longer cheap.
+func LocalSearchBudget(q *model.Query, seed model.Plan, maxEvals int64) (Result, error) {
+	return localSearch(q, seed, maxEvals)
+}
+
+func localSearch(q *model.Query, seed model.Plan, maxEvals int64) (Result, error) {
 	prec, err := validateForSearch(q)
 	if err != nil {
 		return Result{}, err
@@ -36,13 +52,16 @@ func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
 	n := len(cur)
 	scratch := make(model.Plan, n)
 
+	exhausted := func() bool { return maxEvals > 0 && evaluated >= maxEvals }
+
 	for {
 		bestCost := curCost
 		var bestPlan model.Plan
 
 		// Swap and relocate moves preserve permutation-ness, so only the
 		// precedence relation needs re-checking, which AllowsPlan does
-		// without allocating.
+		// without allocating (single-word relations) or with one scratch
+		// set (wide relations).
 		try := func(candidate model.Plan) {
 			if !prec.AllowsPlan(candidate) {
 				return
@@ -54,20 +73,30 @@ func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
 			}
 		}
 
+	scan:
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
+				if exhausted() {
+					break scan
+				}
 				copy(scratch, cur)
 				scratch[i], scratch[j] = scratch[j], scratch[i]
 				try(scratch)
 			}
 		}
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
+		if !exhausted() {
+		relocScan:
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					if exhausted() {
+						break relocScan
+					}
+					relocate(scratch, cur, i, j)
+					try(scratch)
 				}
-				relocate(scratch, cur, i, j)
-				try(scratch)
 			}
 		}
 
@@ -76,6 +105,9 @@ func LocalSearch(q *model.Query, seed model.Plan) (Result, error) {
 		}
 		cur = bestPlan
 		curCost = bestCost
+		if exhausted() {
+			return Result{Plan: cur, Cost: curCost, Evaluated: evaluated}, nil
+		}
 	}
 }
 

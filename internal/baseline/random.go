@@ -23,13 +23,12 @@ func RandomPlan(q *model.Query, rng *rand.Rand) (model.Plan, error) {
 		return p, nil
 	}
 	plan := make(model.Plan, 0, n)
-	var placed uint64
+	placed := model.NewBitset(n)
 	avail := make([]int, 0, n)
 	for len(plan) < n {
 		avail = avail[:0]
 		for s := 0; s < n; s++ {
-			bit := uint64(1) << uint(s)
-			if placed&bit == 0 && prec.CanPlace(s, placed) {
+			if !placed.Test(s) && prec.CanPlaceBits(s, placed) {
 				avail = append(avail, s)
 			}
 		}
@@ -38,7 +37,7 @@ func RandomPlan(q *model.Query, rng *rand.Rand) (model.Plan, error) {
 		}
 		s := avail[rng.Intn(len(avail))]
 		plan = append(plan, s)
-		placed |= 1 << uint(s)
+		placed.Set(s)
 	}
 	return plan, nil
 }

@@ -52,19 +52,18 @@ func SrivastavaUniform(q *model.Query) (Result, error) {
 	sort.SliceStable(order, func(a, b int) bool { return h[order[a]] < h[order[b]] })
 
 	plan := make(model.Plan, 0, n)
-	var placed uint64
 	if !prec.HasConstraints() {
 		plan = append(plan, order...)
 	} else {
+		placed := model.NewBitset(n)
 		for len(plan) < n {
 			advanced := false
 			for _, s := range order {
-				bit := uint64(1) << uint(s)
-				if placed&bit != 0 || !prec.CanPlace(s, placed) {
+				if placed.Test(s) || !prec.CanPlaceBits(s, placed) {
 					continue
 				}
 				plan = append(plan, s)
-				placed |= bit
+				placed.Set(s)
 				advanced = true
 				break
 			}

@@ -76,6 +76,15 @@ type Options struct {
 	// second-chance clock hand.
 	DominanceTableBytes int64
 
+	// WarmStartLocalSearchMin is the instance size (number of services)
+	// from which the warm-start pipeline refines its greedy seed with
+	// bottleneck local search. Zero selects
+	// DefaultWarmStartLocalSearchMin; -1 disables the refinement at every
+	// size (the greedy constructions still run). The heuristic planning
+	// tier resolves its own refinement threshold through the same field so
+	// both tiers share one tuned knob.
+	WarmStartLocalSearchMin int
+
 	// NodeLimit aborts the search after this many expanded nodes
 	// (0 = unlimited). An aborted search reports Optimal == false and
 	// returns the best incumbent found.
@@ -98,7 +107,20 @@ func (o Options) warmStartEligible() bool {
 	return !o.DisableWarmStart && !o.DisableIncumbentPruning && o.InitialIncumbent == nil
 }
 
+// WarmStartLSMin resolves the effective local-search tier threshold: the
+// size from which warm starts (and the heuristic tier's refinement stage)
+// add bottleneck local search, or -1 for never.
+func (o Options) WarmStartLSMin() int {
+	if o.WarmStartLocalSearchMin == 0 {
+		return DefaultWarmStartLocalSearchMin
+	}
+	return o.WarmStartLocalSearchMin
+}
+
 func (o Options) validate() error {
+	if o.WarmStartLocalSearchMin < -1 {
+		return fmt.Errorf("core: WarmStartLocalSearchMin %d must be >= -1 (-1 disables the refinement, 0 selects the default)", o.WarmStartLocalSearchMin)
+	}
 	if o.NodeLimit < 0 {
 		return fmt.Errorf("core: NodeLimit %d must be >= 0", o.NodeLimit)
 	}

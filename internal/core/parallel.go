@@ -135,7 +135,7 @@ func OptimizeParallel(q *model.Query, opts Options, workers int) (Result, error)
 		shared.tryUpdate(q.Cost(opts.InitialIncumbent), opts.InitialIncumbent)
 		total.IncumbentUpdates++
 	} else if opts.warmStartEligible() {
-		if plan, cost, ok := warmStart(q); ok {
+		if plan, cost, ok := warmStart(q, opts.WarmStartLSMin()); ok {
 			shared.tryUpdate(cost, plan)
 			total.WarmStarted = true
 			total.WarmStartCost = cost

@@ -152,7 +152,7 @@ func (s *search) run() (Result, error) {
 		s.best = s.opts.InitialIncumbent.Clone()
 		s.rho = s.q.Cost(s.best)
 	} else if s.opts.warmStartEligible() {
-		if plan, cost, ok := warmStart(s.q); ok {
+		if plan, cost, ok := warmStart(s.q, s.opts.WarmStartLSMin()); ok {
 			s.best = plan
 			s.rho = cost
 			s.noteWarmStart(cost)

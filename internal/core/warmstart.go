@@ -21,20 +21,24 @@ import (
 // (minimum-epsilon append and nearest-neighbor by transfer cost, a few
 // microseconds) always run; bottleneck local search (swap + relocate
 // steepest descent, hundreds of microseconds) refines the better of the
-// two only from warmStartLocalSearchMin services up, where exact searches
-// cost tens of milliseconds to seconds and a sharper seed is worth the
-// polish.
+// two only from the local-search tier threshold up
+// (Options.WarmStartLocalSearchMin, default
+// DefaultWarmStartLocalSearchMin), where exact searches cost tens of
+// milliseconds to seconds and a sharper seed is worth the polish. The
+// heuristic planning tier shares the same knob so the two tiers stay
+// tuned together.
 
-// warmStartLocalSearchMin is the instance size at which the warm-start
-// pipeline adds bottleneck local search on top of the greedy
-// constructions.
-const warmStartLocalSearchMin = 13
+// DefaultWarmStartLocalSearchMin is the instance size at which the
+// warm-start pipeline adds bottleneck local search on top of the greedy
+// constructions when Options.WarmStartLocalSearchMin is zero.
+const DefaultWarmStartLocalSearchMin = 13
 
-// warmStart computes a heuristic incumbent for q. ok is false when no
-// heuristic produced a feasible plan (not reachable for validated queries,
-// but callers stay defensive: a failed warm start only costs pruning
-// power, never correctness).
-func warmStart(q *model.Query) (model.Plan, float64, bool) {
+// warmStart computes a heuristic incumbent for q, refining the greedy seed
+// with bottleneck local search from lsMin services up (lsMin < 0 never
+// refines). ok is false when no heuristic produced a feasible plan (not
+// reachable for validated queries, but callers stay defensive: a failed
+// warm start only costs pruning power, never correctness).
+func warmStart(q *model.Query, lsMin int) (model.Plan, float64, bool) {
 	best := model.Plan(nil)
 	cost := math.Inf(1)
 	if r, err := baseline.GreedyMinEpsilon(q); err == nil && r.Cost < cost {
@@ -46,7 +50,7 @@ func warmStart(q *model.Query) (model.Plan, float64, bool) {
 	if best == nil {
 		return nil, 0, false
 	}
-	if q.N() >= warmStartLocalSearchMin {
+	if lsMin >= 0 && q.N() >= lsMin {
 		if r, err := baseline.LocalSearch(q, best); err == nil && r.Cost < cost {
 			best, cost = r.Plan, r.Cost
 		}

@@ -160,3 +160,98 @@ func TestWarmStartNeverExpandsMoreWithoutVJumps(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmStartLocalSearchThreshold pins the tiering behavior behind
+// Options.WarmStartLocalSearchMin: the zero value behaves exactly like the
+// historical hardcoded threshold (local search from
+// DefaultWarmStartLocalSearchMin services up), -1 never refines, and an
+// explicit low threshold refines below the default. The expected seed
+// costs are reconstructed from the baseline constructions the pipeline is
+// documented to run.
+func TestWarmStartLocalSearchThreshold(t *testing.T) {
+	t.Parallel()
+	if core.DefaultWarmStartLocalSearchMin != 13 {
+		t.Fatalf("DefaultWarmStartLocalSearchMin = %d, want the historical 13", core.DefaultWarmStartLocalSearchMin)
+	}
+
+	refinementObserved := false
+	for _, n := range []int{12, 13} {
+		for rep := 0; rep < 4; rep++ {
+			seed := int64(6_000_000 + 1000*n + rep)
+			p := gen.Default(n, seed)
+			p.SelMin = 0.7
+			q, err := p.Generate()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			label := fmt.Sprintf("n=%d seed=%d", n, seed)
+
+			g1, err := baseline.GreedyMinEpsilon(q)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			g2, err := baseline.GreedyNearestNeighbor(q)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			greedyPlan, greedyCost := g1.Plan, g1.Cost
+			if g2.Cost < greedyCost {
+				greedyPlan, greedyCost = g2.Plan, g2.Cost
+			}
+			ls, err := baseline.LocalSearch(q, greedyPlan)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			refined := greedyCost
+			if ls.Cost < refined {
+				refined = ls.Cost
+			}
+			if refined < greedyCost {
+				refinementObserved = true
+			}
+
+			wantDefault := greedyCost
+			if n >= core.DefaultWarmStartLocalSearchMin {
+				wantDefault = refined
+			}
+
+			for _, tc := range []struct {
+				name string
+				min  int
+				want float64
+			}{
+				{"zero selects default", 0, wantDefault},
+				{"explicit default", core.DefaultWarmStartLocalSearchMin, wantDefault},
+				{"disabled", -1, greedyCost},
+				{"always", 1, refined},
+				{"above n", n + 1, greedyCost},
+			} {
+				res, err := core.OptimizeWithOptions(q, core.Options{WarmStartLocalSearchMin: tc.min})
+				if err != nil {
+					t.Fatalf("%s %s: %v", label, tc.name, err)
+				}
+				if !res.Stats.WarmStarted {
+					t.Fatalf("%s %s: no warm start", label, tc.name)
+				}
+				if res.Stats.WarmStartCost != tc.want {
+					t.Fatalf("%s %s: WarmStartCost = %v, want %v", label, tc.name, res.Stats.WarmStartCost, tc.want)
+				}
+			}
+		}
+	}
+	if !refinementObserved {
+		t.Fatalf("corpus never exercised the refinement tier; the pin is vacuous — change the seeds")
+	}
+}
+
+func TestWarmStartThresholdValidation(t *testing.T) {
+	t.Parallel()
+	p := gen.Default(6, 1)
+	q, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OptimizeWithOptions(q, core.Options{WarmStartLocalSearchMin: -2}); err == nil {
+		t.Fatalf("WarmStartLocalSearchMin -2 accepted, want validation error")
+	}
+}

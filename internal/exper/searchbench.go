@@ -28,6 +28,53 @@ var searchBenchSeeds = map[string]map[int]int64{
 	"threaded":      {12: 10084, 13: 10091, 14: 20182},
 }
 
+// HeuristicBenchFamilies lists the large-n families of the heuristic-tier
+// benchmark cells: sizes the exact core cannot touch (or cannot finish),
+// planned by the internal/htier portfolio.
+//
+//   - large-precedence: precedence-rich instances (2n random acyclic
+//     constraint edges), stressing the feasibility filtering in every
+//     portfolio member;
+//   - large-zipf: Zipf-skewed selectivities (most services highly
+//     selective, a weak-filter tail), the regime where ordering choices
+//     move the bottleneck most.
+var HeuristicBenchFamilies = []string{"large-precedence", "large-zipf"}
+
+// HeuristicBenchSizes are the suite's instance sizes; HeuristicBenchQuickSizes
+// is the CI-sized subset (dqbench -quick).
+var (
+	HeuristicBenchSizes      = []int{32, 64, 128, 256}
+	HeuristicBenchQuickSizes = []int{32, 64}
+)
+
+// heuristicBenchSeeds pins one seed per family and size. Unlike the exact
+// suite there is no hardness probing: the heuristic tier's cost is set by
+// its budgets, not by instance luck, so the seeds just fix the instances.
+var heuristicBenchSeeds = map[string]map[int]int64{
+	"large-precedence": {32: 30032, 64: 30064, 128: 30128, 256: 30256},
+	"large-zipf":       {32: 31032, 64: 31064, 128: 31128, 256: 31256},
+}
+
+// HeuristicBenchInstance generates the pinned instance for a heuristic-tier
+// benchmark family and size, returning the query and its seed.
+func HeuristicBenchInstance(family string, n int) (*model.Query, int64, error) {
+	seed, ok := heuristicBenchSeeds[family][n]
+	if !ok {
+		return nil, 0, fmt.Errorf("exper: no pinned heuristic-bench seed for %s/n=%d", family, n)
+	}
+	p := gen.Default(n, seed)
+	switch family {
+	case "large-precedence":
+		p.PrecedenceEdges = 2 * n
+	case "large-zipf":
+		p.SelZipfSkew = 2
+	default:
+		return nil, 0, fmt.Errorf("exper: unknown heuristic-bench family %q", family)
+	}
+	q, err := p.Generate()
+	return q, seed, err
+}
+
 // SearchBenchInstance generates the pinned hard instance for a family and
 // size, returning the query and its seed. High selectivities keep filters
 // weak, which is what makes exact search work for its optimum.

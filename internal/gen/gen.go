@@ -77,6 +77,14 @@ type Params struct {
 	// SelMin/SelMax bound the uniform selectivity of filter services.
 	SelMin, SelMax float64
 
+	// SelZipfSkew, when positive, skews filter selectivities toward
+	// SelMin with a Zipf-like power law: the uniform draw u in [0, 1) is
+	// replaced by u^SelZipfSkew before mapping onto [SelMin, SelMax], so
+	// a few services stay weak while most become highly selective —
+	// the regime where ordering matters most. Zero keeps the uniform
+	// draw (and byte-identical instances for existing seeds).
+	SelZipfSkew float64
+
 	// ProliferativeFraction of services instead draw selectivity from
 	// (1, ProliferativeMax].
 	ProliferativeFraction float64
@@ -130,6 +138,9 @@ func (p Params) validate() error {
 	if p.SelMin < 0 || p.SelMax < p.SelMin {
 		return fmt.Errorf("gen: selectivity range [%v, %v] invalid", p.SelMin, p.SelMax)
 	}
+	if p.SelZipfSkew < 0 {
+		return fmt.Errorf("gen: SelZipfSkew = %v, want >= 0", p.SelZipfSkew)
+	}
 	if p.ProliferativeFraction < 0 || p.ProliferativeFraction > 1 {
 		return fmt.Errorf("gen: proliferative fraction %v outside [0,1]", p.ProliferativeFraction)
 	}
@@ -167,7 +178,16 @@ func (p Params) Generate() (*model.Query, error) {
 
 	services := make([]model.Service, p.N)
 	for i := range services {
-		sigma := uniform(rng, p.SelMin, p.SelMax)
+		// Degenerate ranges skip the draw entirely, exactly like
+		// uniform(), so existing seeds keep their byte-identical streams.
+		sigma := p.SelMin
+		if p.SelMax > p.SelMin {
+			u := rng.Float64()
+			if p.SelZipfSkew > 0 {
+				u = math.Pow(u, p.SelZipfSkew)
+			}
+			sigma = p.SelMin + u*(p.SelMax-p.SelMin)
+		}
 		if p.ProliferativeFraction > 0 && rng.Float64() < p.ProliferativeFraction {
 			sigma = uniform(rng, 1, p.ProliferativeMax)
 		}

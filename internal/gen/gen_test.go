@@ -199,6 +199,7 @@ func TestParamsValidation(t *testing.T) {
 		func(p *Params) { p.TransferBase = -1 },
 		func(p *Params) { p.Topology = TopologyClustered; p.Clusters = 0 },
 		func(p *Params) { p.PrecedenceEdges = -1 },
+		func(p *Params) { p.SelZipfSkew = -0.5 },
 		func(p *Params) { p.Topology = Topology(42) },
 	}
 	for i, mutate := range bad {
@@ -206,6 +207,48 @@ func TestParamsValidation(t *testing.T) {
 		mutate(&p)
 		if _, err := p.Generate(); err == nil {
 			t.Errorf("mutation %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// TestGenerateZipfSelectivities: the skew keeps selectivities inside the
+// configured range but pushes their mass toward SelMin, and the same seed
+// still generates the same instance.
+func TestGenerateZipfSelectivities(t *testing.T) {
+	flat := Default(200, 33)
+	skewed := flat
+	skewed.SelZipfSkew = 3
+
+	mean := func(p Params) float64 {
+		q, err := p.Generate()
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		sum := 0.0
+		for _, s := range q.Services {
+			if s.Selectivity < p.SelMin || s.Selectivity > p.SelMax {
+				t.Fatalf("selectivity %v outside [%v, %v]", s.Selectivity, p.SelMin, p.SelMax)
+			}
+			sum += s.Selectivity
+		}
+		return sum / float64(len(q.Services))
+	}
+	flatMean, skewMean := mean(flat), mean(skewed)
+	if skewMean >= flatMean {
+		t.Errorf("zipf skew did not bias selectivities down: skewed mean %v >= flat mean %v", skewMean, flatMean)
+	}
+
+	a, err := skewed.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := skewed.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Services {
+		if a.Services[i] != b.Services[i] {
+			t.Fatalf("zipf generation not deterministic at service %d", i)
 		}
 	}
 }

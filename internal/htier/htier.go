@@ -1,0 +1,270 @@
+// Package htier is the heuristic planning tier for instances beyond the
+// exact optimizer's comfortable reach. It runs a deterministic portfolio
+// of cheap planners and returns the best plan any member found:
+//
+//   - the two greedy constructions the exact search uses as warm starts
+//     (minimum-epsilon append and nearest-neighbor by transfer cost);
+//   - beam search over the prefix DAG, scored by the incremental
+//     bottleneck epsilon of model.PrefixState and deduplicated by
+//     (placed-set, last-service) — the same state identity the exact
+//     core's dominance table exploits;
+//   - bottleneck local search (swap + relocate steepest descent) refining
+//     the best construction, budget-bounded so large n stays cheap;
+//   - for instances still inside the exact core's 64-service band, an
+//     anytime budget-bounded branch-and-bound run seeded with the
+//     portfolio's best plan, which can prove optimality outright and can
+//     never return anything worse than its seed.
+//
+// Every member is deterministic given (query, Options) — there is no
+// randomized restart — so identical requests produce identical plans, a
+// property the planner's caches and the differential test suite rely on.
+// The portfolio's best is by construction no worse than any member
+// (cross-heuristic dominance), and on small instances its regret against
+// the exact optimum is measured and gated by the benchmark suite.
+package htier
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"serviceordering/internal/baseline"
+	"serviceordering/internal/core"
+	"serviceordering/internal/model"
+)
+
+// Default budgets. They target single-digit milliseconds for n ≈ 128 on
+// commodity hardware while keeping every stage meaningful at n = 256.
+const (
+	// DefaultBeamWidth is the beam width used when Options.BeamWidth is 0.
+	DefaultBeamWidth = 8
+
+	// DefaultBeamBudget caps the total number of candidate extensions the
+	// beam scores (the beam's work is width · n², so the effective width
+	// shrinks on very large instances to stay inside the budget).
+	DefaultBeamBudget = 1 << 21
+
+	// DefaultLocalSearchEvals caps the candidate plans the local-search
+	// refinement evaluates. A full round costs about 2·n² evaluations, so
+	// the default allows many rounds at n ≤ 64 and a couple at n = 256.
+	DefaultLocalSearchEvals = 1 << 18
+
+	// DefaultBBNodeBudget is the node budget of the anytime
+	// branch-and-bound member when Options.BBNodeBudget is 0.
+	DefaultBBNodeBudget = 1 << 19
+)
+
+// Member names reported in Result.Source and Result.Members.
+const (
+	MemberSeed           = "seed"
+	MemberGreedyEpsilon  = "greedy-epsilon"
+	MemberGreedyTransfer = "greedy-transfer"
+	MemberBeam           = "beam"
+	MemberLocalSearch    = "local-search"
+	MemberBB             = "bb"
+)
+
+// Options tunes the portfolio. The zero value runs every member with the
+// default budgets.
+type Options struct {
+	// BeamWidth is the beam width (0 = DefaultBeamWidth, negative
+	// disables the beam member).
+	BeamWidth int
+
+	// BeamBudget caps total beam candidate scorings
+	// (0 = DefaultBeamBudget, negative = unbounded). When the configured
+	// width would exceed the budget at the instance's size, the effective
+	// width is reduced (never below 1) rather than truncating the beam
+	// mid-level, so results stay deterministic.
+	BeamBudget int64
+
+	// LocalSearchEvals caps the refinement's candidate evaluations
+	// (0 = DefaultLocalSearchEvals, negative disables the refinement).
+	// The refinement triggers from the same instance size as the exact
+	// core's warm-start refinement — Search.WarmStartLocalSearchMin — so
+	// the two tiers share one tuned knob.
+	LocalSearchEvals int64
+
+	// BBNodeBudget is the anytime branch-and-bound member's node budget
+	// (0 = DefaultBBNodeBudget, negative disables the member). The member
+	// only runs when n <= core.MaxServices.
+	BBNodeBudget int64
+
+	// BBTimeBudget additionally bounds the branch-and-bound member's wall
+	// clock (0 = none). A time-truncated run is still never worse than
+	// its seed, but where exactly it stops depends on machine speed, so
+	// plans are only deterministic across runs when this is unset.
+	BBTimeBudget time.Duration
+
+	// Seed, when non-nil, joins the portfolio as a known-feasible
+	// incumbent (the planner passes a stale generation's plan here on
+	// adaptive replans). It must be a valid, precedence-feasible plan for
+	// the query.
+	Seed model.Plan
+
+	// Search is the base configuration of the branch-and-bound member;
+	// its NodeLimit, TimeLimit and InitialIncumbent are overridden by the
+	// budgets above and the portfolio's best plan. Its
+	// WarmStartLocalSearchMin doubles as the refinement threshold of the
+	// portfolio's local-search member.
+	Search core.Options
+}
+
+func (o Options) beamWidth() int {
+	if o.BeamWidth == 0 {
+		return DefaultBeamWidth
+	}
+	return o.BeamWidth
+}
+
+func (o Options) beamBudget() int64 {
+	if o.BeamBudget == 0 {
+		return DefaultBeamBudget
+	}
+	return o.BeamBudget
+}
+
+func (o Options) localSearchEvals() int64 {
+	if o.LocalSearchEvals == 0 {
+		return DefaultLocalSearchEvals
+	}
+	return o.LocalSearchEvals
+}
+
+func (o Options) bbNodeBudget() int64 {
+	if o.BBNodeBudget == 0 {
+		return DefaultBBNodeBudget
+	}
+	return o.BBNodeBudget
+}
+
+// Member is one portfolio member's outcome.
+type Member struct {
+	// Name identifies the member (Member* constants).
+	Name string
+
+	// Plan is the member's ordering (never nil for a listed member).
+	Plan model.Plan
+
+	// Cost is the bottleneck cost of Plan.
+	Cost float64
+}
+
+// Stats describes the work the portfolio performed.
+type Stats struct {
+	// BeamScored counts candidate extensions the beam evaluated.
+	BeamScored int64
+
+	// LocalSearchEvals counts candidate plans the refinement evaluated.
+	LocalSearchEvals int64
+
+	// BB holds the anytime branch-and-bound member's search statistics
+	// (zero when the member did not run).
+	BB core.Stats
+
+	// Elapsed is the portfolio's total wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Result is the portfolio's outcome.
+type Result struct {
+	// Plan is the best ordering any member found.
+	Plan model.Plan
+
+	// Cost is Plan's bottleneck cost under Eq. (1).
+	Cost float64
+
+	// Optimal reports that the branch-and-bound member ran to completion
+	// within its budgets, proving Plan optimal.
+	Optimal bool
+
+	// Source names the member that produced Plan (ties go to the member
+	// that ran first).
+	Source string
+
+	// Members lists every member that ran, in run order, with the cost
+	// each achieved. Result.Cost is the minimum over Members — the
+	// cross-heuristic dominance the benchmark suite gates on.
+	Members []Member
+
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Plan runs the portfolio on q and returns the best plan found. It
+// validates q (and Options.Seed, when set) first; the returned plan is
+// always a valid, precedence-feasible ordering.
+func Plan(q *model.Query, opts Options) (Result, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return Result{}, fmt.Errorf("htier: invalid query: %w", err)
+	}
+	prec := q.CompiledPrecedence()
+	n := q.N()
+
+	res := Result{Cost: math.Inf(1)}
+	consider := func(name string, plan model.Plan, cost float64) {
+		res.Members = append(res.Members, Member{Name: name, Plan: plan, Cost: cost})
+		if cost < res.Cost {
+			res.Plan, res.Cost, res.Source = plan, cost, name
+		}
+	}
+
+	if opts.Seed != nil {
+		if err := opts.Seed.Validate(q); err != nil {
+			return Result{}, fmt.Errorf("htier: seed plan: %w", err)
+		}
+		if !prec.AllowsPlan(opts.Seed) {
+			return Result{}, fmt.Errorf("htier: seed plan violates precedence constraints")
+		}
+		seed := opts.Seed.Clone()
+		consider(MemberSeed, seed, q.Cost(seed))
+	}
+
+	if r, err := baseline.GreedyMinEpsilon(q); err == nil {
+		consider(MemberGreedyEpsilon, r.Plan, r.Cost)
+	}
+	if r, err := baseline.GreedyNearestNeighbor(q); err == nil {
+		consider(MemberGreedyTransfer, r.Plan, r.Cost)
+	}
+
+	if opts.beamWidth() > 0 && n >= 2 {
+		plan, cost, scored := beamSearch(q, prec, opts.beamWidth(), opts.beamBudget())
+		res.Stats.BeamScored = scored
+		if plan != nil {
+			consider(MemberBeam, plan, cost)
+		}
+	}
+
+	lsMin := opts.Search.WarmStartLSMin()
+	if opts.localSearchEvals() > 0 && lsMin >= 0 && n >= lsMin && res.Plan != nil {
+		if r, err := baseline.LocalSearchBudget(q, res.Plan, opts.localSearchEvals()); err == nil {
+			res.Stats.LocalSearchEvals = r.Evaluated
+			consider(MemberLocalSearch, r.Plan, r.Cost)
+		}
+	}
+
+	if opts.bbNodeBudget() > 0 && n <= core.MaxServices && res.Plan != nil {
+		so := opts.Search
+		so.InitialIncumbent = res.Plan
+		so.NodeLimit = opts.bbNodeBudget()
+		if opts.BBTimeBudget > 0 && (so.TimeLimit == 0 || opts.BBTimeBudget < so.TimeLimit) {
+			so.TimeLimit = opts.BBTimeBudget
+		}
+		// Sequential search: anytime truncation stays deterministic under
+		// a pure node budget, and the incumbent seed makes the dominance
+		// table safe on truncated runs (the result is never worse than
+		// the seed).
+		if r, err := core.OptimizeWithOptions(q, so); err == nil {
+			res.Stats.BB = r.Stats
+			res.Optimal = r.Optimal
+			consider(MemberBB, r.Plan, r.Cost)
+		}
+	}
+
+	if res.Plan == nil {
+		return Result{}, fmt.Errorf("htier: no member produced a feasible plan")
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package model
+
+import "math/bits"
+
+// Bitset is a fixed-capacity multi-word bit vector over service indices.
+// It generalizes the single uint64 placement masks used by the exact
+// search core (which is capped at MaxServices) to arbitrary n, so the
+// heuristic tier and the baseline constructions can track placed-service
+// sets for queries of any size. The zero-length Bitset is valid and
+// represents the empty set over zero services.
+type Bitset []uint64
+
+// NewBitset returns an empty set with capacity for n services.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Test reports whether bit i is set.
+func (b Bitset) Test(i int) bool {
+	return b[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) {
+	b[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) {
+	b[i>>6] &^= 1 << uint(i&63)
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Reset clears every bit in place.
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -6,40 +6,60 @@ import (
 )
 
 // Precedence is the compiled form of a query's precedence constraints: for
-// each service, the bitmask of services that must already be placed before
-// it may be appended to a plan. Constraint-aware search uses it to filter
+// each service, the set of services that must already be placed before it
+// may be appended to a plan. Constraint-aware search uses it to filter
 // candidate children in O(1).
 //
-// Bitmask compilation limits constrained queries to 64 services, far above
-// anything exact optimization can reach; unconstrained queries have no size
-// limit.
+// Two storage layouts are compiled, selected by n. Up to 64 services the
+// relation is a single uint64 mask per service — the layout the exact
+// search core depends on for its O(1) CanPlace hot path. Beyond 64
+// services the relation is stored as multi-word rows (one Bitset row per
+// service) and queried through CanPlaceBits; the exact core never sees
+// such relations because it rejects n > MaxServices before compiling.
 type Precedence struct {
 	n     int
 	edges int
-	pred  []uint64 // pred[i]: services that must precede service i
-	succ  []uint64 // succ[i]: services that must follow service i
+
+	// Single-word layout (n <= 64). Nil when unconstrained or when the
+	// word layout below is in use.
+	pred []uint64 // pred[i]: services that must precede service i
+	succ []uint64 // succ[i]: services that must follow service i
+
+	// Multi-word layout (n > 64). Each row has (n+63)/64 words.
+	predw []Bitset
+	succw []Bitset
 }
 
 // NewPrecedence compiles constraint edges {before, after} and verifies the
 // relation is acyclic. A nil result with nil error is never returned; an
-// empty edge set compiles to a constraint-free relation.
+// empty edge set compiles to a constraint-free relation. There is no size
+// limit: relations over more than 64 services compile to multi-word rows
+// and must be queried through CanPlaceBits rather than CanPlace.
 func NewPrecedence(n int, edges [][2]int) (*Precedence, error) {
-	if len(edges) > 0 && n > 64 {
-		return nil, fmt.Errorf("model: precedence constraints support at most 64 services, got %d", n)
-	}
 	p := &Precedence{n: n, edges: len(edges)}
 	if len(edges) == 0 {
 		return p, nil
 	}
-	p.pred = make([]uint64, n)
-	p.succ = make([]uint64, n)
+	wide := n > 64
+	if wide {
+		p.predw = newBitRows(n)
+		p.succw = newBitRows(n)
+	} else {
+		p.pred = make([]uint64, n)
+		p.succ = make([]uint64, n)
+	}
 	for k, e := range edges {
 		before, after := e[0], e[1]
 		if before < 0 || before >= n || after < 0 || after >= n || before == after {
 			return nil, fmt.Errorf("model: precedence edge %d = (%d,%d) invalid for %d services", k, before, after, n)
 		}
-		p.pred[after] |= 1 << uint(before)
-		p.succ[before] |= 1 << uint(after)
+		if wide {
+			p.predw[after].Set(before)
+			p.succw[before].Set(after)
+		} else {
+			p.pred[after] |= 1 << uint(before)
+			p.succ[before] |= 1 << uint(after)
+		}
 	}
 	if err := p.checkAcyclic(); err != nil {
 		return nil, err
@@ -47,11 +67,25 @@ func NewPrecedence(n int, edges [][2]int) (*Precedence, error) {
 	return p, nil
 }
 
+func newBitRows(n int) []Bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	rows := make([]Bitset, n)
+	for i := range rows {
+		rows[i] = Bitset(backing[i*words : (i+1)*words])
+	}
+	return rows
+}
+
 // checkAcyclic runs Kahn's algorithm over the direct edges.
 func (p *Precedence) checkAcyclic() error {
 	indeg := make([]int, p.n)
 	for i := 0; i < p.n; i++ {
-		indeg[i] = bits.OnesCount64(p.pred[i])
+		if p.predw != nil {
+			indeg[i] = p.predw[i].Count()
+		} else {
+			indeg[i] = bits.OnesCount64(p.pred[i])
+		}
 	}
 	queue := make([]int, 0, p.n)
 	for i, d := range indeg {
@@ -64,20 +98,37 @@ func (p *Precedence) checkAcyclic() error {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		removed++
-		rest := p.succ[v]
-		for rest != 0 {
-			w := bits.TrailingZeros64(rest)
-			rest &^= 1 << uint(w)
+		p.forEachSucc(v, func(w int) {
 			indeg[w]--
 			if indeg[w] == 0 {
 				queue = append(queue, w)
 			}
-		}
+		})
 	}
 	if removed != p.n {
 		return fmt.Errorf("model: precedence constraints contain a cycle")
 	}
 	return nil
+}
+
+// forEachSucc invokes f for every direct successor of v.
+func (p *Precedence) forEachSucc(v int, f func(w int)) {
+	if p.succw != nil {
+		for wi, word := range p.succw[v] {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				f(wi*64 + b)
+			}
+		}
+		return
+	}
+	rest := p.succ[v]
+	for rest != 0 {
+		w := bits.TrailingZeros64(rest)
+		rest &^= 1 << uint(w)
+		f(w)
+	}
 }
 
 // N returns the number of services the relation was compiled for.
@@ -87,19 +138,54 @@ func (p *Precedence) N() int { return p.n }
 func (p *Precedence) HasConstraints() bool { return p.edges > 0 }
 
 // CanPlace reports whether service s may be appended to a plan whose placed
-// services are given as a bitmask.
+// services are given as a single-word bitmask. It is the exact search
+// core's hot path and is only valid for relations over at most 64
+// services; wider constrained relations panic — callers handling arbitrary
+// n must use CanPlaceBits.
 func (p *Precedence) CanPlace(s int, placed uint64) bool {
 	if p.pred == nil {
+		if p.predw != nil {
+			panic("model: CanPlace on a >64-service constrained relation; use CanPlaceBits")
+		}
 		return true
 	}
 	return p.pred[s]&^placed == 0
 }
 
+// CanPlaceBits reports whether service s may be appended to a plan whose
+// placed services are given as a Bitset. It works for any n; for
+// single-word relations it reduces to the same mask test as CanPlace.
+func (p *Precedence) CanPlaceBits(s int, placed Bitset) bool {
+	if p.predw != nil {
+		for wi, w := range p.predw[s] {
+			if w&^placed[wi] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if p.pred == nil {
+		return true
+	}
+	return p.pred[s]&^placed[0] == 0
+}
+
 // AllowsPlan reports whether the ordering satisfies every constraint. It
-// assumes plan is a permutation of 0..n-1 (checked by Plan.Validate) and
-// performs no allocation, so move-based local searches can test candidate
-// orderings at full speed.
+// assumes plan is a permutation of 0..n-1 (checked by Plan.Validate). For
+// single-word relations it performs no allocation, so move-based local
+// searches can test candidate orderings at full speed; wider relations
+// allocate one scratch Bitset per call.
 func (p *Precedence) AllowsPlan(plan Plan) bool {
+	if p.predw != nil {
+		placed := NewBitset(p.n)
+		for _, s := range plan {
+			if !p.CanPlaceBits(s, placed) {
+				return false
+			}
+			placed.Set(s)
+		}
+		return true
+	}
 	if p.pred == nil {
 		return true
 	}
@@ -116,6 +202,9 @@ func (p *Precedence) AllowsPlan(plan Plan) bool {
 // MustPrecede reports whether service a is constrained (directly) to come
 // before service b.
 func (p *Precedence) MustPrecede(a, b int) bool {
+	if p.succw != nil {
+		return p.succw[a].Test(b)
+	}
 	if p.succ == nil {
 		return false
 	}
@@ -127,15 +216,15 @@ func (p *Precedence) MustPrecede(a, b int) bool {
 // with a feasible incumbent.
 func (p *Precedence) TopologicalPlan() Plan {
 	plan := make(Plan, 0, p.n)
-	var placed uint64
+	placed := NewBitset(p.n)
 	for len(plan) < p.n {
 		for s := 0; s < p.n; s++ {
-			if placed&(1<<uint(s)) != 0 {
+			if placed.Test(s) {
 				continue
 			}
-			if p.CanPlace(s, placed) {
+			if p.CanPlaceBits(s, placed) {
 				plan = append(plan, s)
-				placed |= 1 << uint(s)
+				placed.Set(s)
 				break
 			}
 		}

@@ -18,7 +18,9 @@ func TestNewPrecedence(t *testing.T) {
 		{name: "out of range", n: 3, edges: [][2]int{{0, 5}}, wantErr: true},
 		{name: "negative", n: 3, edges: [][2]int{{-1, 0}}, wantErr: true},
 		{name: "over 64 services unconstrained", n: 100},
-		{name: "over 64 services constrained", n: 100, edges: [][2]int{{0, 1}}, wantErr: true},
+		{name: "over 64 services constrained", n: 100, edges: [][2]int{{0, 1}}},
+		{name: "over 64 services cycle", n: 100, edges: [][2]int{{0, 70}, {70, 99}, {99, 0}}, wantErr: true},
+		{name: "over 64 services out of range", n: 100, edges: [][2]int{{0, 100}}, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -91,6 +93,106 @@ func TestTopologicalPlan(t *testing.T) {
 		if pos[e[0]] > pos[e[1]] {
 			t.Fatalf("TopologicalPlan() = %v violates %v", plan, e)
 		}
+	}
+}
+
+// TestWidePrecedence exercises the multi-word layout used beyond 64
+// services against the single-word semantics on mirrored constraints.
+func TestWidePrecedence(t *testing.T) {
+	const n = 130
+	edges := [][2]int{{0, 65}, {65, 129}, {64, 65}, {3, 128}}
+	p, err := NewPrecedence(n, edges)
+	if err != nil {
+		t.Fatalf("NewPrecedence: %v", err)
+	}
+	if !p.HasConstraints() || p.N() != n {
+		t.Fatalf("HasConstraints/N wrong for wide relation")
+	}
+
+	placed := NewBitset(n)
+	if !p.CanPlaceBits(0, placed) || !p.CanPlaceBits(64, placed) {
+		t.Fatalf("roots must be placeable in empty plan")
+	}
+	if p.CanPlaceBits(65, placed) {
+		t.Fatalf("CanPlaceBits(65, {}) = true, want false (needs 0 and 64)")
+	}
+	placed.Set(0)
+	if p.CanPlaceBits(65, placed) {
+		t.Fatalf("CanPlaceBits(65, {0}) = true, want false (needs 64 too)")
+	}
+	placed.Set(64)
+	if !p.CanPlaceBits(65, placed) {
+		t.Fatalf("CanPlaceBits(65, {0,64}) = false, want true")
+	}
+	if p.CanPlaceBits(129, placed) {
+		t.Fatalf("CanPlaceBits(129, {0,64}) = true, want false (needs 65)")
+	}
+
+	if !p.MustPrecede(0, 65) || p.MustPrecede(65, 0) || p.MustPrecede(0, 129) {
+		t.Fatalf("wide MustPrecede direct-edge semantics violated")
+	}
+
+	plan := p.TopologicalPlan()
+	if len(plan) != n {
+		t.Fatalf("TopologicalPlan length = %d, want %d", len(plan), n)
+	}
+	seen := make([]bool, n)
+	for _, s := range plan {
+		if s < 0 || s >= n || seen[s] {
+			t.Fatalf("TopologicalPlan is not a permutation: %v", plan)
+		}
+		seen[s] = true
+	}
+	if !p.AllowsPlan(plan) {
+		t.Fatalf("TopologicalPlan violates its own constraints")
+	}
+
+	bad := plan.Clone()
+	// Move service 65 to the front: it needs 0 and 64 first.
+	for i, s := range bad {
+		if s == 65 {
+			copy(bad[1:i+1], bad[:i])
+			bad[0] = 65
+			break
+		}
+	}
+	if p.AllowsPlan(bad) {
+		t.Fatalf("AllowsPlan accepted a plan with 65 before its predecessors")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CanPlace on a wide constrained relation did not panic")
+		}
+	}()
+	p.CanPlace(65, 0)
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	if got := len(b); got != 3 {
+		t.Fatalf("NewBitset(130) words = %d, want 3", got)
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Test(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Set(%d) not observable", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	c := b.Clone()
+	b.Clear(64)
+	if b.Test(64) || !c.Test(64) {
+		t.Fatalf("Clear leaked into clone or failed")
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatalf("Reset left %d bits", c.Count())
 	}
 }
 

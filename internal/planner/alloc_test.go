@@ -97,7 +97,7 @@ func TestResponseFragmentPresence(t *testing.T) {
 	if string(hit.ResponseFragment) != string(miss.ResponseFragment) {
 		t.Fatalf("hit fragment %q differs from miss fragment %q", hit.ResponseFragment, miss.ResponseFragment)
 	}
-	want := string(appendResultFragment(nil, miss.Cost, miss.Optimal, miss.Signature))
+	want := string(appendResultFragment(nil, miss.Cost, miss.Optimal, miss.Signature, miss.Tier))
 	if got := string(miss.ResponseFragment); got != want {
 		t.Fatalf("fragment %q, want %q", got, want)
 	}

@@ -34,11 +34,25 @@ type cacheEntry struct {
 	cost    float64
 	optimal bool
 
+	// tier records which planning tier produced the entry ("exact", or
+	// "heuristic/<member>"), echoed into every response served from it.
+	tier string
+
+	// shareable marks entries whose outcome is safe to reuse across
+	// requests: exact results only when proven optimal (a budget-truncated
+	// incumbent must not mask a later uncapped request's proof), heuristic
+	// results whenever the portfolio ran its full deterministic budgets
+	// (identical requests would recompute the identical plan). Only
+	// shareable entries enter the cache or are adopted by singleflight
+	// followers; record() still builds non-shareable entries so the
+	// leader's own response can splice the fragment.
+	shareable bool
+
 	// frag is the pre-serialized JSON response fragment
-	// `"cost":...,"optimal":...,"signature":"..."` shared verbatim by
-	// every HTTP response assembled from this entry (the plan cannot be
-	// pre-serialized: it is permuted into each caller's own index space).
-	// Read-only after record() builds it.
+	// `"cost":...,"optimal":...,"signature":"...","tier":"..."` shared
+	// verbatim by every HTTP response assembled from this entry (the plan
+	// cannot be pre-serialized: it is permuted into each caller's own
+	// index space). Read-only after record() builds it.
 	frag []byte
 }
 

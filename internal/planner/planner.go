@@ -19,14 +19,24 @@
 // results back in input order; large instances escalate to the parallel
 // branch-and-bound, small ones run the sequential search.
 //
-// Only proven-optimal results are cached: a search truncated by a node or
-// time budget returns its incumbent but leaves the cache untouched, so a
-// later uncapped request can still establish the optimum.
+// Above the exact tier sits the heuristic tier (internal/htier): from
+// Config.HeuristicThreshold services up — and always past
+// core.MaxServices — requests route to the deterministic planning
+// portfolio instead of the unbounded exact search, and Result.Tier
+// records which tier (and which portfolio member) produced each plan.
+//
+// Cacheability is per tier. Exact results are cached only when proven
+// optimal: a search truncated by a node or time budget returns its
+// incumbent but leaves the cache untouched, so a later uncapped request
+// can still establish the optimum. Heuristic results are cached whenever
+// the portfolio ran its full deterministic budgets — an identical request
+// would recompute the identical plan, so the entry is as good as a rerun.
 package planner
 
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -36,6 +46,7 @@ import (
 
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/core"
+	"serviceordering/internal/htier"
 	"serviceordering/internal/model"
 )
 
@@ -70,6 +81,20 @@ type Config struct {
 	// optimization (pruning toggles, budgets). Per-request contexts with
 	// deadlines tighten Search.TimeLimit automatically.
 	Search core.Options
+
+	// HeuristicThreshold is the instance size at which requests route to
+	// the heuristic planning tier instead of the exact search. Zero means
+	// DefaultHeuristicThreshold; negative disables the tier, restoring
+	// the pre-v6 behavior of rejecting queries past core.MaxServices
+	// (with ErrQueryTooLarge). Regardless of the threshold, queries past
+	// core.MaxServices always use the heuristic tier when it is enabled —
+	// the exact core cannot represent them.
+	HeuristicThreshold int
+
+	// Heuristic tunes the heuristic tier's portfolio (beam width, member
+	// budgets, the branch-and-bound member's base search options). The
+	// zero value runs every member with htier's default budgets.
+	Heuristic htier.Options
 
 	// OnSearch, when non-nil, is invoked once per branch-and-bound run
 	// actually executed (i.e. not served by cache or singleflight), with
@@ -109,6 +134,28 @@ const DefaultCacheCapacity = 4096
 // subtree fan-out dominates.
 const DefaultParallelThreshold = 13
 
+// DefaultHeuristicThreshold is the instance size at which requests route
+// to the heuristic tier when Config.HeuristicThreshold is zero. Up to 14
+// services the exact search is benchmarked at interactive latency; beyond
+// that its worst case grows factorially while the portfolio stays
+// polynomial, so 15 is where serving traffic stops paying for proofs.
+const DefaultHeuristicThreshold = 15
+
+// TierExact is the Result.Tier of plans proven by the exact
+// branch-and-bound; heuristic plans report "heuristic/<member>" (see
+// htier's Member* constants for the member names).
+const TierExact = "exact"
+
+// tierHeuristicPrefix prefixes the winning portfolio member in the tier
+// label of heuristic results.
+const tierHeuristicPrefix = "heuristic/"
+
+// ErrQueryTooLarge reports a query past core.MaxServices submitted while
+// the heuristic tier is disabled (Config.HeuristicThreshold < 0). The
+// serve layer maps it to HTTP 422. With the tier enabled — the default —
+// no query is too large and this error is never returned.
+var ErrQueryTooLarge = errors.New("planner: query exceeds the exact optimizer's service limit and the heuristic tier is disabled")
+
 // Planner serves optimization requests through the plan cache. It is safe
 // for concurrent use by any number of goroutines.
 type Planner struct {
@@ -130,7 +177,23 @@ type Planner struct {
 	// in a lock-free fixed-bucket histogram; Stats surfaces p50/p90/p99.
 	lat latencyHist
 
+	// tierCounts tallies executed searches by Result.Tier label. Mutex
+	// protected: it is touched only on the cold (search) path, never on
+	// warm hits, so contention is bounded by search throughput.
+	tierMu     sync.Mutex
+	tierCounts map[string]int64
+
 	rawBufs sync.Pool // *[]byte scratch for encodeRaw
+}
+
+// countTier tallies one executed search under its tier label.
+func (p *Planner) countTier(tier string) {
+	p.tierMu.Lock()
+	if p.tierCounts == nil {
+		p.tierCounts = make(map[string]int64, 4)
+	}
+	p.tierCounts[tier]++
+	p.tierMu.Unlock()
 }
 
 // New builds a Planner from cfg (zero value = defaults).
@@ -177,12 +240,19 @@ type Result struct {
 	// re-optimization path (Cached is then false: a real search ran).
 	Replanned bool
 
+	// Tier records which planning tier produced the plan: TierExact for
+	// the branch-and-bound search, or "heuristic/<member>" naming the
+	// portfolio member whose plan won (e.g. "heuristic/bb",
+	// "heuristic/local-search"). Cached and shared results report the
+	// tier that originally computed the entry.
+	Tier string
+
 	// ResponseFragment is the pre-serialized JSON fragment
-	// `"cost":<num>,"optimal":<bool>,"signature":"<hex>"` for this
-	// outcome, built once when the result was recorded and shared by
-	// every request resolving to the same cache entry. HTTP servers
-	// splice it into responses instead of re-marshaling; it is read-only
-	// and must not be mutated or appended to in place.
+	// `"cost":<num>,"optimal":<bool>,"signature":"<hex>","tier":"<tier>"`
+	// for this outcome, built once when the result was recorded and
+	// shared by every request resolving to the same cache entry. HTTP
+	// servers splice it into responses instead of re-marshaling; it is
+	// read-only and must not be mutated or appended to in place.
 	ResponseFragment []byte
 }
 
@@ -192,8 +262,13 @@ type Stats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 
-	// Searches counts branch-and-bound runs actually executed.
+	// Searches counts optimization runs actually executed (both tiers;
+	// cache hits and singleflight followers excluded).
 	Searches int64 `json:"searches"`
+
+	// TierCounts breaks Searches down by Result.Tier label ("exact",
+	// "heuristic/bb", ...). Nil until the first search executes.
+	TierCounts map[string]int64 `json:"tierCounts,omitempty"`
 
 	// SharedWaits counts requests served by piggybacking on a
 	// concurrent identical search (singleflight followers).
@@ -279,6 +354,14 @@ func (p *Planner) Stats() Stats {
 	}
 	q := p.lat.quantiles(0.50, 0.90, 0.99)
 	s.OptimizeP50Micros, s.OptimizeP90Micros, s.OptimizeP99Micros = q[0], q[1], q[2]
+	p.tierMu.Lock()
+	if len(p.tierCounts) > 0 {
+		s.TierCounts = make(map[string]int64, len(p.tierCounts))
+		for tier, count := range p.tierCounts {
+			s.TierCounts[tier] = count
+		}
+	}
+	p.tierMu.Unlock()
 	if p.cache != nil {
 		s.Hits = p.cache.hits.Load()
 		s.Misses = p.cache.misses.Load()
@@ -353,8 +436,9 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 	if err := q.Validate(); err != nil {
 		return Result{}, fmt.Errorf("planner: invalid query: %w", err)
 	}
-	if q.N() > core.MaxServices {
-		return Result{}, fmt.Errorf("planner: exact optimization supports at most %d services, got %d", core.MaxServices, q.N())
+	heuristic := p.useHeuristicTier(q.N())
+	if !heuristic && q.N() > core.MaxServices {
+		return Result{}, fmt.Errorf("%w (%d services, exact limit %d)", ErrQueryTooLarge, q.N(), core.MaxServices)
 	}
 
 	snap := p.adaptiveSnap()
@@ -382,6 +466,7 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 				},
 				Signature:        canon.sig,
 				Cached:           true,
+				Tier:             entry.tier,
 				ResponseFragment: entry.frag,
 			}, nil
 		}
@@ -409,20 +494,21 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 					},
 					Signature:        canon.sig,
 					Cached:           true,
+					Tier:             entry.tier,
 					ResponseFragment: entry.frag,
 				}, nil
 			}
 		}
-		res, err := p.search(ctx, effQuery(), canon.sig, incumbent)
+		res, tier, shareable, err := p.searchTier(ctx, effQuery(), canon.sig, incumbent, heuristic)
 		var entry *cacheEntry
 		if err == nil {
-			entry = p.record(canon, res, gen)
+			entry = p.record(canon, res, gen, tier, shareable)
 		}
 		p.flight.complete(canon.sig, c, entry, err)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, ResponseFragment: entry.frag}, nil
+		return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, Tier: tier, ResponseFragment: entry.frag}, nil
 	}
 
 	// Follower: wait under our own context, not the leader's.
@@ -431,28 +517,29 @@ func (p *Planner) optimize(ctx context.Context, q *model.Query) (Result, error) 
 		return Result{}, ctx.Err()
 	case <-c.done:
 	}
-	if c.err == nil && c.entry.optimal {
+	if c.err == nil && c.entry.shareable {
 		p.sharedWaits.Add(1)
 		return Result{
 			Result: core.Result{
 				Plan:    canon.fromCanonical(c.entry.plan),
 				Cost:    c.entry.cost,
-				Optimal: true,
+				Optimal: c.entry.optimal,
 			},
 			Signature:        canon.sig,
 			Shared:           true,
+			Tier:             c.entry.tier,
 			ResponseFragment: c.entry.frag,
 		}, nil
 	}
 	// The leader failed or was truncated — an outcome of its budget and
 	// context, not ours. Run our own search rather than propagate it
 	// (followers on this rare path search independently of one another).
-	res, err := p.search(ctx, effQuery(), canon.sig, incumbent)
+	res, tier, shareable, err := p.searchTier(ctx, effQuery(), canon.sig, incumbent, heuristic)
 	if err != nil {
 		return Result{}, err
 	}
-	entry := p.record(canon, res, gen)
-	return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, ResponseFragment: entry.frag}, nil
+	entry := p.record(canon, res, gen, tier, shareable)
+	return Result{Result: res, Signature: canon.sig, Replanned: incumbent != nil, Tier: tier, ResponseFragment: entry.frag}, nil
 }
 
 // staleIncumbent recovers the previous generation's plan for this request,
@@ -493,18 +580,20 @@ func (p *Planner) staleIncumbent(canon canonical, staleEntry *cacheEntry, staleM
 	return plan
 }
 
-// record caches a proven-optimal result under the generation the request
-// resolved against and returns its canonical-space entry, with the
-// response fragment pre-serialized once so every future hit splices bytes
-// instead of re-marshaling.
-func (p *Planner) record(canon canonical, res core.Result, gen uint64) *cacheEntry {
+// record builds the canonical-space entry for a search outcome, caches it
+// when shareable under the generation the request resolved against, and
+// returns it with the response fragment pre-serialized once so every
+// future hit splices bytes instead of re-marshaling.
+func (p *Planner) record(canon canonical, res core.Result, gen uint64, tier string, shareable bool) *cacheEntry {
 	entry := &cacheEntry{
-		plan:    canon.toCanonical(res.Plan),
-		cost:    res.Cost,
-		optimal: res.Optimal,
+		plan:      canon.toCanonical(res.Plan),
+		cost:      res.Cost,
+		optimal:   res.Optimal,
+		tier:      tier,
+		shareable: shareable,
 	}
-	entry.frag = appendResultFragment(make([]byte, 0, 96), res.Cost, res.Optimal, canon.sig)
-	if p.cache != nil && res.Optimal {
+	entry.frag = appendResultFragment(make([]byte, 0, 128), res.Cost, res.Optimal, canon.sig, tier)
+	if p.cache != nil && shareable {
 		p.cache.put(canon.sig, entry, gen)
 	}
 	return entry
@@ -515,13 +604,15 @@ func (p *Planner) record(canon canonical, res core.Result, gen uint64) *cacheEnt
 // matches encoding/json's (shortest 'f' form, 'e' with a trimmed exponent
 // outside [1e-6, 1e21)), so fast-path responses and the encoding/json
 // fallback agree byte for byte.
-func appendResultFragment(dst []byte, cost float64, optimal bool, sig Signature) []byte {
+func appendResultFragment(dst []byte, cost float64, optimal bool, sig Signature, tier string) []byte {
 	dst = append(dst, `"cost":`...)
 	dst = appendJSONFloat(dst, cost)
 	dst = append(dst, `,"optimal":`...)
 	dst = strconv.AppendBool(dst, optimal)
 	dst = append(dst, `,"signature":"`...)
 	dst = hex.AppendEncode(dst, sig[:])
+	dst = append(dst, `","tier":"`...)
+	dst = append(dst, tier...)
 	return append(dst, '"')
 }
 
@@ -592,6 +683,98 @@ func (p *Planner) canonicalFor(q *model.Query, snap *adapt.Snapshot) (canonical,
 		inv:  c.inv,
 	}, gen)
 	return c, eff, stale
+}
+
+// useHeuristicTier decides the planning tier for an n-service query: the
+// heuristic portfolio from the configured threshold up, and always past
+// the exact core's representational limit (unless the tier is disabled,
+// in which case such queries are rejected upstream).
+func (p *Planner) useHeuristicTier(n int) bool {
+	threshold := p.cfg.HeuristicThreshold
+	if threshold == 0 {
+		threshold = DefaultHeuristicThreshold
+	}
+	if threshold < 0 {
+		return false
+	}
+	return n >= threshold || n > core.MaxServices
+}
+
+// searchTier runs one optimization on the tier selected for this request
+// and reports the result, its tier label, and whether the outcome is
+// shareable (cacheable and adoptable by singleflight followers).
+func (p *Planner) searchTier(ctx context.Context, q *model.Query, sig Signature, incumbent model.Plan, heuristic bool) (core.Result, string, bool, error) {
+	if heuristic {
+		return p.searchHeuristic(ctx, q, sig, incumbent)
+	}
+	res, err := p.search(ctx, q, sig, incumbent)
+	if err != nil {
+		return core.Result{}, "", false, err
+	}
+	p.countTier(TierExact)
+	// Exact results are shareable only when proven: a truncated incumbent
+	// in the cache would mask a later uncapped request's proof.
+	return res, TierExact, res.Optimal, nil
+}
+
+// searchHeuristic runs the heuristic portfolio. A context deadline
+// tightens the branch-and-bound member's time budget (the other members
+// are budgeted in work units, not time, and always run to their budgets).
+// The outcome is shareable unless that member was cut off by wall clock —
+// a machine-speed-dependent truncation that must not be frozen into the
+// cache — as witnessed by a non-optimal result that stopped short of its
+// node budget.
+func (p *Planner) searchHeuristic(ctx context.Context, q *model.Query, sig Signature, incumbent model.Plan) (core.Result, string, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, "", false, err
+	}
+	p.searches.Add(1)
+	if p.cfg.OnSearch != nil {
+		p.cfg.OnSearch(sig)
+	}
+	opts := p.cfg.Heuristic
+	if opts.Search.WarmStartLocalSearchMin == 0 {
+		// Share the exact tier's refinement knob unless explicitly tuned.
+		opts.Search.WarmStartLocalSearchMin = p.cfg.Search.WarmStartLocalSearchMin
+	}
+	if incumbent != nil {
+		opts.Seed = incumbent
+		p.replans.Add(1)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return core.Result{}, "", false, context.DeadlineExceeded
+		}
+		if opts.BBTimeBudget == 0 || remaining < opts.BBTimeBudget {
+			opts.BBTimeBudget = remaining
+		}
+	}
+	hres, err := htier.Plan(q, opts)
+	if err != nil {
+		return core.Result{}, "", false, err
+	}
+
+	nodeBudget := opts.BBNodeBudget
+	if nodeBudget == 0 {
+		nodeBudget = htier.DefaultBBNodeBudget
+	}
+	bbRan := hres.Stats.BB.NodesExpanded > 0
+	timeTruncated := bbRan && !hres.Optimal && hres.Stats.BB.NodesExpanded < nodeBudget
+
+	res := core.Result{
+		Plan:    hres.Plan,
+		Cost:    hres.Cost,
+		Optimal: hres.Optimal,
+		Stats:   hres.Stats.BB,
+	}
+	res.Stats.Elapsed = hres.Stats.Elapsed
+	tier := tierHeuristicPrefix + hres.Source
+	p.countTier(tier)
+	p.searchNodes.Add(res.Stats.NodesExpanded)
+	p.searchMicros.Add(res.Stats.Elapsed.Microseconds())
+	p.domPrunes.Add(res.Stats.DominancePrunes)
+	return res, tier, !timeTruncated, nil
 }
 
 // search runs one branch-and-bound: sequential below the parallel

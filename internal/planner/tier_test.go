@@ -1,0 +1,192 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"serviceordering/internal/core"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/htier"
+)
+
+// Tier routing: sizes below the threshold take the exact tier, sizes at
+// or above it (and everything past core.MaxServices) take the heuristic
+// portfolio, and both tiers flow through the cache, the singleflight
+// group, and the tier counters.
+
+func TestTierRouting(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	p := New(Config{})
+
+	small, err := p.Optimize(ctx, testQuery(t, gen.Default(8, 101)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Tier != TierExact {
+		t.Fatalf("n=8 tier = %q, want %q", small.Tier, TierExact)
+	}
+	if !small.Optimal {
+		t.Fatalf("exact tier returned non-optimal result")
+	}
+
+	mid, err := p.Optimize(ctx, testQuery(t, gen.Default(DefaultHeuristicThreshold, 102)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(mid.Tier, "heuristic/") {
+		t.Fatalf("n=%d tier = %q, want heuristic/*", DefaultHeuristicThreshold, mid.Tier)
+	}
+
+	big, err := p.Optimize(ctx, testQuery(t, gen.Default(128, 103)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(big.Tier, "heuristic/") {
+		t.Fatalf("n=128 tier = %q, want heuristic/*", big.Tier)
+	}
+	if big.Optimal {
+		t.Fatalf("n=128 result claims optimality without an exact proof")
+	}
+	if err := big.Plan.Validate(testQuery(t, gen.Default(128, 103))); err != nil {
+		t.Fatalf("n=128 plan invalid: %v", err)
+	}
+
+	stats := p.Stats()
+	if stats.TierCounts[TierExact] != 1 {
+		t.Fatalf("TierCounts[exact] = %d, want 1 (%v)", stats.TierCounts[TierExact], stats.TierCounts)
+	}
+	var heuristicRuns int64
+	for tier, count := range stats.TierCounts {
+		if strings.HasPrefix(tier, "heuristic/") {
+			heuristicRuns += count
+		}
+	}
+	if heuristicRuns != 2 {
+		t.Fatalf("heuristic tier runs = %d, want 2 (%v)", heuristicRuns, stats.TierCounts)
+	}
+}
+
+func TestTierThresholdOverrides(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+
+	// A raised threshold keeps mid sizes on the exact tier.
+	raised := New(Config{HeuristicThreshold: 40})
+	res, err := raised.Optimize(ctx, testQuery(t, gen.Default(15, 104)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != TierExact {
+		t.Fatalf("n=15 with threshold 40: tier %q, want exact", res.Tier)
+	}
+	// ...but past MaxServices the heuristic tier still applies.
+	res, err = raised.Optimize(ctx, testQuery(t, gen.Default(core.MaxServices+1, 105)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Tier, "heuristic/") {
+		t.Fatalf("n=%d with threshold 40: tier %q, want heuristic/*", core.MaxServices+1, res.Tier)
+	}
+
+	// A lowered threshold routes small sizes to the portfolio.
+	lowered := New(Config{HeuristicThreshold: 5})
+	res, err = lowered.Optimize(ctx, testQuery(t, gen.Default(6, 106)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Tier, "heuristic/") {
+		t.Fatalf("n=6 with threshold 5: tier %q, want heuristic/*", res.Tier)
+	}
+}
+
+func TestQueryTooLargeSentinel(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	p := New(Config{HeuristicThreshold: -1})
+
+	// Disabled tier: sizes in the exact band still work...
+	res, err := p.Optimize(ctx, testQuery(t, gen.Default(10, 107)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != TierExact {
+		t.Fatalf("tier %q, want exact", res.Tier)
+	}
+
+	// ...and past the limit the typed sentinel comes back.
+	_, err = p.Optimize(ctx, testQuery(t, gen.Default(core.MaxServices+1, 108)))
+	if !errors.Is(err, ErrQueryTooLarge) {
+		t.Fatalf("error = %v, want ErrQueryTooLarge", err)
+	}
+
+	// With the tier enabled (default), the sentinel never fires.
+	open := New(Config{})
+	if _, err := open.Optimize(ctx, testQuery(t, gen.Default(core.MaxServices+1, 108))); err != nil {
+		t.Fatalf("default config rejected n=%d: %v", core.MaxServices+1, err)
+	}
+}
+
+func TestHeuristicResultsCached(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	searches := 0
+	p := New(Config{OnSearch: func(Signature) { searches++ }})
+	q := testQuery(t, gen.Default(96, 109))
+
+	first, err := p.Optimize(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatalf("first request reported cached")
+	}
+	second, err := p.Optimize(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("identical heuristic request was not served from cache")
+	}
+	if second.Tier != first.Tier {
+		t.Fatalf("cached tier %q != original %q", second.Tier, first.Tier)
+	}
+	if second.Cost != first.Cost {
+		t.Fatalf("cached cost %v != original %v", second.Cost, first.Cost)
+	}
+	if string(second.ResponseFragment) != string(first.ResponseFragment) {
+		t.Fatalf("cached fragment differs")
+	}
+	if searches != 1 {
+		t.Fatalf("searches = %d, want 1", searches)
+	}
+	if !strings.Contains(string(first.ResponseFragment), `"tier":"heuristic/`) {
+		t.Fatalf("fragment missing tier: %s", first.ResponseFragment)
+	}
+}
+
+func TestHeuristicTierHonorsPortfolioOptions(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	// Forcing every member but greedy off pins the winning member label.
+	p := New(Config{
+		HeuristicThreshold: 5,
+		Heuristic: htier.Options{
+			BeamWidth:        -1,
+			LocalSearchEvals: -1,
+			BBNodeBudget:     -1,
+		},
+	})
+	res, err := p.Optimize(ctx, testQuery(t, gen.Default(12, 110)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != "heuristic/"+htier.MemberGreedyEpsilon && res.Tier != "heuristic/"+htier.MemberGreedyTransfer {
+		t.Fatalf("tier %q, want a greedy member", res.Tier)
+	}
+	if res.Optimal {
+		t.Fatalf("greedy-only portfolio claimed optimality")
+	}
+}

@@ -9,7 +9,7 @@
 // re-marshaled; the plan is appended integer by integer (it is the one
 // response field that differs per caller — cached plans live in canonical
 // index space and are permuted into the caller's numbering); and the
-// cost/optimal/signature tail is spliced from the cache entry's
+// cost/optimal/signature/tier tail is spliced from the cache entry's
 // pre-serialized fragment (planner.Result.ResponseFragment). Responses are
 // assembled in pooled append-based buffers and written with a single
 // Write. The legacy encoding/json path survives behind Options.LegacyEncode
@@ -32,7 +32,6 @@ import (
 
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/ccache"
-	"serviceordering/internal/core"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
 )
@@ -89,6 +88,12 @@ type OptimizeResponse struct {
 
 	// Signature is the query's canonical identity (hex).
 	Signature string `json:"signature"`
+
+	// Tier names the planning tier that produced the plan: "exact" for
+	// the proof-carrying branch-and-bound core, or "heuristic/<member>"
+	// naming the winning portfolio member for instances routed to the
+	// heuristic tier (large n, or past the configured threshold).
+	Tier string `json:"tier"`
 
 	// NodesExpanded and ElapsedMicros describe the search that produced
 	// the plan; both are zero on a cache hit.
@@ -194,8 +199,9 @@ const (
 	// matching the planner's canonicalization memo bound so the two
 	// memos' worst-case resident bytes stay comparable (capacity x 16KiB;
 	// larger queries simply re-parse — they are search-dominated anyway).
-	// Together with the core.MaxServices admission check below, this also
-	// keeps unservable giant queries from occupying slots.
+	// The byte bound is the only admission criterion: with the heuristic
+	// tier, queries past core.MaxServices are servable, and compactly
+	// encoded ones (sparse transfer matrices) fit well under 16KiB.
 	maxMemoQueryBytes = 16 << 10
 
 	// queryMemoShards: power of two, same sharding story as the planner
@@ -456,11 +462,12 @@ func (h *handler) finishInstanceDecode(req *optimizeRequest) error {
 		return fmt.Errorf("decoding request: %w", err)
 	}
 	req.query = &q
-	// Only queries that fully validate — and that the exact optimizer can
-	// actually serve — are memoized, so a memo hit can skip validation
-	// outright; invalid or oversized ones re-parse per request (they
-	// never reach a search anyway).
-	if memoable && q.N() <= core.MaxServices && q.Validate() == nil {
+	// Only queries that fully validate are memoized, so a memo hit can
+	// skip validation outright; invalid ones re-parse per request (they
+	// never reach a search anyway). Size is not a criterion: large-n
+	// queries are served by the heuristic tier and their (expensive)
+	// plans are exactly the ones worth skipping a re-parse for.
+	if memoable && q.Validate() == nil {
 		raw := append([]byte(nil), req.Query...)
 		h.qmemo.Put(key, &queryMemoEntry{raw: raw, q: &q})
 		req.validated = true
@@ -506,6 +513,8 @@ func appendSolved(b []byte, req *optimizeRequest, res planner.Result) []byte {
 		b = strconv.AppendBool(b, res.Optimal)
 		b = append(b, `,"signature":`...)
 		b = appendJSONString(b, res.Signature.String())
+		b = append(b, `,"tier":`...)
+		b = appendJSONString(b, res.Tier)
 	}
 	b = append(b, `,"cached":`...)
 	b = strconv.AppendBool(b, res.Cached)
@@ -562,6 +571,7 @@ func legacySolved(req *optimizeRequest, res planner.Result) *OptimizeResponse {
 		Cached:        res.Cached,
 		Shared:        res.Shared,
 		Signature:     res.Signature.String(),
+		Tier:          res.Tier,
 		NodesExpanded: res.Stats.NodesExpanded,
 		ElapsedMicros: res.Stats.Elapsed.Microseconds(),
 	}
@@ -580,6 +590,11 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusRequestTimeout
+	case errors.Is(err, planner.ErrQueryTooLarge):
+		// Typed rejection: the query exceeds the exact core's service
+		// limit and the server was started with the heuristic tier
+		// disabled. Semantically valid, not servable here — 422.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusUnprocessableEntity
 	}
