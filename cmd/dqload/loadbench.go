@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
@@ -38,7 +39,7 @@ const serveBenchSchema = "serviceordering/serve-bench/v1"
 // serveEntry is one load-test cell measurement.
 type serveEntry struct {
 	Scenario    string  `json:"scenario"`
-	Mode        string  `json:"mode"` // warm | cold
+	Mode        string  `json:"mode"` // warm | cold | drift | overload | restart
 	Batch       int     `json:"batch,omitempty"`
 	Conc        int     `json:"conc"`
 	Requests    int64   `json:"requests"`
@@ -48,6 +49,20 @@ type serveEntry struct {
 	AllocsPerOp float64 `json:"allocsPerOp,omitempty"` // whole process, self-hosted runs only
 	HitRate     float64 `json:"hitRate"`
 	Verified    int64   `json:"verified"` // responses cross-checked against independent optima
+
+	// Open-loop cells split total latency (scheduled arrival -> response,
+	// the quantiles above) into its two halves: client-side queueing delay
+	// (arrival -> dispatch, nonzero once the server can't keep up with the
+	// offered rate) and service time (dispatch -> response).
+	QueueWaitP50Micros float64 `json:"queueWaitP50Micros,omitempty"`
+	QueueWaitP99Micros float64 `json:"queueWaitP99Micros,omitempty"`
+	ServiceP50Micros   float64 `json:"serviceP50Micros,omitempty"`
+	ServiceP99Micros   float64 `json:"serviceP99Micros,omitempty"`
+
+	// Overload cells: the fraction of offered requests shed (429), and how
+	// many responses were served from a stale generation (degraded mode).
+	ShedRate    float64 `json:"shedRate,omitempty"`
+	StaleServed int64   `json:"staleServed,omitempty"`
 }
 
 func (e serveEntry) key() string { return e.Scenario }
@@ -100,14 +115,18 @@ func defaultSuite(quick bool) ([]cellSpec, time.Duration) {
 
 // loadOpts are the knobs shared by suite and ad-hoc runs.
 type loadOpts struct {
-	seed     int64
-	legacy   bool
-	target   string // external server URL; empty = self-host
-	duration time.Duration
-	open     bool          // open-loop arrivals instead of closed-loop workers
-	rate     float64       // open-loop arrivals per second
-	adaptive *adapt.Config // non-nil: self-host with the adaptive replanning loop
-	verbose  io.Writer
+	seed       int64
+	legacy     bool
+	target     string // external server URL; empty = self-host
+	duration   time.Duration
+	open       bool           // open-loop arrivals instead of closed-loop workers
+	rate       float64        // open-loop arrivals per second
+	adaptive   *adapt.Config  // non-nil: self-host with the adaptive replanning loop
+	admission  *admit.Options // non-nil: self-host behind an admission controller
+	staleServe bool           // with admission: serve stale plans instead of shedding
+	snapshot   []byte         // non-nil: restore this plan-cache snapshot into the self-hosted planner before serving
+	sequential bool           // self-host with parallel search disabled (deterministic service times)
+	verbose    io.Writer
 }
 
 // loadTarget is the server under test plus the client used to hammer it.
@@ -135,8 +154,26 @@ func startTarget(opts loadOpts) (*loadTarget, error) {
 			return nil, err
 		}
 	}
-	p := planner.New(planner.Config{LegacyLRUCache: opts.legacy, Adaptive: registry})
-	srv := &http.Server{Handler: serve.NewHandler(p, serve.Options{MaxBody: 64 << 20, LegacyEncode: opts.legacy})}
+	cfg := planner.Config{LegacyLRUCache: opts.legacy, Adaptive: registry}
+	if opts.sequential {
+		cfg.ParallelThreshold = -1
+	}
+	p := planner.New(cfg)
+	if opts.snapshot != nil {
+		if _, err := p.LoadSnapshot(bytes.NewReader(opts.snapshot)); err != nil {
+			return nil, fmt.Errorf("restoring snapshot into self-hosted planner: %w", err)
+		}
+	}
+	var admission *admit.Controller
+	if opts.admission != nil {
+		admission = admit.New(*opts.admission)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(p, serve.Options{
+		MaxBody:      64 << 20,
+		LegacyEncode: opts.legacy,
+		Admission:    admission,
+		StaleServe:   opts.staleServe,
+	})}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -301,6 +338,14 @@ func runCell(spec cellSpec, opts loadOpts) (serveEntry, error) {
 	sort.Slice(res.latencies, func(a, b int) bool { return res.latencies[a] < res.latencies[b] })
 	entry.P50Micros = quantileMicros(res.latencies, 0.50)
 	entry.P99Micros = quantileMicros(res.latencies, 0.99)
+	if len(res.queueWaits) > 0 {
+		sort.Slice(res.queueWaits, func(a, b int) bool { return res.queueWaits[a] < res.queueWaits[b] })
+		sort.Slice(res.serviceTimes, func(a, b int) bool { return res.serviceTimes[a] < res.serviceTimes[b] })
+		entry.QueueWaitP50Micros = quantileMicros(res.queueWaits, 0.50)
+		entry.QueueWaitP99Micros = quantileMicros(res.queueWaits, 0.99)
+		entry.ServiceP50Micros = quantileMicros(res.serviceTimes, 0.50)
+		entry.ServiceP99Micros = quantileMicros(res.serviceTimes, 0.99)
+	}
 	if target.planner != nil {
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
@@ -323,6 +368,11 @@ type measureResult struct {
 	verified  int64
 	elapsed   time.Duration
 	latencies []time.Duration
+
+	// Open-loop only: the two halves of each total latency, index-aligned
+	// before sorting (queueWaits[i] + serviceTimes[i] == latencies[i]).
+	queueWaits   []time.Duration
+	serviceTimes []time.Duration
 }
 
 // measureClosedLoop runs spec.Conc workers, each issuing its next request
@@ -398,6 +448,8 @@ func measureOpenLoop(spec cellSpec, opts loadOpts, target *loadTarget, corp *cor
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		lats     []time.Duration
+		queues   []time.Duration
+		services []time.Duration
 		nextCold atomic.Int64
 		requests atomic.Int64
 		verified atomic.Int64
@@ -430,8 +482,13 @@ func measureOpenLoop(spec cellSpec, opts loadOpts, target *loadTarget, corp *cor
 		go func(idxs []int, body []byte, verify bool, arrival time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// The split: everything between the scheduled arrival and this
+			// dispatch (scheduler lag + the outstanding-cap backpressure) is
+			// queue wait; the request itself is service time. Total latency
+			// (what the quantiles report) is their sum.
+			dispatch := time.Now()
 			err := issue(target, spec, corp, idxs, body, verify)
-			d := time.Since(arrival) // latency from scheduled arrival: includes queueing
+			now := time.Now()
 			if err != nil {
 				e := err
 				firstErr.CompareAndSwap(nil, &e)
@@ -442,7 +499,9 @@ func measureOpenLoop(spec cellSpec, opts loadOpts, target *loadTarget, corp *cor
 				verified.Add(1)
 			}
 			mu.Lock()
-			lats = append(lats, d)
+			lats = append(lats, now.Sub(arrival)) // includes queueing
+			queues = append(queues, dispatch.Sub(arrival))
+			services = append(services, now.Sub(dispatch))
 			mu.Unlock()
 		}(idxs, body, verify, arrival)
 	}
@@ -450,7 +509,10 @@ func measureOpenLoop(spec cellSpec, opts loadOpts, target *loadTarget, corp *cor
 	if ep := firstErr.Load(); ep != nil {
 		return measureResult{}, *ep
 	}
-	return measureResult{requests: requests.Load(), verified: verified.Load(), elapsed: time.Since(start), latencies: lats}, nil
+	return measureResult{
+		requests: requests.Load(), verified: verified.Load(), elapsed: time.Since(start),
+		latencies: lats, queueWaits: queues, serviceTimes: services,
+	}, nil
 }
 
 // picker selects the next corpus index: zipf-skewed (or uniform) for warm
@@ -655,6 +717,36 @@ func runServeBench(quick bool, opts loadOpts) (*serveReport, error) {
 			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (converged in %d obs, %d generations, %d replans, %d verified)\n",
 				res.entry.Scenario, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros,
 				res.obsToConverge, res.generations, res.replans, res.entry.Verified)
+		}
+
+		// The overload cell: admission control, typed shedding, and
+		// stale-serve under 4x the calibrated saturation rate — again
+		// self-hosted only, for the same reason.
+		ores, err := runOverloadScenario(defaultOverloadSpec(quick), opts)
+		if err != nil {
+			return nil, fmt.Errorf("overload-shed: %w", err)
+		}
+		rep.Entries = append(rep.Entries, ores.entry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (offered %.0f req/s, %d admitted, %d shed [%.1f%%], %d stale-served, %d bg replans, %d verified)\n",
+				ores.entry.Scenario, ores.entry.ReqPerSec, ores.entry.P50Micros, ores.entry.P99Micros,
+				ores.offeredRate, ores.admitted, ores.sheds, 100*ores.entry.ShedRate, ores.staleServed, ores.bgReplans, ores.entry.Verified)
+		}
+
+		// The restart cell: snapshot round-trip and warm-boot hit rate.
+		// Full suite only — the quick CI gate already exercises the
+		// snapshot mechanism through the dqserve end-to-end tests.
+		if !quick {
+			rres, err := runRestartScenario(defaultRestartSpec(quick), opts)
+			if err != nil {
+				return nil, fmt.Errorf("restart-warmboot: %w", err)
+			}
+			rep.Entries = append(rep.Entries, rres.entry)
+			if opts.verbose != nil {
+				fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (snapshot %d bytes, first-window hit rate %.1f%%, %d verified)\n",
+					rres.entry.Scenario, rres.entry.ReqPerSec, rres.entry.P50Micros, rres.entry.P99Micros,
+					rres.snapshotBytes, 100*rres.firstWindowHitRate, rres.entry.Verified)
+			}
 		}
 	}
 	return rep, nil

@@ -17,13 +17,17 @@
 //	                                        baseline; regressing cells
 //	                                        fail the run
 //
-// The tracked suite (see BENCH_serve.json at the repo root) runs four
-// cells — warm-single, warm-batch32, cold-single, and drift-replan (the
+// The tracked suite (see BENCH_serve.json at the repo root) runs six
+// cells — warm-single, warm-batch32, cold-single, drift-replan (the
 // adaptive replanning loop: a mid-run oracle perturbation that served
-// plans must recover from, run standalone with -drift) — each against a
-// fresh self-hosted server. -legacy measures the pre-v4 serving path
-// (mutex LRU cache + encoding/json responses) for A/B comparison; the
-// committed baseline embeds its predecessor as the "previous" block.
+// plans must recover from, run standalone with -drift), overload-shed
+// (admission control + stale-serve at 4x the calibrated saturation rate,
+// run standalone with -overload), and restart-warmboot (plan-cache
+// snapshot round-trip, full suite only, run standalone with -restart) —
+// each against a fresh self-hosted server. -legacy measures the pre-v4
+// serving path (mutex LRU cache + encoding/json responses) for A/B
+// comparison; the committed baseline embeds its predecessor as the
+// "previous" block.
 package main
 
 import (
@@ -65,7 +69,9 @@ func run(args []string) error {
 		target   = fs.String("target", "", "external dqserve base URL (default: self-host the handler in-process)")
 		legacy   = fs.Bool("legacy", false, "measure the pre-v4 serving path: mutex LRU cache + encoding/json responses")
 		drift    = fs.Bool("drift", false, "run the adaptive-replanning drift scenario: perturb the oracle mid-run and assert served plans re-converge to the new optima")
-		quickAd  = fs.Bool("drift-quick", false, "with -drift: the CI-sized scenario (smaller observation budget)")
+		overload = fs.Bool("overload", false, "run the overload-survival scenario: drive an admission-controlled server past saturation and assert every shed is a typed 429 and every admitted response is correct")
+		restart  = fs.Bool("restart", false, "run the restart scenario: snapshot a primed plan cache, warm-boot a fresh server from it, and assert a >= 90% first-window hit rate")
+		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart: the CI-sized scenario (smaller budgets and windows)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +112,35 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *overload {
+		res, err := runOverloadScenario(defaultOverloadSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("overload scenario: survived %.0f req/s offered (%.0f admitted/s)\n",
+			res.offeredRate, res.entry.ReqPerSec)
+		fmt.Printf("  admitted     %d requests, p50 %.1fµs p99 %.1fµs, %d oracle-verified\n",
+			res.admitted, res.entry.P50Micros, res.entry.P99Micros, res.entry.Verified)
+		fmt.Printf("  shed         %d requests (%.1f%%), every one a 429 with Retry-After and a typed reason\n",
+			res.sheds, 100*res.entry.ShedRate)
+		fmt.Printf("  degraded     %d stale-served responses (exact previous-generation optima), %d background replans\n",
+			res.staleServed, res.bgReplans)
+		return nil
+	}
+
+	if *restart {
+		res, err := runRestartScenario(defaultRestartSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restart scenario: warm boot from a %d-byte snapshot\n", res.snapshotBytes)
+		fmt.Printf("  first window  %.1f%% hit rate (threshold 90%%), every response oracle-verified\n",
+			100*res.firstWindowHitRate)
+		fmt.Printf("  steady state  %d requests, %.0f req/s, p50 %.1fµs p99 %.1fµs\n",
+			res.entry.Requests, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros)
+		return nil
+	}
+
 	// Ad-hoc single cell.
 	spec := cellSpec{
 		Name:   fmt.Sprintf("adhoc-%s", *mode),
@@ -133,6 +168,12 @@ func run(args []string) error {
 	fmt.Printf("%s %s: %d requests in %v\n", spec.Name, loop, entry.Requests, opts.duration)
 	fmt.Printf("  throughput  %10.0f req/s\n", entry.ReqPerSec)
 	fmt.Printf("  latency     p50 %.1fµs  p99 %.1fµs\n", entry.P50Micros, entry.P99Micros)
+	if *open {
+		fmt.Printf("  queue wait  p50 %.1fµs  p99 %.1fµs   (arrival -> dispatch: backpressure once the server falls behind)\n",
+			entry.QueueWaitP50Micros, entry.QueueWaitP99Micros)
+		fmt.Printf("  service     p50 %.1fµs  p99 %.1fµs   (dispatch -> response)\n",
+			entry.ServiceP50Micros, entry.ServiceP99Micros)
+	}
 	if entry.AllocsPerOp > 0 {
 		fmt.Printf("  allocs/op   %10.1f (whole process: client + server)\n", entry.AllocsPerOp)
 	}

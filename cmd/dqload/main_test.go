@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,12 +13,12 @@ import (
 // miniature windows: every cell must complete requests, verify sampled
 // responses, and produce sane metrics.
 func TestSuiteTinyRuns(t *testing.T) {
-	rep, err := runServeBench(true, loadOpts{seed: 1, duration: 80 * time.Millisecond})
+	rep, err := runServeBench(true, loadOpts{seed: 1, duration: 80 * time.Millisecond, verbose: io.Discard})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 4 {
-		t.Fatalf("suite produced %d cells, want 4 (warm-single, warm-batch32, cold-single, drift-replan)", len(rep.Entries))
+	if len(rep.Entries) != 5 {
+		t.Fatalf("suite produced %d cells, want 5 (warm-single, warm-batch32, cold-single, drift-replan, overload-shed; restart-warmboot is full-suite only)", len(rep.Entries))
 	}
 	for _, e := range rep.Entries {
 		if e.Requests <= 0 {
@@ -32,7 +33,7 @@ func TestSuiteTinyRuns(t *testing.T) {
 		if e.Verified <= 0 {
 			t.Errorf("%s: no responses were cross-checked", e.Scenario)
 		}
-		if e.AllocsPerOp <= 0 && e.Mode != "drift" {
+		if e.AllocsPerOp <= 0 && e.Mode != "drift" && e.Mode != "overload" {
 			t.Errorf("%s: allocs/op not measured on a self-hosted run", e.Scenario)
 		}
 		switch e.Mode {

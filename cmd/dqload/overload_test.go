@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"serviceordering/internal/adapt"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// TestRestartScenario drives the restart cell end to end with the quick
+// spec: prime, snapshot into memory, warm-boot a second server from the
+// bytes, and require a >= 90% first-window hit rate with every response
+// oracle-verified (runRestartScenario fails internally on violations;
+// the assertions here pin the metrics it reports).
+func TestRestartScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real load cells")
+	}
+	res, err := runRestartScenario(defaultRestartSpec(true), loadOpts{seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.snapshotBytes <= 0 {
+		t.Fatalf("snapshot was empty (%d bytes)", res.snapshotBytes)
+	}
+	if res.firstWindowHitRate < 0.9 {
+		t.Fatalf("first-window hit rate %v, want >= 0.9", res.firstWindowHitRate)
+	}
+	e := res.entry
+	if e.Scenario != "restart-warmboot" || e.Mode != "restart" {
+		t.Fatalf("malformed cell identity: %+v", e)
+	}
+	if e.Requests <= 0 || e.ReqPerSec <= 0 || e.Verified <= 0 {
+		t.Fatalf("steady-state window made no verified progress: %+v", e)
+	}
+	if e.HitRate != res.firstWindowHitRate {
+		t.Fatalf("cell hit rate %v does not record the first window's %v", e.HitRate, res.firstWindowHitRate)
+	}
+}
+
+// Both scenarios control their servers' ground truth (the overload cell
+// installs its own adaptive registry and admission limits, the restart
+// cell needs the planner handle to snapshot) — an external -target must
+// be refused, not silently self-hosted.
+func TestOverloadScenarioRejectsExternalTarget(t *testing.T) {
+	if _, err := runOverloadScenario(defaultOverloadSpec(true), loadOpts{seed: 1, target: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("external target accepted")
+	}
+}
+
+func TestRestartScenarioRejectsExternalTarget(t *testing.T) {
+	if _, err := runRestartScenario(defaultRestartSpec(true), loadOpts{seed: 1, target: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("external target accepted")
+	}
+}
+
+// TestScenarioCLIFlags drives the real -overload / -restart flag surface
+// through run(), covering the scenario summaries main prints.
+func TestScenarioCLIFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real load scenarios")
+	}
+	if err := run([]string{"-overload", "-drift-quick"}); err != nil {
+		t.Fatalf("-overload: %v", err)
+	}
+	if err := run([]string{"-restart", "-drift-quick"}); err != nil {
+		t.Fatalf("-restart: %v", err)
+	}
+}
+
+// typedShedReason is the gate deciding whether a 429 body names one of
+// the admission layer's documented reasons.
+func TestTypedShedReason(t *testing.T) {
+	for _, r := range []string{"queue-full", "cold-shed", "tenant-over-share", "wait-timeout"} {
+		if !typedShedReason(r) {
+			t.Errorf("documented reason %q rejected", r)
+		}
+	}
+	for _, r := range []string{"", "overloaded", "QUEUE-FULL", "queue-full "} {
+		if typedShedReason(r) {
+			t.Errorf("untyped reason %q accepted", r)
+		}
+	}
+}
+
+func TestWriteCounterAccumulates(t *testing.T) {
+	var w writeCounter
+	for _, s := range []string{"SOP", "1", "rest"} {
+		n, err := w.Write([]byte(s))
+		if err != nil || n != len(s) {
+			t.Fatalf("Write(%q) = %d, %v", s, n, err)
+		}
+	}
+	if got := string(w.buf); !strings.HasPrefix(got, "SOP1") || got != "SOP1rest" {
+		t.Fatalf("buffer = %q", got)
+	}
+}
+
+// verifySolved is the oracle every cell leans on — it must reject every
+// kind of lie, not just wrong costs.
+func TestVerifySolvedCatchesLies(t *testing.T) {
+	corp, err := buildCorpus(2, 6, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := planner.New(planner.Config{}).Optimize(context.Background(), corp.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := solvedProbe{Plan: res.Plan, Cost: corp.expected[0], Optimal: true}
+	if err := verifySolved(corp, 0, honest); err != nil {
+		t.Fatalf("honest probe rejected: %v", err)
+	}
+	cases := map[string]solvedProbe{
+		"not optimal":     {Plan: honest.Plan, Cost: honest.Cost, Optimal: false},
+		"wrong cost":      {Plan: honest.Plan, Cost: honest.Cost * 1.5, Optimal: true},
+		"infeasible plan": {Plan: append(append(model.Plan{}, honest.Plan...), 0), Cost: honest.Cost, Optimal: true},
+	}
+	for name, probe := range cases {
+		if err := verifySolved(corp, 0, probe); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDeltaF(t *testing.T) {
+	if got := deltaF(0, 5); got != "n/a" {
+		t.Errorf("deltaF(0, 5) = %q", got)
+	}
+	if got := deltaF(100, 150); got != "+50.0%" {
+		t.Errorf("deltaF(100, 150) = %q", got)
+	}
+	if got := deltaF(200, 100); got != "-50.0%" {
+		t.Errorf("deltaF(200, 100) = %q", got)
+	}
+}
+
+func TestQuantileMicrosEdges(t *testing.T) {
+	if got := quantileMicros(nil, 0.5); got != 0 {
+		t.Errorf("empty slice quantile = %v", got)
+	}
+	lats := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 4 * time.Millisecond}
+	if got := quantileMicros(lats, 1); got != 4000 {
+		t.Errorf("q1.0 = %v, want 4000", got)
+	}
+}
+
+// TestProbeHelpers exercises the HTTP plumbing the scenarios stand on:
+// postSingle's non-200 path, the external-target /stats scrape,
+// fetchServeStats, and postObserve against a server without the
+// adaptive loop (which must surface the 404, not swallow it).
+func TestProbeHelpers(t *testing.T) {
+	target, err := startTarget(loadOpts{seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.close()
+	corp, err := buildCorpus(1, 6, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := postSingle(target, corp.bodies[0]); err != nil {
+		t.Fatalf("valid post failed: %v", err)
+	}
+	if _, err := postSingle(target, []byte("{not json")); err == nil {
+		t.Error("malformed body accepted")
+	}
+
+	// The external-target scrape path reads /stats over HTTP instead of
+	// the in-process planner handle.
+	ext := &loadTarget{url: target.url, client: target.client}
+	hc, ok := scrapeHitCounters(ext)
+	if !ok || hc.hits+hc.misses == 0 {
+		t.Errorf("external scrape = %+v, %v", hc, ok)
+	}
+	if _, ok := scrapeHitCounters(&loadTarget{url: "http://127.0.0.1:1", client: target.client}); ok {
+		t.Error("unreachable target scraped successfully")
+	}
+
+	st, err := fetchServeStats(target)
+	if err != nil || st == nil {
+		t.Fatalf("fetchServeStats = %v, %v", st, err)
+	}
+	if st.Misses == 0 {
+		t.Errorf("stats misses = 0 after a cold optimize")
+	}
+
+	// No -adaptive on this target: /observe 404s and postObserve must
+	// report it.
+	if err := postObserve(target, &adapt.Report{}); err == nil {
+		t.Error("postObserve against a non-adaptive server succeeded")
+	}
+}

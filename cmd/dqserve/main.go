@@ -36,6 +36,17 @@
 //	                     # the generation and lazily replans cached plans
 //	dqserve -heuristic-threshold 20   # route n >= 20 to the heuristic tier
 //	dqserve -heuristic-threshold -1   # exact only: n > 64 rejected with 422
+//	dqserve -admit-max-concurrent 8   # overload survival: bounded admission
+//	                                  # queue, cold work shed first (429 +
+//	                                  # Retry-After), warm hits admitted
+//	                                  # longest, X-Tenant fair share
+//	dqserve -stale-serve              # degraded mode: serve the previous
+//	                                  # generation's cached plan (flagged
+//	                                  # "stale": true) instead of shedding,
+//	                                  # replan in the background
+//	dqserve -snapshot-path plans.snap # warm boot: restore the plan cache at
+//	                                  # startup, dump it periodically and on
+//	                                  # SIGTERM (atomic rename)
 //
 // Instances with more services than the exact core's 64-service limit are
 // served by the heuristic planning tier (greedy + beam + local search, and
@@ -55,10 +66,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
 	"serviceordering/internal/core"
 	"serviceordering/internal/htier"
 	"serviceordering/internal/planner"
@@ -96,6 +109,18 @@ func run(args []string, ready chan<- string) error {
 
 		// Adaptive replanning loop (POST /observe + generation-versioned
 		// cache invalidation).
+		// Overload survival: admission control, stale-serve, warm-boot
+		// snapshots.
+		admitMax    = fs.Int("admit-max-concurrent", 0, "admission control: max concurrently served optimize requests (0 disables admission entirely)")
+		admitQueue  = fs.Int("admit-max-queue", 0, "admission queue length (0 = 4x admit-max-concurrent)")
+		admitWait   = fs.Duration("admit-max-wait", 0, "max time a request may wait in the admission queue before a 429 (0 = 250ms default)")
+		admitCold   = fs.Float64("admit-cold-frac", 0, "fraction of the admission queue cold (uncached) requests may occupy, in (0,1] (0 = 0.5 default)")
+		admitBurst  = fs.Int("admit-tenant-burst", 0, "per-tenant occupancy floor under the X-Tenant fair-share gate (0 = default 2)")
+		staleServe  = fs.Bool("stale-serve", false, "serve the previous generation's cached plan (flagged \"stale\": true, background replan) instead of shedding a cold re-optimize; needs admission enabled")
+		snapPath    = fs.String("snapshot-path", "", "plan-cache snapshot file: restored at boot, dumped every -snapshot-interval and on shutdown (empty disables)")
+		snapEvery   = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot dump interval (0 = dump only on shutdown)")
+		replanQueue = fs.Int("replan-queue", 0, "background replan queue depth for stale-served requests (0 = default 64)")
+
 		adaptiveOn = fs.Bool("adaptive", false, "enable online adaptive replanning: ingest execution reports on POST /observe, overlay fitted statistics onto queries, replan on drift")
 		driftDelta = fs.Float64("drift-delta", adapt.DefaultDriftDelta, "relative parameter drift that publishes a new statistics generation (derive from a regret budget with adapt.ThresholdFromRegret)")
 		ewmaAlpha  = fs.Float64("ewma-alpha", adapt.DefaultAlpha, "EWMA smoothing factor for observed statistics, in (0, 1]")
@@ -146,13 +171,55 @@ func run(args []string, ready chan<- string) error {
 		},
 	})
 
+	// Warm boot: replay the previous process's plan cache. A missing file
+	// is a normal first boot; a corrupt one is logged and ignored (the
+	// node just starts cold — a snapshot is an optimization, never a
+	// dependency).
+	if *snapPath != "" {
+		if n, err := restoreSnapshot(p, *snapPath); err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "dqserve: snapshot restore:", err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "dqserve: restored %d cached plans from %s\n", n, *snapPath)
+		}
+	}
+
+	var admission *admit.Controller
+	if *admitMax > 0 {
+		admission = admit.New(admit.Options{
+			MaxConcurrent: *admitMax,
+			MaxQueue:      *admitQueue,
+			ColdQueueFrac: *admitCold,
+			MaxWait:       *admitWait,
+			TenantBurst:   *admitBurst,
+		})
+	} else if *staleServe {
+		return fmt.Errorf("-stale-serve requires admission control (-admit-max-concurrent > 0): stale-serve is the degraded mode of a shed, and without shedding there is nothing to degrade")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := &http.Server{
-		Handler:           serve.NewHandler(p, serve.Options{MaxBody: *maxBody, Pprof: *pprofOn, LegacyEncode: *legacy}),
+		Handler: serve.NewHandler(p, serve.Options{
+			MaxBody:      *maxBody,
+			Pprof:        *pprofOn,
+			LegacyEncode: *legacy,
+			Admission:    admission,
+			StaleServe:   *staleServe,
+			ReplanQueue:  *replanQueue,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
 		MaxHeaderBytes:    *maxHeader,
+		// Every request context descends from the signal context, so a
+		// SIGTERM (or a client disconnect, which net/http layers on top)
+		// aborts in-flight branch-and-bound searches instead of letting
+		// them run to a completion nobody will read.
+		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -162,8 +229,24 @@ func run(args []string, ready chan<- string) error {
 		ready <- ln.Addr().String()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Periodic snapshot dumps bound how much warmth a crash loses.
+	if *snapPath != "" && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := dumpSnapshot(p, *snapPath); err != nil {
+						fmt.Fprintln(os.Stderr, "dqserve: snapshot dump:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -172,6 +255,55 @@ func run(args []string, ready chan<- string) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		// Dump after the drain: the final snapshot includes everything the
+		// last in-flight requests planned.
+		if *snapPath != "" {
+			if n, derr := dumpSnapshot(p, *snapPath); derr != nil {
+				fmt.Fprintln(os.Stderr, "dqserve: final snapshot dump:", derr)
+			} else {
+				fmt.Fprintf(os.Stderr, "dqserve: dumped %d cached plans to %s\n", n, *snapPath)
+			}
+		}
+		return err
 	}
+}
+
+// dumpSnapshot writes the plan cache to path atomically: a temp file in
+// the same directory, fsync'd, then renamed over the target — a crash
+// mid-dump leaves the previous snapshot intact, never a torn one.
+func dumpSnapshot(p *planner.Planner, path string) (int, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	n, err := p.SaveSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// restoreSnapshot loads path into the planner's plan cache. The planner
+// validates the checksum and restamps entry generations (stale, never
+// fresh) when the snapshot's statistics generation cannot be proven
+// current — see planner.LoadSnapshot.
+func restoreSnapshot(p *planner.Planner, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return p.LoadSnapshot(f)
 }

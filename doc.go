@@ -190,6 +190,56 @@
 // replan generation publishes. The same scenario runs as the
 // "drift-replan" cell of BENCH_serve.json under the CI regression gate.
 //
+// # Surviving overload
+//
+// A planner that is correct and fast at its rated load can still fall
+// over past it: unbounded concurrent searches convoy on the CPU, every
+// request's latency grows without bound, and a restart throws away the
+// cache that made the node serviceable in the first place. The overload
+// path (internal/admit, enabled with dqserve -admit-max-concurrent)
+// bounds the damage with three mechanisms that degrade service
+// deliberately instead of collapsing:
+//
+//   - Cost-aware admission control. A fixed-size slot pool bounds
+//     concurrent optimizes and a bounded FIFO queue absorbs bursts.
+//     Requests are classed by the planner's own cache probe before they
+//     wait: warm requests (a cache hit is waiting — microseconds of
+//     work) are admitted as long as any queue space remains, cold
+//     requests (a full search — orders of magnitude dearer) are shed
+//     first, both when the queue passes the cold-share watermark and by
+//     displacement when a warm arrival finds the queue full of colds.
+//     Per-tenant fairness caps any one X-Tenant's share of the queue.
+//     Every shed is an HTTP 429 with a Retry-After header and a typed
+//     machine-readable reason (queue-full, cold-shed, tenant-over-share,
+//     wait-timeout), counted per reason in the /stats overload block —
+//     load shedding is a contract, not an accident.
+//   - Stale-serve degraded mode (-stale-serve). Under the adaptive loop
+//     a generation publish turns the whole cache stale at once; at high
+//     load the resulting re-optimize storm is exactly what admission
+//     would shed. Instead of a 429, a shed re-optimize whose previous-
+//     generation plan is still resident is answered from it immediately,
+//     marked "stale": true, and a background replan is enqueued (bounded
+//     queue, one worker slot) so the entry converges to the new
+//     generation off the request path. The stale answer is the exact
+//     optimum of the question as of the previous generation — degraded
+//     means older, never wrong.
+//   - Plan-cache snapshots (-snapshot-path). The cache is the node's
+//     warm-up capital; a deploy should not forfeit it. The planner
+//     serializes cache and canonicalization memo to a versioned,
+//     checksummed on-disk format ("SOP1"), dumped periodically and on
+//     SIGTERM, and restored on boot (a corrupt or mismatched snapshot
+//     logs and boots cold — never takes the node down). A restarted
+//     node answers its working set from cache in its first window
+//     instead of re-searching it at the worst possible moment.
+//
+// The dqload -overload scenario gates the whole stack: it calibrates
+// the server's saturation rate, offers 4x that, and asserts the node
+// survives with every shed a typed 429, every admitted response
+// oracle-verified, and every stale response the exact previous-
+// generation optimum. dqload -restart proves a >= 90% first-window hit
+// rate across a snapshot round-trip. Both run as cells of
+// BENCH_serve.json under the CI regression gate.
+//
 // # The search hot path
 //
 // The exact search is engineered so a dfs node costs tens of nanoseconds

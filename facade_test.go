@@ -134,3 +134,30 @@ func TestFacadePlanner(t *testing.T) {
 		t.Fatalf("stats = %+v, want cache hits and exactly one search", stats)
 	}
 }
+
+// TestFacadeAdaptive wires the adaptive-loop facade end to end: build a
+// registry, attach it to a planner, and derive a drift threshold from a
+// regret budget.
+func TestFacadeAdaptive(t *testing.T) {
+	reg, err := serviceordering.NewAdaptiveRegistry(serviceordering.AdaptiveConfig{})
+	if err != nil {
+		t.Fatalf("NewAdaptiveRegistry: %v", err)
+	}
+	p := serviceordering.NewPlanner(serviceordering.PlannerConfig{Adaptive: reg})
+	q, err := serviceordering.Generate(serviceordering.DefaultGenParams(6, 33))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	res, err := p.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	cfg := serviceordering.RobustConfig{Deltas: []float64{0.01, 0.05}, Samples: 10, Seed: 1}
+	delta, err := serviceordering.DriftThresholdFromRegret(q, res.Plan, 0.01, cfg)
+	if err != nil {
+		t.Fatalf("DriftThresholdFromRegret: %v", err)
+	}
+	if delta <= 0 {
+		t.Fatalf("derived drift threshold %v, want > 0", delta)
+	}
+}

@@ -48,6 +48,18 @@ type Cache[K comparable, V any] interface {
 	Put(key K, val V) (evicted int)
 	PutGen(key K, val V, gen uint64) (evicted int)
 	Len() int
+
+	// Range calls f for every resident entry until f returns false. The
+	// iteration is a consistent point-in-time view per shard (the clock
+	// store walks one published map snapshot; the LRU holds the shard
+	// mutex for its walk) but not across shards: entries inserted or
+	// evicted on other shards while the walk runs may or may not appear.
+	// That is exactly the guarantee a snapshot dump needs — every entry
+	// seen is a coherent (key, val, gen) triple that was resident at some
+	// instant during the call. Order is unspecified. f must not call back
+	// into the cache on the LRU (shard mutex held); on the clock store
+	// re-entry is safe but sees the pre-walk snapshot of the same shard.
+	Range(f func(key K, val V, gen uint64) bool)
 }
 
 // effectiveShards clamps the shard count so a small capacity is still
@@ -238,6 +250,20 @@ func (c *Clock[K, V]) Len() int {
 	return total
 }
 
+// Range iterates resident entries shard by shard. Each shard contributes
+// one atomically published map snapshot, so the walk takes no locks and
+// never blocks writers; entries replaced mid-walk appear with the (val,
+// gen) they had when their shard's snapshot was loaded.
+func (c *Clock[K, V]) Range(f func(key K, val V, gen uint64) bool) {
+	for _, sh := range c.shards {
+		for k, e := range *sh.live.Load() {
+			if !f(k, e.val, e.gen) {
+				return
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // legacy LRU store
 
@@ -349,6 +375,23 @@ func (c *LRU[K, V]) Len() int {
 		total += sh.len()
 	}
 	return total
+}
+
+// Range iterates resident entries shard by shard, holding each shard's
+// mutex for the duration of its walk (no recency promotion happens). f
+// must not call back into the cache.
+func (c *LRU[K, V]) Range(f func(key K, val V, gen uint64) bool) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			n := el.Value.(*lruNode[K, V])
+			if !f(n.key, n.val, n.gen) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // FNV64 is FNV-1a over b: cheap, allocation-free, and deterministic

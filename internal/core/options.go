@@ -94,6 +94,15 @@ type Options struct {
 	// (0 = unlimited).
 	TimeLimit time.Duration
 
+	// Cancel, when non-nil, aborts the search as soon as the channel is
+	// closed, exactly like a tripped budget: the run unwinds and returns
+	// its best incumbent with Optimal == false. The serving stack wires a
+	// request context's Done channel here so a disconnected client stops
+	// burning cold-optimize CPU mid-search. Polled on the same cadence as
+	// the time limit (every 1024 node expansions), so cancellation costs
+	// nothing on the hot node loop.
+	Cancel <-chan struct{}
+
 	// Tracer, when non-nil, receives one event per search action
 	// (expansion, prune, closure, V-jump, incumbent update). Use a fresh
 	// recorder per run; recorders are not safe for concurrent use.

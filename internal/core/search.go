@@ -442,9 +442,19 @@ func (s *search) budgetOK() bool {
 		s.aborted = true
 		return false
 	}
-	if s.hasDeadline && s.stats.NodesExpanded&1023 == 0 && time.Now().After(s.deadline) {
-		s.aborted = true
-		return false
+	if s.stats.NodesExpanded&1023 == 0 {
+		if s.hasDeadline && time.Now().After(s.deadline) {
+			s.aborted = true
+			return false
+		}
+		if s.opts.Cancel != nil {
+			select {
+			case <-s.opts.Cancel:
+				s.aborted = true
+				return false
+			default:
+			}
+		}
 	}
 	return true
 }

@@ -87,3 +87,35 @@ func TestFactorial(t *testing.T) {
 		}
 	}
 }
+
+// The pinned-instance constructors are dqbench's instance source; pin
+// that every documented family resolves and unknown ones are refused.
+func TestBenchInstanceConstructors(t *testing.T) {
+	if cfg := DefaultConfig(); cfg.Seed != 1 {
+		t.Fatalf("DefaultConfig seed = %d", cfg.Seed)
+	}
+	for _, family := range []string{"plain", "sink-source", "precedence", "proliferative", "threaded"} {
+		q, seed, err := SearchBenchInstance(family, 12)
+		if err != nil || q == nil || seed == 0 {
+			t.Errorf("SearchBenchInstance(%s, 12) = %v, %d, %v", family, q, seed, err)
+		}
+	}
+	for _, family := range []string{"large-precedence", "large-zipf"} {
+		q, seed, err := HeuristicBenchInstance(family, 32)
+		if err != nil || q == nil || seed == 0 {
+			t.Errorf("HeuristicBenchInstance(%s, 32) = %v, %d, %v", family, q, seed, err)
+		}
+	}
+	if _, _, err := SearchBenchInstance("nope", 12); err == nil {
+		t.Error("unknown search family accepted")
+	}
+	if _, _, err := SearchBenchInstance("plain", 99); err == nil {
+		t.Error("unpinned size accepted")
+	}
+	if _, _, err := HeuristicBenchInstance("nope", 32); err == nil {
+		t.Error("unknown heuristic family accepted")
+	}
+	if _, _, err := HeuristicBenchInstance("large-zipf", 99); err == nil {
+		t.Error("unpinned heuristic size accepted")
+	}
+}

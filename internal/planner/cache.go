@@ -127,6 +127,15 @@ func (c *planCache) peek(sig Signature, gen uint64) (*cacheEntry, bool) {
 	return e, true
 }
 
+// probe reports residency and generation stamp with no counter side
+// effects at all (beyond the store's touch bit): the admission layer's
+// temperature classification, which must not perturb hit/miss/touch
+// statistics for requests that may then be shed.
+func (c *planCache) probe(sig Signature) (e *cacheEntry, gen uint64, ok bool) {
+	e, gen, ok, _ = c.store.GetGen(sig)
+	return e, gen, ok
+}
+
 // peekAny returns whatever is resident under sig regardless of its
 // generation stamp, with no counter side effects beyond the touch bit.
 // It exists for one purpose: locating the previous generation's plan (via

@@ -240,6 +240,14 @@ type Result struct {
 	// re-optimization path (Cached is then false: a real search ran).
 	Replanned bool
 
+	// Stale reports that the response was served from a previous
+	// statistics generation's cached plan without a search — the overload
+	// degraded mode (ServeStale). The plan and cost are the old
+	// generation's answer: bounded regret in exchange for microsecond
+	// latency while a background replan catches the entry up. HTTP
+	// responses carry it as `"stale":true`.
+	Stale bool
+
 	// Tier records which planning tier produced the plan: TierExact for
 	// the branch-and-bound search, or "heuristic/<member>" naming the
 	// portfolio member whose plan won (e.g. "heuristic/bb",
@@ -737,6 +745,9 @@ func (p *Planner) searchHeuristic(ctx context.Context, q *model.Query, sig Signa
 		// Share the exact tier's refinement knob unless explicitly tuned.
 		opts.Search.WarmStartLocalSearchMin = p.cfg.Search.WarmStartLocalSearchMin
 	}
+	// Abandoned requests abort the branch-and-bound member mid-search;
+	// the constructive members run in microseconds and finish regardless.
+	opts.Search.Cancel = ctx.Done()
 	if incumbent != nil {
 		opts.Seed = incumbent
 		p.replans.Add(1)
@@ -753,6 +764,11 @@ func (p *Planner) searchHeuristic(ctx context.Context, q *model.Query, sig Signa
 	hres, err := htier.Plan(q, opts)
 	if err != nil {
 		return core.Result{}, "", false, err
+	}
+	if ctx.Err() == context.Canceled {
+		// The requester vanished mid-portfolio (the cancel channel aborted
+		// the branch-and-bound member); nobody is listening for the plan.
+		return core.Result{}, "", false, context.Canceled
 	}
 
 	nodeBudget := opts.BBNodeBudget
@@ -791,6 +807,10 @@ func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature, inc
 		p.cfg.OnSearch(sig)
 	}
 	opts := p.cfg.Search
+	// Propagate request-context cancellation into the node loop: a client
+	// that disconnects mid-search stops burning cold-optimize CPU at the
+	// next budget poll instead of running the search to completion.
+	opts.Cancel = ctx.Done()
 	if incumbent != nil {
 		opts.InitialIncumbent = incumbent
 		p.replans.Add(1)
@@ -816,6 +836,15 @@ func (p *Planner) search(ctx context.Context, q *model.Query, sig Signature, inc
 		res, err = core.OptimizeWithOptions(q, opts)
 	}
 	if err == nil {
+		// A search aborted because the requester vanished has no audience:
+		// surface the cancellation instead of a partial result. Deadline
+		// expiry is deliberately NOT remapped — the search already honors
+		// deadlines through TimeLimit and returns its truncated incumbent,
+		// and a search finishing right at its tightened limit would
+		// otherwise flip nondeterministically between the two outcomes.
+		if ctx.Err() == context.Canceled {
+			return core.Result{}, context.Canceled
+		}
 		p.searchNodes.Add(res.Stats.NodesExpanded)
 		p.searchMicros.Add(res.Stats.Elapsed.Microseconds())
 		p.domPrunes.Add(res.Stats.DominancePrunes)

@@ -1,0 +1,243 @@
+package planner
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Plan-cache snapshots: the warm-boot path. A restarted node replays its
+// predecessor's plan cache instead of eating a cold-start stampede where
+// every miss costs ~1000× a warm hit.
+//
+// Format (little-endian, single CRC32-Castagnoli over everything before
+// the trailer):
+//
+//	magic   [4]byte  "SOP1"
+//	version uint16   (1)
+//	gen     uint64   statistics generation at dump time
+//	count   uint32   entry count
+//	entries count ×:
+//	  sig   [32]byte canonical signature
+//	  gen   uint64   entry's generation stamp
+//	  cost  uint64   Float64bits
+//	  flags uint8    bit0 = optimal
+//	  tier  uvarint length + bytes
+//	  plan  uvarint length + length × uvarint (canonical-space ordering)
+//	crc     uint32   trailer
+//
+// Only shareable entries are dumped — they are exactly the entries the
+// cache holds, and the only ones safe to serve to other requests. The
+// canonicalization memo is deliberately not snapshotted: a restored
+// request pays one color-refinement pass on its first arrival and then
+// hits the restored plan entry, which is the 1000× saving; the memo
+// rebuilds itself behind it.
+//
+// Generation validation on restore is what keeps a restored node honest:
+// the snapshot's header generation is compared against the loading
+// planner's current registry generation, and unless they match, every
+// restored entry is restamped with StaleGenSentinel so it reads as stale
+// (warm-start incumbent for a replan, or stale-serve material) and NEVER
+// as fresh. A restarted registry loses its drift history — serving a
+// possibly-drifted plan as current would be silent wrongness; serving it
+// as stale is bounded regret with an honest label.
+
+const (
+	snapshotVersion = 1
+	// snapshotMaxEntries bounds what a restore will attempt to allocate;
+	// far above any configured cache capacity, it exists to fail fast on
+	// a corrupt or adversarial count field.
+	snapshotMaxEntries = 1 << 22
+	// snapshotMaxPlanLen bounds one entry's plan length on restore. The
+	// heuristic tier accepts arbitrarily large instances, but anything
+	// past the memo's raw-byte bound is never cached with a plan this
+	// long in practice; 1<<16 services is comfortably past real use.
+	snapshotMaxPlanLen = 1 << 16
+)
+
+var snapshotMagic = [4]byte{'S', 'O', 'P', '1'}
+
+// StaleGenSentinel is the generation stamp LoadSnapshot rewrites entries
+// with when the snapshot's world cannot be proven current. No live
+// generation ever equals it (generations count up from zero), so a
+// sentinel-stamped entry can only ever read as stale.
+const StaleGenSentinel = ^uint64(0)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// SaveSnapshot writes the resident plan cache to w, returning the number
+// of entries dumped. Concurrent serving continues: the iteration is the
+// store's lock-free point-in-time walk, so entries inserted mid-dump may
+// or may not be included — a snapshot is a warm floor, not a transaction
+// log. With caching disabled it writes a valid empty snapshot.
+func (p *Planner) SaveSnapshot(w io.Writer) (int, error) {
+	buf := make([]byte, 0, 64<<10)
+	buf = append(buf, snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, snapGen(p.adaptiveSnap()))
+	countAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+
+	count := uint32(0)
+	if p.cache != nil {
+		p.cache.store.Range(func(sig Signature, e *cacheEntry, gen uint64) bool {
+			if !e.shareable || len(e.plan) > snapshotMaxPlanLen {
+				return true
+			}
+			buf = append(buf, sig[:]...)
+			buf = binary.LittleEndian.AppendUint64(buf, gen)
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(e.cost))
+			var flags byte
+			if e.optimal {
+				flags |= 1
+			}
+			buf = append(buf, flags)
+			buf = binary.AppendUvarint(buf, uint64(len(e.tier)))
+			buf = append(buf, e.tier...)
+			buf = binary.AppendUvarint(buf, uint64(len(e.plan)))
+			for _, s := range e.plan {
+				buf = binary.AppendUvarint(buf, uint64(s))
+			}
+			count++
+			return true
+		})
+	}
+	binary.LittleEndian.PutUint32(buf[countAt:], count)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, snapshotCRC))
+	if _, err := w.Write(buf); err != nil {
+		return 0, fmt.Errorf("planner: snapshot write: %w", err)
+	}
+	return int(count), nil
+}
+
+// LoadSnapshot restores a SaveSnapshot stream into the plan cache,
+// returning the number of entries restored. Entries land through the
+// normal bounded put path, so a snapshot larger than the configured
+// capacity simply evicts down to it. Generation stamps are preserved
+// verbatim only when the snapshot's header generation equals the current
+// registry generation; otherwise every entry is restamped with
+// StaleGenSentinel (see the package comment above — restored plans from
+// an unprovable world serve as stale, never fresh).
+func (p *Planner) LoadSnapshot(r io.Reader) (int, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("planner: snapshot read: %w", err)
+	}
+	if len(buf) < len(snapshotMagic)+2+8+4+4 {
+		return 0, fmt.Errorf("planner: snapshot truncated (%d bytes)", len(buf))
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.Checksum(body, snapshotCRC); got != want {
+		return 0, fmt.Errorf("planner: snapshot checksum mismatch (%08x != %08x)", got, want)
+	}
+	if [4]byte(body[:4]) != snapshotMagic {
+		return 0, fmt.Errorf("planner: snapshot bad magic %q", body[:4])
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != snapshotVersion {
+		return 0, fmt.Errorf("planner: snapshot version %d, supported %d", v, snapshotVersion)
+	}
+	headerGen := binary.LittleEndian.Uint64(body[6:])
+	count := binary.LittleEndian.Uint32(body[14:])
+	if count > snapshotMaxEntries {
+		return 0, fmt.Errorf("planner: snapshot claims %d entries (max %d)", count, snapshotMaxEntries)
+	}
+	currentGen := snapGen(p.adaptiveSnap())
+	sameWorld := headerGen == currentGen
+
+	rd := body[18:]
+	need := func(n int) error {
+		if len(rd) < n {
+			return fmt.Errorf("planner: snapshot truncated inside entry")
+		}
+		return nil
+	}
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, fmt.Errorf("planner: snapshot bad varint")
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+
+	restored := 0
+	for i := uint32(0); i < count; i++ {
+		if err := need(32 + 8 + 8 + 1); err != nil {
+			return restored, err
+		}
+		var sig Signature
+		copy(sig[:], rd)
+		gen := binary.LittleEndian.Uint64(rd[32:])
+		cost := floatFromBits(binary.LittleEndian.Uint64(rd[40:]))
+		flags := rd[48]
+		rd = rd[49:]
+		tierLen, err := uvarint()
+		if err != nil {
+			return restored, err
+		}
+		if tierLen > 256 {
+			return restored, fmt.Errorf("planner: snapshot tier length %d", tierLen)
+		}
+		if err := need(int(tierLen)); err != nil {
+			return restored, err
+		}
+		tier := string(rd[:tierLen])
+		rd = rd[tierLen:]
+		planLen, err := uvarint()
+		if err != nil {
+			return restored, err
+		}
+		if planLen > snapshotMaxPlanLen {
+			return restored, fmt.Errorf("planner: snapshot plan length %d (max %d)", planLen, snapshotMaxPlanLen)
+		}
+		plan := make([]int, planLen)
+		seen := uint64(0)
+		valid := true
+		for j := range plan {
+			v, err := uvarint()
+			if err != nil {
+				return restored, err
+			}
+			plan[j] = int(v)
+			// Cheap structural check: a canonical-space ordering is a
+			// permutation of [0, n). Entries that aren't (corruption the
+			// CRC cannot see, e.g. a buggy writer) are skipped, not fatal.
+			if v >= planLen {
+				valid = false
+			} else if planLen <= 64 {
+				if seen&(1<<v) != 0 {
+					valid = false
+				}
+				seen |= 1 << v
+			}
+		}
+		if !valid || planLen == 0 {
+			continue
+		}
+		if !sameWorld {
+			gen = StaleGenSentinel
+		}
+		if p.cache == nil {
+			continue
+		}
+		entry := &cacheEntry{
+			plan:      plan,
+			cost:      cost,
+			optimal:   flags&1 != 0,
+			tier:      tier,
+			shareable: true,
+		}
+		entry.frag = appendResultFragment(make([]byte, 0, 128), cost, entry.optimal, sig, tier)
+		p.cache.put(sig, entry, gen)
+		restored++
+	}
+	if len(rd) != 0 {
+		return restored, fmt.Errorf("planner: snapshot has %d trailing bytes", len(rd))
+	}
+	return restored, nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -31,6 +31,7 @@ import (
 	"unicode/utf8"
 
 	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
 	"serviceordering/internal/ccache"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
@@ -61,6 +62,28 @@ type Options struct {
 	// matrix, by far the dearest step left on the hit path. Zero means
 	// DefaultQueryMemoCapacity; negative disables the memo.
 	QueryMemoCapacity int
+
+	// Admission, when non-nil, gates POST /optimize and /optimize/batch
+	// through the cost-aware admission controller: requests are
+	// classified (warm/cold) by probing the planner's resident state,
+	// cold work is shed first under overload, and refused requests get
+	// 429 with a Retry-After estimate and a typed reason. /observe,
+	// /stats and /healthz are never gated — the control plane must stay
+	// reachable precisely when the node is melting. Nil disables
+	// admission entirely (the pre-overload-survival behavior).
+	Admission *admit.Controller
+
+	// StaleServe enables the degraded mode for admission sheds: a cold
+	// request that would be refused, but whose structure has a
+	// previous-generation plan resident, is answered from that stale plan
+	// (response carries "stale":true) and a background replan is
+	// enqueued. Requires Admission; ignored without it.
+	StaleServe bool
+
+	// ReplanQueue bounds the background replan queue behind stale-serve
+	// (0 = 64). Replans beyond the bound are dropped — the entry stays
+	// stale-servable and a later shed re-enqueues it.
+	ReplanQueue int
 }
 
 // DefaultQueryMemoCapacity matches twice the planner's default plan-cache
@@ -85,6 +108,13 @@ type OptimizeResponse struct {
 	// singleflight piggyback, or a fresh search when both are false).
 	Cached bool `json:"cached"`
 	Shared bool `json:"shared"`
+
+	// Stale marks a degraded-mode response: the plan and cost are a
+	// previous statistics generation's cached answer, served because the
+	// cold re-optimize would have been shed under overload. A background
+	// replan is catching the entry up. Absent (false) on every
+	// fresh-generation response.
+	Stale bool `json:"stale,omitempty"`
 
 	// Signature is the query's canonical identity (hex).
 	Signature string `json:"signature"`
@@ -140,8 +170,32 @@ type StatsResponse struct {
 	// replans (zero without a registry).
 	Adaptive *adapt.Stats `json:"adaptive,omitempty"`
 
+	// Overload carries the admission-control and stale-serve counters
+	// when the server runs with an admission controller; omitted when
+	// admission is disabled.
+	Overload *OverloadStats `json:"overload,omitempty"`
+
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptimeSeconds"`
+}
+
+// OverloadStats is the /stats overload block: every shed is accounted by
+// its typed reason, and the stale-serve degraded mode reports how many
+// responses went out stale and how the background replan queue is doing.
+type OverloadStats struct {
+	Admission admit.Stats `json:"admission"`
+
+	// StaleServed counts degraded-mode responses (served with
+	// "stale":true instead of being shed).
+	StaleServed int64 `json:"staleServed"`
+
+	// BackgroundReplans counts replans completed by the stale-serve
+	// worker; ReplanQueueDepth is the backlog right now; ReplanDropped
+	// counts replans not enqueued because the bounded queue was full
+	// (the entry stays stale-servable, a later shed re-enqueues it).
+	BackgroundReplans int64 `json:"backgroundReplans"`
+	ReplanQueueDepth  int   `json:"replanQueueDepth"`
+	ReplanDropped     int64 `json:"replanDropped"`
 }
 
 // ObserveResponse is the reply document of POST /observe: the registry's
@@ -189,6 +243,25 @@ type handler struct {
 	// beyond maxPooledBuf are dropped rather than pooled, so one giant
 	// batch cannot pin its footprint forever.
 	bufs sync.Pool
+
+	// Overload survival. admission is Options.Admission (nil = ungated);
+	// the replan machinery exists only when stale-serve is on: a bounded
+	// channel drained by one worker, deduplicated by signature so a storm
+	// of sheds on one drifted entry replans it once.
+	admission   *admit.Controller
+	staleServed atomic.Int64
+	bgReplans   atomic.Int64
+	bgDropped   atomic.Int64
+	replanCh    chan replanJob
+	replanMu    sync.Mutex
+	replanSet   map[planner.Signature]struct{}
+}
+
+// replanJob is one queued background replan: the query to re-optimize and
+// the signature deduplicating it.
+type replanJob struct {
+	q   *model.Query
+	sig planner.Signature
 }
 
 const (
@@ -216,6 +289,16 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	}
 	h := &handler{p: p, opts: opts, started: time.Now()}
 	h.bufs.New = func() any { b := make([]byte, 0, 4096); return &b }
+	h.admission = opts.Admission
+	if h.admission != nil && opts.StaleServe {
+		depth := opts.ReplanQueue
+		if depth <= 0 {
+			depth = 64
+		}
+		h.replanCh = make(chan replanJob, depth)
+		h.replanSet = make(map[planner.Signature]struct{}, depth)
+		go h.replanWorker()
+	}
 	if cap := opts.QueryMemoCapacity; cap >= 0 && !opts.LegacyEncode {
 		if cap == 0 {
 			cap = DefaultQueryMemoCapacity
@@ -249,22 +332,114 @@ func (h *handler) optimize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+
+	if h.admission != nil {
+		// Classification happens after the decode (it needs the query) but
+		// before any planning work: a shed request has cost one JSON parse
+		// and two cache probes, nothing more.
+		temp := h.p.Classify(req.query)
+		class := admit.Cold
+		if temp == planner.TempWarm {
+			class = admit.Warm
+		}
+		ticket, err := h.admission.Acquire(r.Context(), class, r.Header.Get("X-Tenant"))
+		if err != nil {
+			var se *admit.ShedError
+			if !errors.As(err, &se) {
+				httpError(w, statusFor(err), err) // the caller's context ended
+				return
+			}
+			// Degraded mode: a shed-worthy cold request whose structure has
+			// a previous generation's plan resident is answered stale
+			// instead of refused, and the replan happens off-request.
+			if h.opts.StaleServe && temp == planner.TempStale {
+				if res, ok := h.p.ServeStale(req.query); ok {
+					if res.Stale {
+						h.staleServed.Add(1)
+						h.enqueueReplan(req.query, res.Signature)
+					}
+					h.writeSolved(w, &req, res)
+					return
+				}
+			}
+			writeShed(w, se)
+			return
+		}
+		defer ticket.Release()
+	}
+
 	res, err := h.p.Optimize(r.Context(), req.query)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	h.writeSolved(w, &req, res)
+}
+
+// writeSolved emits one solved-instance response on the configured
+// encoding path.
+func (h *handler) writeSolved(w http.ResponseWriter, req *optimizeRequest, res planner.Result) {
 	if h.opts.LegacyEncode {
-		writeJSON(w, http.StatusOK, legacySolved(&req, res))
+		writeJSON(w, http.StatusOK, legacySolved(req, res))
 		return
 	}
 	bufp := h.getBuf()
-	b := appendSolved((*bufp)[:0], &req, res)
+	b := appendSolved((*bufp)[:0], req, res)
 	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(b)
 	h.putBuf(bufp, b)
+}
+
+// writeShed emits the 429 refusal: Retry-After in whole seconds (the
+// header's unit, rounded up so clients never come back early) and a JSON
+// body carrying the typed reason.
+func writeShed(w http.ResponseWriter, se *admit.ShedError) {
+	retry := int64((se.RetryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":             "overloaded: request shed",
+		"reason":            string(se.Reason),
+		"retryAfterSeconds": retry,
+	})
+}
+
+// enqueueReplan schedules a background re-optimize for a stale-served
+// signature, deduplicating in-flight replans and dropping (not blocking)
+// when the bounded queue is full.
+func (h *handler) enqueueReplan(q *model.Query, sig planner.Signature) {
+	h.replanMu.Lock()
+	if _, dup := h.replanSet[sig]; dup {
+		h.replanMu.Unlock()
+		return
+	}
+	select {
+	case h.replanCh <- replanJob{q: q, sig: sig}:
+		h.replanSet[sig] = struct{}{}
+	default:
+		h.bgDropped.Add(1)
+	}
+	h.replanMu.Unlock()
+}
+
+// replanWorker drains the stale-serve replan queue. One worker is
+// deliberate: replans are per-drifted-signature (deduplicated), each one
+// is a full search, and the node is by definition overloaded when they
+// are enqueued — a replan fleet would compete with admitted traffic for
+// the CPUs the admission controller is rationing.
+func (h *handler) replanWorker() {
+	for job := range h.replanCh {
+		// Background work carries no client deadline; the planner's own
+		// configured budgets still apply.
+		_, err := h.p.Optimize(context.Background(), job.q)
+		h.replanMu.Lock()
+		delete(h.replanSet, job.sig)
+		h.replanMu.Unlock()
+		if err == nil {
+			h.bgReplans.Add(1)
+		}
+	}
 }
 
 func (h *handler) optimizeBatch(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +462,25 @@ func (h *handler) optimizeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = reqs[i].query
 	}
+
+	if h.admission != nil {
+		// A batch is cold by construction: it fans searches across the
+		// planner's worker pool, so it takes one Cold-class ticket (the
+		// concurrency inside the batch is the planner's own bounded pool,
+		// not the admission controller's concern).
+		ticket, err := h.admission.Acquire(r.Context(), admit.Cold, r.Header.Get("X-Tenant"))
+		if err != nil {
+			var se *admit.ShedError
+			if errors.As(err, &se) {
+				writeShed(w, se)
+			} else {
+				httpError(w, statusFor(err), err)
+			}
+			return
+		}
+		defer ticket.Release()
+	}
+
 	results := h.p.OptimizeBatch(r.Context(), qs)
 
 	if h.opts.LegacyEncode {
@@ -360,6 +554,15 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	if reg := h.p.Adaptive(); reg != nil {
 		s := reg.Stats()
 		resp.Adaptive = &s
+	}
+	if h.admission != nil {
+		resp.Overload = &OverloadStats{
+			Admission:         h.admission.Stats(),
+			StaleServed:       h.staleServed.Load(),
+			BackgroundReplans: h.bgReplans.Load(),
+			ReplanQueueDepth:  len(h.replanCh),
+			ReplanDropped:     h.bgDropped.Load(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -520,6 +723,12 @@ func appendSolved(b []byte, req *optimizeRequest, res planner.Result) []byte {
 	b = strconv.AppendBool(b, res.Cached)
 	b = append(b, `,"shared":`...)
 	b = strconv.AppendBool(b, res.Shared)
+	if res.Stale {
+		// Omitted when false, matching OptimizeResponse's omitempty: the
+		// field exists to flag degraded-mode responses, and absence keeps
+		// fresh responses byte-identical to the pre-overload encoding.
+		b = append(b, `,"stale":true`...)
+	}
 	b = append(b, `,"nodesExpanded":`...)
 	b = strconv.AppendInt(b, res.Stats.NodesExpanded, 10)
 	b = append(b, `,"elapsedMicros":`...)
@@ -570,6 +779,7 @@ func legacySolved(req *optimizeRequest, res planner.Result) *OptimizeResponse {
 		Optimal:       res.Optimal,
 		Cached:        res.Cached,
 		Shared:        res.Shared,
+		Stale:         res.Stale,
 		Signature:     res.Signature.String(),
 		Tier:          res.Tier,
 		NodesExpanded: res.Stats.NodesExpanded,
