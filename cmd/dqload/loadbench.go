@@ -26,6 +26,7 @@ import (
 
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/admit"
+	"serviceordering/internal/exec"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
@@ -125,6 +126,7 @@ type loadOpts struct {
 	admission  *admit.Options // non-nil: self-host behind an admission controller
 	staleServe bool           // with admission: serve stale plans instead of shedding
 	snapshot   []byte         // non-nil: restore this plan-cache snapshot into the self-hosted planner before serving
+	executor   *exec.Executor // non-nil: self-host with POST /execute over this executor
 	sequential bool           // self-host with parallel search disabled (deterministic service times)
 	verbose    io.Writer
 }
@@ -173,6 +175,7 @@ func startTarget(opts loadOpts) (*loadTarget, error) {
 		LegacyEncode: opts.legacy,
 		Admission:    admission,
 		StaleServe:   opts.staleServe,
+		Executor:     opts.executor,
 	})}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -731,6 +734,34 @@ func runServeBench(quick bool, opts loadOpts) (*serveReport, error) {
 			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (offered %.0f req/s, %d admitted, %d shed [%.1f%%], %d stale-served, %d bg replans, %d verified)\n",
 				ores.entry.Scenario, ores.entry.ReqPerSec, ores.entry.P50Micros, ores.entry.P99Micros,
 				ores.offeredRate, ores.admitted, ores.sheds, 100*ores.entry.ShedRate, ores.staleServed, ores.bgReplans, ores.entry.Verified)
+		}
+
+		// The execute cell: the full optimize -> execute -> observe ->
+		// replan loop through POST /execute, recovering from a backend
+		// drift on execution feedback alone.
+		eres, err := runExecuteScenario(defaultExecSpec(quick), opts)
+		if err != nil {
+			return nil, fmt.Errorf("execute-loop: %w", err)
+		}
+		rep.Entries = append(rep.Entries, eres.entry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (reconverged in %d executions, %d generations, %d replans, %d verified)\n",
+				eres.entry.Scenario, eres.entry.ReqPerSec, eres.entry.P50Micros, eres.entry.P99Micros,
+				eres.execsToConv, eres.generations, eres.replans, eres.entry.Verified)
+		}
+
+		// The chaos cell: the same /execute path under a deterministic
+		// fault plan — retries, breaker transitions, typed degrades,
+		// bounded latency, no goroutine leaks.
+		cres, err := runChaosScenario(defaultChaosSpec(quick), opts)
+		if err != nil {
+			return nil, fmt.Errorf("exec-chaos: %w", err)
+		}
+		rep.Entries = append(rep.Entries, cres.entry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (%d complete, %d degraded, %d retries, %d breaker opens, %d verified)\n",
+				cres.entry.Scenario, cres.entry.ReqPerSec, cres.entry.P50Micros, cres.entry.P99Micros,
+				cres.complete, cres.degraded, cres.retries, cres.breakerOpens, cres.entry.Verified)
 		}
 
 		// The restart cell: snapshot round-trip and warm-boot hit rate.

@@ -17,14 +17,19 @@
 //	                                        baseline; regressing cells
 //	                                        fail the run
 //
-// The tracked suite (see BENCH_serve.json at the repo root) runs six
+// The tracked suite (see BENCH_serve.json at the repo root) runs eight
 // cells — warm-single, warm-batch32, cold-single, drift-replan (the
 // adaptive replanning loop: a mid-run oracle perturbation that served
 // plans must recover from, run standalone with -drift), overload-shed
 // (admission control + stale-serve at 4x the calibrated saturation rate,
-// run standalone with -overload), and restart-warmboot (plan-cache
-// snapshot round-trip, full suite only, run standalone with -restart) —
-// each against a fresh self-hosted server. -legacy measures the pre-v4
+// run standalone with -overload), execute-loop (the optimize -> execute ->
+// observe -> replan loop through POST /execute, recovering from a backend
+// drift on execution feedback alone, run standalone with -execute),
+// exec-chaos (the same path under a deterministic fault-injection plan:
+// typed degrades, breaker transitions, bounded p99, no goroutine leaks,
+// run standalone with -chaos), and restart-warmboot (plan-cache snapshot
+// round-trip, full suite only, run standalone with -restart) — each
+// against a fresh self-hosted server. -legacy measures the pre-v4
 // serving path (mutex LRU cache + encoding/json responses) for A/B
 // comparison; the committed baseline embeds its predecessor as the
 // "previous" block.
@@ -71,7 +76,9 @@ func run(args []string) error {
 		drift    = fs.Bool("drift", false, "run the adaptive-replanning drift scenario: perturb the oracle mid-run and assert served plans re-converge to the new optima")
 		overload = fs.Bool("overload", false, "run the overload-survival scenario: drive an admission-controlled server past saturation and assert every shed is a typed 429 and every admitted response is correct")
 		restart  = fs.Bool("restart", false, "run the restart scenario: snapshot a primed plan cache, warm-boot a fresh server from it, and assert a >= 90% first-window hit rate")
-		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart: the CI-sized scenario (smaller budgets and windows)")
+		execute  = fs.Bool("execute", false, "run the execute scenario: drive POST /execute end to end — optimize, stream tuples through the fault-tolerant executor, observe, and re-converge from a mid-run backend drift on execution feedback alone")
+		chaos    = fs.Bool("chaos", false, "run the chaos scenario: POST /execute through a deterministic fault-injection plan and assert typed degrades, breaker transitions, bounded p99, and no goroutine leaks")
+		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart/-execute/-chaos: the CI-sized scenario (smaller budgets and windows)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +145,35 @@ func run(args []string) error {
 			100*res.firstWindowHitRate)
 		fmt.Printf("  steady state  %d requests, %.0f req/s, p50 %.1fµs p99 %.1fµs\n",
 			res.entry.Requests, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros)
+		return nil
+	}
+
+	if *execute {
+		res, err := runExecuteScenario(defaultExecSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("execute scenario: re-converged in %d executions (%d generations, %d replans)\n",
+			res.execsToConv, res.generations, res.replans)
+		fmt.Printf("  true optimum  %.6g -> %.6g after the backend drift\n", res.preDriftCost, res.postDriftCost)
+		fmt.Printf("  stale plan    %.2f%% regret under the new truth, recovered on execution feedback alone\n",
+			100*res.oldPlanRegret)
+		fmt.Printf("  traffic       %d requests (%d executions server-side), %.0f req/s, p50 %.1fµs p99 %.1fµs, %d verified\n",
+			res.entry.Requests, res.executions, res.entry.ReqPerSec, res.entry.P50Micros, res.entry.P99Micros, res.entry.Verified)
+		return nil
+	}
+
+	if *chaos {
+		res, err := runChaosScenario(defaultChaosSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chaos scenario: %d requests through the fault plan, every one a 200\n", res.entry.Requests)
+		fmt.Printf("  outcomes   %d complete, %d degraded (typed: %v)\n", res.complete, res.degraded, res.reasons)
+		fmt.Printf("  injected   %d errors, %d blackout failures, %d spikes, %d trickles over %d backend calls\n",
+			res.injected.Errors, res.injected.Blackouts, res.injected.Spikes, res.injected.Trickles, res.injected.Calls)
+		fmt.Printf("  survived   %d retries, %d breaker opens (surfaced in /healthz), p50 %.1fµs p99 %.1fµs, no goroutine leaks\n",
+			res.retries, res.breakerOpens, res.entry.P50Micros, res.entry.P99Micros)
 		return nil
 	}
 

@@ -18,12 +18,23 @@
 //	                      the drift detector. Reply: current generation,
 //	                      live drift, and whether this report published a
 //	                      new generation.
+//	POST /execute         body: {"query": {...}, "tuples": N} (only with
+//	                      -exec-backend); optimizes (or reuses the cached
+//	                      plan), streams N tuples through the plan on the
+//	                      fault-tolerant executor, and — with -adaptive —
+//	                      feeds the execution report back into the drift
+//	                      detector. Reply: the plan plus per-stage counts;
+//	                      backend failures degrade to a typed partial
+//	                      result ("degraded": {...}), never a wrong one.
 //	GET  /stats           cache hit/miss/eviction/touch and dedup counters,
 //	                      the plan-cache hit rate, optimize-latency
 //	                      quantiles (p50/p90/p99), aggregate search stats
 //	                      (nodes expanded, search micros), and — with
 //	                      -adaptive — generation/drift/replan counters.
-//	GET  /healthz         liveness probe.
+//	GET  /healthz         readiness JSON: {"status": "ok"} or {"status":
+//	                      "degraded", "reasons": [...]} (snapshot restore
+//	                      failed, replan queue saturated, circuit breaker
+//	                      open). Always 200 while the process serves.
 //	GET  /debug/pprof/*   runtime profiling, only with -pprof.
 //
 // Usage:
@@ -47,6 +58,17 @@
 //	dqserve -snapshot-path plans.snap # warm boot: restore the plan cache at
 //	                                  # startup, dump it periodically and on
 //	                                  # SIGTERM (atomic rename)
+//	dqserve -exec-backend mock        # enable POST /execute against the
+//	                                  # deterministic in-process backend
+//	                                  # (-exec-seed); pass a base URL
+//	                                  # instead to call real service hosts
+//	                                  # speaking the POST /call/{service}
+//	                                  # protocol (exec.BackendHandler)
+//	dqserve -exec-backend mock -exec-retry-budget 4 -exec-breaker-threshold 3 \
+//	        -exec-call-timeout 500ms -exec-deadline 30s
+//	                                  # fault-tolerance knobs: per-request
+//	                                  # retry budget, per-service breaker,
+//	                                  # per-call timeout, end-to-end deadline
 //
 // Instances with more services than the exact core's 64-service limit are
 // served by the heuristic planning tier (greedy + beam + local search, and
@@ -73,6 +95,7 @@ import (
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/admit"
 	"serviceordering/internal/core"
+	"serviceordering/internal/exec"
 	"serviceordering/internal/htier"
 	"serviceordering/internal/planner"
 	"serviceordering/internal/serve"
@@ -120,6 +143,16 @@ func run(args []string, ready chan<- string) error {
 		snapPath    = fs.String("snapshot-path", "", "plan-cache snapshot file: restored at boot, dumped every -snapshot-interval and on shutdown (empty disables)")
 		snapEvery   = fs.Duration("snapshot-interval", 5*time.Minute, "periodic snapshot dump interval (0 = dump only on shutdown)")
 		replanQueue = fs.Int("replan-queue", 0, "background replan queue depth for stale-served requests (0 = default 64)")
+
+		// Fault-tolerant streaming execution (POST /execute).
+		execBackend = fs.String("exec-backend", "", "execution backend enabling POST /execute: \"mock\" (deterministic in-process, seeded by -exec-seed) or the base URL of a service host speaking POST /call/{service} (empty disables the route)")
+		execSeed    = fs.Int64("exec-seed", 1, "seed for the mock execution backend and the retry-jitter stream")
+		execTimeout = fs.Duration("exec-call-timeout", 0, "per-service call timeout; a timed-out call is retried like a failure (0 = 1s default)")
+		execRetries = fs.Int("exec-retry-budget", 0, "retries one /execute request may spend across all its services before degrading (0 = default 8, -1 disables retries)")
+		execBrkN    = fs.Int("exec-breaker-threshold", 0, "consecutive failures opening a service's circuit breaker (0 = default 5, -1 disables breakers)")
+		execBrkCool = fs.Duration("exec-breaker-cooldown", 0, "how long an open breaker sheds before admitting a half-open probe (0 = 1s default)")
+		execDeadln  = fs.Duration("exec-deadline", 0, "end-to-end execution deadline per /execute request, propagated to every call (0 = none; the server write timeout still applies)")
+		execBlock   = fs.Int("exec-block", 0, "tuples per streamed block between pipeline stages (0 = 64 default)")
 
 		adaptiveOn = fs.Bool("adaptive", false, "enable online adaptive replanning: ingest execution reports on POST /observe, overlay fitted statistics onto queries, replan on drift")
 		driftDelta = fs.Float64("drift-delta", adapt.DefaultDriftDelta, "relative parameter drift that publishes a new statistics generation (derive from a regret budget with adapt.ThresholdFromRegret)")
@@ -174,15 +207,41 @@ func run(args []string, ready chan<- string) error {
 	// Warm boot: replay the previous process's plan cache. A missing file
 	// is a normal first boot; a corrupt one is logged and ignored (the
 	// node just starts cold — a snapshot is an optimization, never a
-	// dependency).
+	// dependency), but /healthz reports the cold start as degraded so
+	// operators notice.
+	snapRestoreFailed := false
 	if *snapPath != "" {
 		if n, err := restoreSnapshot(p, *snapPath); err != nil {
 			if !os.IsNotExist(err) {
 				fmt.Fprintln(os.Stderr, "dqserve: snapshot restore:", err)
+				snapRestoreFailed = true
 			}
 		} else {
 			fmt.Fprintf(os.Stderr, "dqserve: restored %d cached plans from %s\n", n, *snapPath)
 		}
+	}
+
+	var executor *exec.Executor
+	if *execBackend != "" {
+		var backend exec.Backend
+		if *execBackend == "mock" {
+			mb := exec.NewMockBackend(*execSeed)
+			// The server sees arbitrary queries, so the mock derives a
+			// deterministic profile for any service name it is asked for.
+			mb.DeriveUnknown = true
+			backend = mb
+		} else {
+			backend = &exec.HTTPBackend{BaseURL: *execBackend}
+		}
+		executor = exec.New(backend, exec.Options{
+			BlockSize:        *execBlock,
+			CallTimeout:      *execTimeout,
+			RetryBudget:      *execRetries,
+			BreakerThreshold: *execBrkN,
+			BreakerCooldown:  *execBrkCool,
+			Deadline:         *execDeadln,
+			JitterSeed:       *execSeed,
+		})
 	}
 
 	var admission *admit.Controller
@@ -203,12 +262,14 @@ func run(args []string, ready chan<- string) error {
 
 	srv := &http.Server{
 		Handler: serve.NewHandler(p, serve.Options{
-			MaxBody:      *maxBody,
-			Pprof:        *pprofOn,
-			LegacyEncode: *legacy,
-			Admission:    admission,
-			StaleServe:   *staleServe,
-			ReplanQueue:  *replanQueue,
+			MaxBody:               *maxBody,
+			Pprof:                 *pprofOn,
+			LegacyEncode:          *legacy,
+			Admission:             admission,
+			StaleServe:            *staleServe,
+			ReplanQueue:           *replanQueue,
+			Executor:              executor,
+			SnapshotRestoreFailed: snapRestoreFailed,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,

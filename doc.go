@@ -240,6 +240,51 @@
 // rate across a snapshot round-trip. Both run as cells of
 // BENCH_serve.json under the CI regression gate.
 //
+// # Executing plans
+//
+// Planning answers "in what order"; the streaming executor
+// (internal/exec, enabled with dqserve -exec-backend) actually runs the
+// plan: tuples flow through the ordered services in blocks over bounded
+// queues — the same credit-based backpressure discipline the simulator
+// models — against a pluggable Backend (an HTTP backend POSTs each block
+// to /call/{service} on a base URL; a deterministic in-process mock
+// hash-filters tuples for tests and load scenarios). POST /execute
+// optimizes (or reuses the cached plan for) the submitted query, streams
+// the requested tuple count through the resulting plan, and feeds the
+// per-stage execution report straight into the adaptive registry — with
+// -adaptive, serving traffic alone closes the observe-detect-replan
+// loop, no synthetic /observe payloads required.
+//
+// Real backends fail, so every call is guarded by an escalation ladder:
+// a per-call timeout; retries with exponential backoff and jitter paid
+// from a per-request budget (one flapping service cannot multiply the
+// worst case by the plan length); and a per-service circuit breaker that
+// opens on consecutive failures, sheds calls without touching the
+// backend while open, and admits a single half-open probe per cooldown
+// to decide between closing and re-opening. When a stage fails past the
+// ladder (or the end-to-end deadline expires), the request degrades
+// instead of erroring: upstream stages stop, in-flight work drains, and
+// the caller receives every tuple that completed all stages plus a typed
+// Degraded marker naming the stage, service, and reason — a degraded
+// result is a subset of the true answer, never a wrong one. GET /healthz
+// reports readiness the same way: always 200, with status "degraded" and
+// machine-readable reasons (breaker-open:<service>, replan-queue-
+// saturated, snapshot-restore-failed) as the load balancer's cue to
+// deprioritize rather than kill the node.
+//
+// The fault-injection harness (internal/faultinject) wraps any backend
+// with a deterministic, seedable fault plan — error rates, latency
+// spikes, trickle delays, and blackout windows, all pure functions of
+// (seed, service, call index) — so failure behavior is testable
+// byte-for-byte reproducibly. Two dqload scenarios gate the stack in CI:
+// -execute drives POST /execute traffic through a mock backend whose
+// ground truth drifts mid-run and asserts served plans re-converge on
+// execution feedback alone, and -chaos runs a fault plan (flaky, spiky,
+// and blacked-out services at once) and asserts every response is a 200,
+// every degraded result is typed and stage-consistent, breakers open and
+// recover, /healthz surfaces the open breaker while it lasts, and no
+// goroutines leak. Both run as cells of BENCH_serve.json.
+//
 // # The search hot path
 //
 // The exact search is engineered so a dfs node costs tens of nanoseconds

@@ -7,6 +7,8 @@ import (
 	"serviceordering/internal/baseline"
 	"serviceordering/internal/choreo"
 	"serviceordering/internal/core"
+	"serviceordering/internal/exec"
+	"serviceordering/internal/faultinject"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/htier"
 	"serviceordering/internal/model"
@@ -134,6 +136,65 @@ type (
 	ExecutionReport = adapt.Report
 )
 
+// Streaming-executor types, re-exported from internal/exec and
+// internal/faultinject: the production plan runner behind dqserve
+// -exec-backend and POST /execute, and its deterministic fault harness.
+type (
+	// Executor runs optimized plans as pipelined, credit-backpressured
+	// streams of real per-service calls, with per-call timeouts, budgeted
+	// retries, circuit breakers, and typed partial-result degradation.
+	Executor = exec.Executor
+
+	// ExecOptions tunes an Executor (block size, timeouts, retry budget,
+	// breaker thresholds, end-to-end deadline). The zero value is
+	// production-ready.
+	ExecOptions = exec.Options
+
+	// ExecResult is one execution outcome: output tuples, per-stage
+	// accounts, and the Degraded marker when the result is partial.
+	ExecResult = exec.Result
+
+	// ExecBackend is the pluggable service-call interface an Executor
+	// drives (HTTPBackend posts blocks to real endpoints; MockBackend
+	// hash-filters deterministically for tests).
+	ExecBackend = exec.Backend
+
+	// ExecStats snapshots an Executor's counters, including per-service
+	// breaker states.
+	ExecStats = exec.Stats
+
+	// Degraded marks a partial execution result: the failed stage,
+	// service, and typed reason. A degraded result is a subset of the
+	// true answer, never a wrong one.
+	Degraded = exec.Degraded
+
+	// Tuple is the opaque row identifier flowing through an execution.
+	Tuple = exec.Tuple
+
+	// MockBackend is the deterministic in-process backend (seeded
+	// hash-filtering, virtual processing time).
+	MockBackend = exec.MockBackend
+
+	// MockService fixes one mock service's per-tuple cost and
+	// selectivity.
+	MockService = exec.MockService
+
+	// HTTPBackend calls real service endpoints: POST {base}/call/{name}
+	// per block.
+	HTTPBackend = exec.HTTPBackend
+
+	// FaultInjector wraps any ExecBackend with a deterministic fault
+	// plan; decisions are pure functions of (seed, service, call index).
+	FaultInjector = faultinject.Injector
+
+	// FaultPlan maps service names to their injected fault behavior.
+	FaultPlan = faultinject.Plan
+
+	// Faults describes one service's injected failures: error rate,
+	// latency spikes, trickle delays, and a blackout window.
+	Faults = faultinject.Faults
+)
+
 // Choreography transports.
 const (
 	// TransportInProc connects service nodes with buffered channels.
@@ -220,6 +281,25 @@ func Execute(ctx context.Context, q *Query, p Plan, cfg ChoreoConfig) (*ChoreoRe
 // DefaultChoreoConfig returns moderate choreography settings for examples
 // and tests.
 func DefaultChoreoConfig() ChoreoConfig { return choreo.DefaultConfig() }
+
+// NewExecutor builds the production streaming executor over a backend.
+// Unlike Execute (the choreography runtime, which demonstrates the
+// paper's decentralized pipelining on wall-clock delays), an Executor
+// serves real requests: per-call timeouts, budgeted retries, circuit
+// breakers, and typed partial-result degradation.
+func NewExecutor(b ExecBackend, opts ExecOptions) *Executor { return exec.New(b, opts) }
+
+// NewMockBackend builds the deterministic in-process backend: tuples are
+// hash-filtered by (seed, service, tuple), and processing time is
+// reported virtually (cost x tuples) without sleeping.
+func NewMockBackend(seed int64) *MockBackend { return exec.NewMockBackend(seed) }
+
+// ExecTuples builds the canonical executor input stream 0..n-1.
+func ExecTuples(n int) []Tuple { return exec.Tuples(n) }
+
+// InjectFaults wraps a backend with a deterministic fault plan for
+// chaos testing: same seed, same failures, byte for byte.
+func InjectFaults(b ExecBackend, plan FaultPlan) *FaultInjector { return faultinject.Wrap(b, plan) }
 
 // Generate builds a random problem instance from the given distribution
 // parameters; same parameters, same instance.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"serviceordering"
 )
@@ -159,5 +160,59 @@ func TestFacadeAdaptive(t *testing.T) {
 	}
 	if delta <= 0 {
 		t.Fatalf("derived drift threshold %v, want > 0", delta)
+	}
+}
+
+// TestFacadeExecutor wires the streaming-executor facade end to end:
+// optimize a query, run the plan over a fault-injected mock backend, and
+// check the typed-degradation contract.
+func TestFacadeExecutor(t *testing.T) {
+	q, err := serviceordering.NewQuery(
+		[]serviceordering.Service{
+			{Name: "a", Cost: 2, Selectivity: 0.5},
+			{Name: "b", Cost: 1, Selectivity: 0.8},
+		},
+		[][]float64{{0, 1}, {3, 0}})
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	res, err := serviceordering.Optimize(q)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+
+	mock := serviceordering.NewMockBackend(7)
+	mock.SetQuery(q)
+	ex := serviceordering.NewExecutor(mock, serviceordering.ExecOptions{BlockSize: 32})
+	out, err := ex.Execute(context.Background(), q, res.Plan, serviceordering.ExecTuples(200))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out.Degraded != nil || out.TuplesIn != 200 || out.TuplesOut == 0 {
+		t.Fatalf("clean execution came back wrong: %+v", out)
+	}
+
+	// The same backend behind a total-blackout fault plan degrades with a
+	// typed marker instead of erroring.
+	faulty := serviceordering.InjectFaults(mock, serviceordering.FaultPlan{
+		Seed:     7,
+		Services: map[string]serviceordering.Faults{"a": {ErrorRate: 1}},
+	})
+	ex2 := serviceordering.NewExecutor(faulty, serviceordering.ExecOptions{
+		BlockSize:        32,
+		RetryBudget:      2,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	out2, err := ex2.Execute(context.Background(), q, res.Plan, serviceordering.ExecTuples(50))
+	if err != nil {
+		t.Fatalf("faulty Execute: %v", err)
+	}
+	if out2.Degraded == nil || out2.Degraded.Service != "a" {
+		t.Fatalf("fault plan did not degrade at service a: %+v", out2.Degraded)
+	}
+	var st serviceordering.ExecStats = ex2.Stats()
+	if st.DegradedResults != 1 || st.Retries == 0 {
+		t.Fatalf("stats = %+v, want 1 degraded result with retries", st)
 	}
 }

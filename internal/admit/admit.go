@@ -178,6 +178,15 @@ type Controller struct {
 // dozen requests.
 const ewmaAlpha = 1.0 / 16
 
+// coldStartServicePriorSeconds prices Retry-After before ANY completion
+// has been observed (both class EWMAs still zero): 10ms, the order of a
+// cold optimize at planning-tier sizes. The exact value matters little —
+// with a near-empty queue the [1s, 30s] clamp floor dominates — but it
+// must be nonzero so a freshly booted node under an instant backlog
+// still scales its estimate with queue depth rather than always
+// answering the bare floor.
+const coldStartServicePriorSeconds = 0.010
+
 // New builds a Controller; nil Options fields take defaults.
 func New(opts Options) *Controller {
 	opts = opts.withDefaults()
@@ -418,14 +427,14 @@ func (c *Controller) tenantCap() int {
 // holds mu.
 func (c *Controller) retryAfterLocked(class Class) time.Duration {
 	// Price the backlog by the mix actually queued, falling back to the
-	// requesting class's EWMA, then to a 10ms prior before any
+	// requesting class's EWMA, then to the cold-start prior before any
 	// completions have been observed.
 	svc := c.ewma[class]
 	if svc == 0 {
 		svc = c.ewma[Cold]
 	}
 	if svc == 0 {
-		svc = 0.010
+		svc = coldStartServicePriorSeconds
 	}
 	backlog := float64(len(c.queue)+c.inflight+1) / float64(c.opts.MaxConcurrent)
 	d := time.Duration(backlog * svc * float64(time.Second))

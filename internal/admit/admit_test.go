@@ -355,6 +355,42 @@ func TestRetryAfterTracksServiceTime(t *testing.T) {
 	c.mu.Unlock()
 }
 
+// TestRetryAfterColdStartPrior pins the pre-observation service-time
+// prior: on a controller that has completed nothing (both class EWMAs
+// zero), Retry-After must be priced from coldStartServicePriorSeconds —
+// clamp-floored near idle, but scaling with a deep instant backlog.
+func TestRetryAfterColdStartPrior(t *testing.T) {
+	if coldStartServicePriorSeconds != 0.010 {
+		t.Fatalf("cold-start prior = %v, pinned at 0.010s; a deliberate change must update this test",
+			coldStartServicePriorSeconds)
+	}
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 500, MaxWait: time.Millisecond})
+
+	// Near idle: backlog 1 slot, 1 * 10ms = 10ms, clamped to the 1s floor.
+	c.mu.Lock()
+	d := c.retryAfterLocked(Warm)
+	c.mu.Unlock()
+	if d != time.Second {
+		t.Fatalf("idle cold-start RetryAfter = %v, want the 1s clamp floor", d)
+	}
+
+	// A deep backlog on the same fresh node must escape the floor and
+	// scale with the prior: (199 queued + 1 inflight + 1 self) / 1 slot
+	// * 10ms ≈ 2.01s.
+	c.mu.Lock()
+	c.inflight = 1
+	for i := 0; i < 199; i++ {
+		c.queue = append(c.queue, &waiter{class: Warm, ready: make(chan struct{}, 1)})
+	}
+	d = c.retryAfterLocked(Warm)
+	c.queue = nil
+	c.inflight = 0
+	c.mu.Unlock()
+	if d < 1900*time.Millisecond || d > 2200*time.Millisecond {
+		t.Fatalf("backlogged cold-start RetryAfter = %v, want ~2.01s from the 10ms prior", d)
+	}
+}
+
 func waitQueued(t *testing.T, c *Controller, n int) {
 	t.Helper()
 	for i := 0; i < 2000; i++ {

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// CallResult is one backend call's outcome.
+type CallResult struct {
+	// Tuples are the survivors (possibly replicated, for proliferative
+	// services with selectivity > 1).
+	Tuples []Tuple
+
+	// Processing, when positive, is the backend's own measure of the
+	// processing time it spent on this call — virtual time for simulated
+	// backends, a server-reported figure for remote ones. Zero means the
+	// executor falls back to measured wall time.
+	Processing time.Duration
+}
+
+// Backend is a pluggable service provider: Call applies the named service
+// to a block of tuples and returns the survivors. Implementations must
+// honor ctx (the executor nests per-call timeouts under the end-to-end
+// deadline) and must be safe for concurrent calls — the executor runs one
+// goroutine per plan stage, and an Executor may serve many requests at
+// once.
+type Backend interface {
+	Call(ctx context.Context, service string, in []Tuple) (CallResult, error)
+}
+
+// MockService parameterizes one deterministic mock service.
+type MockService struct {
+	// Cost is the virtual processing time per input tuple, in seconds
+	// (the model's unit): a call over k tuples reports Processing =
+	// Cost * k without sleeping, so executions are fast AND the fitted
+	// statistics the adaptive loop recovers match the configured truth
+	// exactly.
+	Cost float64
+
+	// Selectivity is the expected output/input ratio. At most 1 it is a
+	// filter (each tuple survives by a seeded hash of its identity); above
+	// 1 the service is proliferative (floor copies plus a hashed
+	// fractional extra).
+	Selectivity float64
+}
+
+// MockBackend is the deterministic in-process backend: a tuple's fate
+// depends only on (seed, service name, tuple identity), so two backends
+// built with the same seed and services agree call for call — the
+// correctness oracle the chaos scenarios compare degraded runs against.
+// Service parameters may be swapped mid-run (SetService) to realize drift.
+type MockBackend struct {
+	// DeriveUnknown, when set, synthesizes deterministic parameters for
+	// service names never registered (cost and selectivity hashed from
+	// the name), instead of failing the call. dqserve's mock mode uses
+	// this so arbitrary client queries are executable.
+	DeriveUnknown bool
+
+	seed int64
+
+	mu       sync.RWMutex
+	services map[string]MockService
+}
+
+// NewMockBackend builds an empty mock with the given filtering seed.
+func NewMockBackend(seed int64) *MockBackend {
+	return &MockBackend{seed: seed, services: make(map[string]MockService)}
+}
+
+// SetService registers (or replaces — that is a drift) one service.
+func (m *MockBackend) SetService(name string, svc MockService) {
+	m.mu.Lock()
+	m.services[name] = svc
+	m.mu.Unlock()
+}
+
+// SetQuery registers every service of q at its declared cost and
+// selectivity: the mock then realizes exactly the statistics the query
+// claims.
+func (m *MockBackend) SetQuery(q *model.Query) {
+	for _, svc := range q.Services {
+		m.SetService(svc.Name, MockService{Cost: svc.Cost, Selectivity: svc.Selectivity})
+	}
+}
+
+// Call implements Backend.
+func (m *MockBackend) Call(ctx context.Context, service string, in []Tuple) (CallResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CallResult{}, err
+	}
+	m.mu.RLock()
+	svc, ok := m.services[service]
+	m.mu.RUnlock()
+	if !ok {
+		if !m.DeriveUnknown {
+			return CallResult{}, fmt.Errorf("exec: mock backend: unknown service %q", service)
+		}
+		svc = deriveMockService(m.seed, service)
+	}
+
+	out := make([]Tuple, 0, int(math.Ceil(float64(len(in))*math.Min(svc.Selectivity, 4)))+1)
+	whole := int(svc.Selectivity)
+	frac := svc.Selectivity - float64(whole)
+	for _, t := range in {
+		copies := whole
+		if frac > 0 && unitHash(mix3(m.seed, hashString(service), uint64(t))) < frac {
+			copies++
+		}
+		for k := 0; k < copies; k++ {
+			if k == 0 {
+				out = append(out, t)
+				continue
+			}
+			// Replicas get fresh deterministic identities so downstream
+			// filtering treats them independently.
+			out = append(out, Tuple(mix3(m.seed, uint64(t)*2654435761+uint64(k), hashString(service))))
+		}
+	}
+	proc := time.Duration(svc.Cost * float64(len(in)) * float64(time.Second))
+	return CallResult{Tuples: out, Processing: proc}, nil
+}
+
+// deriveMockService hashes deterministic parameters for an unregistered
+// name: cost in [0.1ms, 1.1ms) per tuple, selectivity in [0.3, 0.9).
+func deriveMockService(seed int64, name string) MockService {
+	h := mix3(seed, hashString(name), 0x9e3779b97f4a7c15)
+	return MockService{
+		Cost:        1e-4 + 1e-3*unitHash(h),
+		Selectivity: 0.3 + 0.6*unitHash(h*0x2545f4914f6cdd1d+1),
+	}
+}
+
+// hashString is FNV-1a over the service name.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix3 combines three words through a splitmix64-style finalizer.
+func mix3(seed int64, a, b uint64) uint64 {
+	x := uint64(seed) ^ (a * 0x9e3779b97f4a7c15) ^ (b * 0xbf58476d1ce4e5b9)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unitHash maps a 64-bit hash to [0, 1).
+func unitHash(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when a call is shed by an open
+// circuit breaker instead of reaching the backend.
+var ErrBreakerOpen = errors.New("exec: circuit breaker open")
+
+// breakerState is the classic three-state machine.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one service's circuit breaker. Closed counts consecutive
+// failures and opens at the threshold; open sheds every call until the
+// cooldown elapses; then exactly one probe is admitted (half-open) and its
+// outcome decides between closing and re-opening. Calls arriving while the
+// probe is in flight are shed — a recovering service gets one request, not
+// a thundering herd.
+type breaker struct {
+	threshold int           // consecutive failures to open; 0 = disabled
+	cooldown  time.Duration // open duration before a probe
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a call may proceed right now. It transitions
+// open -> half-open after the cooldown, admitting a single probe.
+func (b *breaker) allow(now time.Time) error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return fmt.Errorf("%w (cooling down)", ErrBreakerOpen)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("%w (probe in flight)", ErrBreakerOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a successful call: closes a half-open breaker, resets
+// the failure streak.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed call; at the threshold (or on a failed
+// half-open probe) the breaker opens. It returns true when this failure
+// opened the breaker.
+func (b *breaker) failure(now time.Time) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.failures = 0
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// abortProbe releases a half-open probe slot whose call was aborted (the
+// pipeline ended mid-probe): the probe decided nothing, so the next caller
+// after the abort gets to probe instead of finding the slot leaked.
+func (b *breaker) abortProbe() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// status snapshots the breaker for Stats.
+func (b *breaker) status(service string) BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{Service: service, State: b.state.String(), Opens: b.opens}
+}

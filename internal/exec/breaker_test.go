@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond)
+	now := time.Unix(0, 0)
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(now); err != nil {
+			t.Fatalf("closed allow %d: %v", i, err)
+		}
+		if b.failure(now) {
+			t.Fatalf("failure %d opened early", i)
+		}
+	}
+	// Third consecutive failure opens.
+	if err := b.allow(now); err != nil {
+		t.Fatalf("allow: %v", err)
+	}
+	if !b.failure(now) {
+		t.Fatal("threshold failure did not open the breaker")
+	}
+	if got := b.status("s"); got.State != "open" || got.Opens != 1 {
+		t.Fatalf("status = %+v", got)
+	}
+
+	// Open inside the cooldown: shed.
+	if err := b.allow(now.Add(10 * time.Millisecond)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open allow = %v, want ErrBreakerOpen", err)
+	}
+
+	// Cooldown elapsed: exactly one probe admitted, concurrents shed.
+	probeAt := now.Add(60 * time.Millisecond)
+	if err := b.allow(probeAt); err != nil {
+		t.Fatalf("probe allow: %v", err)
+	}
+	if err := b.allow(probeAt); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	if !b.failure(probeAt) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if err := b.allow(probeAt.Add(10 * time.Millisecond)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted: %v", err)
+	}
+
+	// Next probe succeeds: closed, clean slate.
+	again := probeAt.Add(60 * time.Millisecond)
+	if err := b.allow(again); err != nil {
+		t.Fatalf("second probe window: %v", err)
+	}
+	b.success()
+	if got := b.status("s"); got.State != "closed" || got.Opens != 2 {
+		t.Fatalf("status after recovery = %+v", got)
+	}
+	// A single failure after recovery does not re-open (streak reset).
+	if err := b.allow(again); err != nil {
+		t.Fatalf("allow after recovery: %v", err)
+	}
+	if b.failure(again) {
+		t.Fatal("single failure after recovery re-opened")
+	}
+}
+
+func TestBreakerAbortProbeReleasesSlot(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	now := time.Unix(0, 0)
+	_ = b.allow(now)
+	b.failure(now) // open
+	probeAt := now.Add(20 * time.Millisecond)
+	if err := b.allow(probeAt); err != nil {
+		t.Fatalf("probe allow: %v", err)
+	}
+	// The probe call is aborted (pipeline canceled) — without releasing,
+	// the breaker would shed forever.
+	b.abortProbe()
+	if err := b.allow(probeAt); err != nil {
+		t.Fatalf("slot leaked after aborted probe: %v", err)
+	}
+	b.success()
+	if got := b.status("s"); got.State != "closed" {
+		t.Fatalf("state = %s, want closed", got.State)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if err := b.allow(now); err != nil {
+			t.Fatalf("disabled breaker shed: %v", err)
+		}
+		b.failure(now)
+	}
+	if got := b.status("s"); got.State != "closed" || got.Opens != 0 {
+		t.Fatalf("disabled breaker status = %+v", got)
+	}
+}

@@ -1,0 +1,301 @@
+// Package exec is the production streaming executor: it runs an optimized
+// plan as a pipeline of real, per-service calls against a pluggable
+// Backend, with the fault tolerance a decentralized deployment needs.
+// Where internal/sim predicts a plan's behavior analytically and
+// internal/choreo demonstrates the paper's choreography on wall-clock
+// delays, this package is the layer a serving node actually executes
+// requests on: tuples flow through the plan's services in blocks over
+// bounded queues (credit-based backpressure, exactly the sim pipeline's
+// discipline), and every call is guarded by a timeout, a bounded retry
+// budget, and a per-service circuit breaker.
+//
+// Failure semantics, in order of escalation:
+//
+//   - A failed call is retried with exponential backoff and jitter, paying
+//     from a per-request retry budget (never per call, so one flapping
+//     service cannot multiply the request's worst case by the plan length).
+//   - Consecutive failures open the service's circuit breaker; while open,
+//     calls are shed without touching the backend, and after a cooldown a
+//     single half-open probe decides between closing and re-opening.
+//   - When a stage fails past the budget (or is shed by an open breaker, or
+//     the end-to-end deadline expires), the request degrades instead of
+//     erroring: upstream stages stop, in-flight work drains, and the caller
+//     receives every tuple that completed ALL stages plus a typed Degraded
+//     marker naming the stage, service, and reason. A degraded result is a
+//     subset of the true answer — never a wrong one.
+//
+// The end-to-end deadline propagates through every stage via
+// context.Context; per-call timeouts nest under it. A stage whose input
+// ends with zero surviving tuples closes its output immediately, so an
+// empty intermediate result terminates the remaining plan suffix without
+// invoking its backends.
+//
+// Execution reports (per-stage tuple counts and busy times) convert to
+// adapt.Report via Result.Report, which is how the serve layer feeds drift
+// detection from real observations rather than synthetic /observe payloads.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"serviceordering/internal/adapt"
+	"serviceordering/internal/model"
+)
+
+// Tuple is an opaque row identifier flowing through the pipeline. Backends
+// decide a tuple's fate from its identity (the deterministic mock hashes
+// it); the executor only moves tuples and counts them.
+type Tuple uint64
+
+// Tuples builds the canonical input stream 0..n-1.
+func Tuples(n int) []Tuple {
+	in := make([]Tuple, n)
+	for i := range in {
+		in[i] = Tuple(i)
+	}
+	return in
+}
+
+// Options configures an Executor. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// BlockSize is the number of tuples per backend call (0 = 64): the
+	// paper's block-transfer unit realized as the call granularity.
+	BlockSize int
+
+	// QueueBlocks bounds each stage's input queue in blocks (0 = 4). A
+	// full queue stalls the upstream sender — credit-based backpressure,
+	// the same discipline internal/sim models.
+	QueueBlocks int
+
+	// CallTimeout bounds each backend call (0 = 1s). A timed-out call is
+	// a failed call: retried, charged to the breaker.
+	CallTimeout time.Duration
+
+	// RetryBudget is the number of retries one Execute request may spend
+	// across ALL its calls (0 = 8, negative = no retries). Budgeting per
+	// request rather than per call keeps the worst case additive.
+	RetryBudget int
+
+	// RetryBase and RetryMax shape the backoff: attempt k sleeps
+	// base<<k, jittered to [50%, 150%], capped at RetryMax
+	// (defaults 2ms and 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// service's circuit breaker (0 = 5, negative disables breakers).
+	// BreakerCooldown is how long an open breaker sheds before admitting
+	// a half-open probe (0 = 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Deadline, when positive, bounds each Execute end to end (nested
+	// under the caller's context). On expiry the request degrades with
+	// ReasonDeadline rather than erroring.
+	Deadline time.Duration
+
+	// JitterSeed seeds the backoff jitter stream (0 = 1); fixed so tests
+	// and chaos runs are reproducible.
+	JitterSeed int64
+}
+
+// Defaults for Options' zero fields.
+const (
+	DefaultBlockSize        = 64
+	DefaultQueueBlocks      = 4
+	DefaultCallTimeout      = time.Second
+	DefaultRetryBudget      = 8
+	DefaultRetryBase        = 2 * time.Millisecond
+	DefaultRetryMax         = 250 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.QueueBlocks <= 0 {
+		o.QueueBlocks = DefaultQueueBlocks
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	switch {
+	case o.RetryBudget == 0:
+		o.RetryBudget = DefaultRetryBudget
+	case o.RetryBudget < 0:
+		o.RetryBudget = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = DefaultRetryBase
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = DefaultRetryMax
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = DefaultBreakerThreshold
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0 // disabled
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	return o
+}
+
+// Reason is the typed cause of a degraded result.
+type Reason string
+
+const (
+	// ReasonRetryBudget: the stage's call failed and the request's retry
+	// budget was already spent.
+	ReasonRetryBudget Reason = "retry-budget-exhausted"
+
+	// ReasonBreakerOpen: the service's circuit breaker shed the call.
+	ReasonBreakerOpen Reason = "breaker-open"
+
+	// ReasonDeadline: the end-to-end execution deadline expired mid-plan.
+	ReasonDeadline Reason = "deadline-exceeded"
+)
+
+// Degraded marks a partial result: the named stage failed permanently, so
+// the output holds only tuples that completed every stage before the
+// failure took effect — a subset of the true answer, never a wrong one.
+type Degraded struct {
+	// Service is the failed service's name; Position its plan position.
+	Service  string `json:"service"`
+	Position int    `json:"position"`
+
+	// Reason is the typed cause; Err the underlying error text.
+	Reason Reason `json:"reason"`
+	Err    string `json:"error,omitempty"`
+}
+
+func (d *Degraded) String() string {
+	return fmt.Sprintf("degraded at stage %d (%s): %s: %s", d.Position, d.Service, d.Reason, d.Err)
+}
+
+// StageReport is one stage's execution account.
+type StageReport struct {
+	// Service is the service's name; Position its plan position.
+	Service  string `json:"service"`
+	Position int    `json:"position"`
+
+	// TuplesIn and TuplesOut count tuples through successful calls only
+	// (a failed block's tuples are neither).
+	TuplesIn  int64 `json:"tuplesIn"`
+	TuplesOut int64 `json:"tuplesOut"`
+
+	// Calls counts successful backend calls, Retries the retry attempts
+	// this stage charged to the request budget.
+	Calls   int64 `json:"calls"`
+	Retries int64 `json:"retries"`
+
+	// BusyProcessing is the total processing time across successful
+	// calls: the backend's own measure when it reports one (virtual time
+	// for simulated backends), wall time otherwise.
+	BusyProcessing time.Duration `json:"busyProcessingNanos"`
+}
+
+// Result is one Execute outcome.
+type Result struct {
+	// TuplesIn is the input count; TuplesOut the tuples that completed
+	// every stage; Output their identities, in arrival order.
+	TuplesIn  int64
+	TuplesOut int64
+	Output    []Tuple
+
+	// Stages holds per-stage accounts in plan order.
+	Stages []StageReport
+
+	// Degraded is non-nil on a partial result (see Degraded).
+	Degraded *Degraded
+
+	// Retries is the total retry budget spent; Elapsed the wall time of
+	// the whole execution.
+	Retries int64
+	Elapsed time.Duration
+}
+
+// Report converts the execution into the adaptive loop's observation
+// format: per-service tuple counts and busy processing times for every
+// stage that processed at least one tuple (a starved or failed-before-
+// first-call stage has nothing to observe). Transfer observations are
+// deliberately absent — in-process hand-off time measures queueing, not
+// the network transfer parameter the model prices — so transfer estimates
+// stay anchored at the client-provided values.
+func (r *Result) Report() *adapt.Report {
+	rep := &adapt.Report{}
+	for _, st := range r.Stages {
+		if st.TuplesIn == 0 {
+			continue
+		}
+		rep.Services = append(rep.Services, adapt.ServiceObservation{
+			Name:           st.Service,
+			TuplesIn:       st.TuplesIn,
+			TuplesOut:      st.TuplesOut,
+			BusyProcessing: st.BusyProcessing.Seconds(),
+		})
+	}
+	if len(rep.Services) == 0 {
+		return nil // nothing flowed; the registry rejects empty reports
+	}
+	return rep
+}
+
+// BreakerStatus is one service's circuit-breaker snapshot.
+type BreakerStatus struct {
+	Service string `json:"service"`
+	State   string `json:"state"` // closed | open | half-open
+	Opens   int64  `json:"opens"` // closed->open transitions so far
+}
+
+// Stats snapshots an Executor's counters.
+type Stats struct {
+	// Executions counts completed Execute calls; DegradedResults the
+	// subset that returned a Degraded marker.
+	Executions      int64 `json:"executions"`
+	DegradedResults int64 `json:"degradedResults"`
+
+	// Calls counts successful backend calls, Retries all retry attempts,
+	// BreakerOpens all closed->open transitions across services.
+	Calls        int64 `json:"calls"`
+	Retries      int64 `json:"retries"`
+	BreakerOpens int64 `json:"breakerOpens"`
+
+	// Breakers lists per-service breaker states, sorted by service name;
+	// services never called are absent.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+}
+
+// OpenBreakers returns the names of services whose breaker is currently
+// open, sorted (the health endpoint's degraded-readiness input).
+func (s *Stats) OpenBreakers() []string {
+	var open []string
+	for _, b := range s.Breakers {
+		if b.State == "open" {
+			open = append(open, b.Service)
+		}
+	}
+	sort.Strings(open)
+	return open
+}
+
+// validatePlanInput checks the (query, plan) pair an Execute receives.
+func validatePlanInput(q *model.Query, p model.Plan) error {
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("exec: invalid query: %w", err)
+	}
+	if err := p.Validate(q); err != nil {
+		return fmt.Errorf("exec: invalid plan: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// Executor runs optimized plans against one Backend. It is safe for
+// concurrent use; circuit breakers and counters are shared across requests
+// (a service melting under one request sheds calls from all of them),
+// while retry budgets are strictly per request.
+type Executor struct {
+	backend Backend
+	opts    Options
+
+	executions   atomic.Int64
+	degraded     atomic.Int64
+	calls        atomic.Int64
+	retries      atomic.Int64
+	breakerOpens atomic.Int64
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+}
+
+// New builds an Executor over backend. Zero Options fields take the
+// package defaults.
+func New(backend Backend, opts Options) *Executor {
+	opts = opts.withDefaults()
+	return &Executor{
+		backend:  backend,
+		opts:     opts,
+		jitter:   rand.New(rand.NewSource(opts.JitterSeed)),
+		breakers: make(map[string]*breaker),
+	}
+}
+
+// callFailure is a permanent per-stage failure: the typed reason plus the
+// underlying error.
+type callFailure struct {
+	reason Reason
+	err    error
+}
+
+func (cf *callFailure) Error() string { return string(cf.reason) + ": " + cf.err.Error() }
+
+// runState is the per-Execute shared state: the retry budget and the
+// first permanent failure (first-wins — cascading cancellations after it
+// are effects, not causes).
+type runState struct {
+	budget atomic.Int64
+
+	mu  sync.Mutex
+	deg *Degraded
+}
+
+func (r *runState) takeRetry() bool { return r.budget.Add(-1) >= 0 }
+
+func (r *runState) fail(st *stageRun, cf *callFailure) {
+	r.mu.Lock()
+	if r.deg == nil {
+		r.deg = &Degraded{Service: st.name, Position: st.pos, Reason: cf.reason, Err: cf.err.Error()}
+	}
+	r.mu.Unlock()
+}
+
+func (r *runState) degradedResult() *Degraded {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deg
+}
+
+// stageRun is one stage's runtime state; owned by its goroutine.
+type stageRun struct {
+	name string
+	pos  int
+	br   *breaker
+
+	tuplesIn, tuplesOut int64
+	calls, retries      int64
+	busy                time.Duration
+}
+
+// Execute runs plan over q, streaming input through the plan's services.
+// It returns an error only for invalid inputs or a canceled caller; every
+// backend-side failure mode instead yields a Result, possibly carrying a
+// Degraded marker (see the package comment for the escalation order).
+func (e *Executor) Execute(ctx context.Context, q *model.Query, plan model.Plan, input []Tuple) (*Result, error) {
+	if err := validatePlanInput(q, plan); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := len(plan)
+	res := &Result{TuplesIn: int64(len(input)), Output: []Tuple{}, Stages: make([]StageReport, n)}
+	for pos, s := range plan {
+		res.Stages[pos] = StageReport{Service: q.Services[s].Name, Position: pos}
+	}
+	if len(input) == 0 {
+		// Early termination at its earliest: an empty input stream runs no
+		// goroutines and calls no backends.
+		e.executions.Add(1)
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	if e.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Deadline)
+		defer cancel()
+	}
+	execCtx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+
+	run := &runState{}
+	run.budget.Store(int64(e.opts.RetryBudget))
+
+	// chans[i] feeds stage i; chans[n] feeds the sink. Bounded capacity is
+	// the credit: a stage outrunning its successor parks on the send.
+	chans := make([]chan []Tuple, n+1)
+	for i := range chans {
+		chans[i] = make(chan []Tuple, e.opts.QueueBlocks)
+	}
+	stages := make([]*stageRun, n)
+	for pos, s := range plan {
+		stages[pos] = &stageRun{name: q.Services[s].Name, pos: pos, br: e.breakerFor(q.Services[s].Name)}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // source: chunk the input into blocks
+		defer wg.Done()
+		defer close(chans[0])
+		for off := 0; off < len(input); off += e.opts.BlockSize {
+			end := off + e.opts.BlockSize
+			if end > len(input) {
+				end = len(input)
+			}
+			if !sendBlock(execCtx, chans[0], input[off:end:end]) {
+				return
+			}
+		}
+	}()
+	for pos := 0; pos < n; pos++ {
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			e.runStage(execCtx, cancelExec, run, stages[pos], chans[pos], chans[pos+1])
+		}(pos)
+	}
+
+	// The sink is this goroutine: always draining, so the pipeline can
+	// never deadlock on a full final queue.
+	for blk := range chans[n] {
+		res.Output = append(res.Output, blk...)
+	}
+	wg.Wait()
+
+	res.TuplesOut = int64(len(res.Output))
+	for pos, st := range stages {
+		r := &res.Stages[pos]
+		r.TuplesIn, r.TuplesOut = st.tuplesIn, st.tuplesOut
+		r.Calls, r.Retries = st.calls, st.retries
+		r.BusyProcessing = st.busy
+		res.Retries += st.retries
+	}
+	if cerr := ctx.Err(); errors.Is(cerr, context.Canceled) {
+		// The caller walked away; nobody will read a partial result. (An
+		// internal failure cancels only execCtx, never ctx, so this is
+		// unambiguous.)
+		return nil, cerr
+	}
+	res.Degraded = run.degradedResult()
+	if res.Degraded == nil && ctx.Err() != nil {
+		// Deadline expired between calls (parked on a queue or in a backoff
+		// sleep): no single stage observed it, the pipeline did.
+		res.Degraded = &Degraded{Service: "", Position: -1, Reason: ReasonDeadline, Err: ctx.Err().Error()}
+	}
+	res.Elapsed = time.Since(start)
+	e.executions.Add(1)
+	if res.Degraded != nil {
+		e.degraded.Add(1)
+	}
+	return res, nil
+}
+
+// runStage consumes input blocks, calls the backend, and forwards
+// surviving tuples in full blocks (plus a final partial flush). On a
+// permanent call failure it records the typed degrade, cancels the
+// pipeline (stopping upstream production and in-flight work), and drains
+// its input so no upstream sender is left parked.
+func (e *Executor) runStage(ctx context.Context, cancel context.CancelFunc, run *runState, st *stageRun, in <-chan []Tuple, out chan<- []Tuple) {
+	defer close(out)
+	var buf []Tuple
+	failed := false
+	for blk := range in {
+		if failed || len(blk) == 0 {
+			continue
+		}
+		survivors, proc, cf := e.call(ctx, run, st, blk)
+		if cf != nil {
+			failed = true
+			run.fail(st, cf) // first-wins: cancellation echoes lose to the cause
+			cancel()
+			continue
+		}
+		st.tuplesIn += int64(len(blk))
+		st.tuplesOut += int64(len(survivors))
+		st.calls++
+		st.busy += proc
+		buf = append(buf, survivors...)
+		for len(buf) >= e.opts.BlockSize {
+			send := make([]Tuple, e.opts.BlockSize)
+			copy(send, buf)
+			buf = buf[:copy(buf, buf[e.opts.BlockSize:])]
+			if !sendBlock(ctx, out, send) {
+				failed = true
+				break
+			}
+		}
+	}
+	if !failed && len(buf) > 0 {
+		sendBlock(ctx, out, buf) // flush the partial final block
+	}
+}
+
+// sendBlock delivers blk unless the pipeline is canceled first.
+func sendBlock(ctx context.Context, out chan<- []Tuple, blk []Tuple) bool {
+	select {
+	case out <- blk:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// call performs one guarded backend call: breaker admission, per-call
+// timeout, retries against the request budget with jittered exponential
+// backoff. A nil callFailure means success; a non-nil one is permanent
+// for this request.
+func (e *Executor) call(ctx context.Context, run *runState, st *stageRun, blk []Tuple) ([]Tuple, time.Duration, *callFailure) {
+	for attempt := 0; ; attempt++ {
+		if err := st.br.allow(time.Now()); err != nil {
+			return nil, 0, &callFailure{reason: ReasonBreakerOpen, err: err}
+		}
+		cctx, cancel := context.WithTimeout(ctx, e.opts.CallTimeout)
+		t0 := time.Now()
+		cr, err := e.backend.Call(cctx, st.name, blk)
+		wall := time.Since(t0)
+		cancel()
+		if err == nil {
+			st.br.success()
+			e.calls.Add(1)
+			proc := cr.Processing
+			if proc <= 0 {
+				proc = wall
+			}
+			return cr.Tuples, proc, nil
+		}
+		if ctx.Err() != nil {
+			// The pipeline's own context ended — the call was aborted, not
+			// failed: the breaker is not charged, and a probe slot this call
+			// held is released. (The recorded reason only ever surfaces for
+			// a deadline; a caller cancellation becomes Execute's error, and
+			// an internal cancellation loses first-wins to its cause.)
+			st.br.abortProbe()
+			return nil, 0, &callFailure{reason: ReasonDeadline, err: ctx.Err()}
+		}
+		if st.br.failure(time.Now()) {
+			e.breakerOpens.Add(1)
+		}
+		if !run.takeRetry() {
+			return nil, 0, &callFailure{reason: ReasonRetryBudget, err: err}
+		}
+		st.retries++
+		e.retries.Add(1)
+		if !e.backoff(ctx, attempt) {
+			st.br.abortProbe()
+			return nil, 0, &callFailure{reason: ReasonDeadline, err: ctx.Err()}
+		}
+	}
+}
+
+// backoff sleeps base<<attempt jittered to [50%, 150%] and capped at
+// RetryMax; false when the context ended first.
+func (e *Executor) backoff(ctx context.Context, attempt int) bool {
+	d := e.opts.RetryBase
+	for i := 0; i < attempt && d < e.opts.RetryMax; i++ {
+		d <<= 1
+	}
+	if d > e.opts.RetryMax {
+		d = e.opts.RetryMax
+	}
+	e.jmu.Lock()
+	f := 0.5 + e.jitter.Float64()
+	e.jmu.Unlock()
+	d = time.Duration(float64(d) * f)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// breakerFor returns (creating on first use) the service's breaker.
+func (e *Executor) breakerFor(name string) *breaker {
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	b, ok := e.breakers[name]
+	if !ok {
+		b = newBreaker(e.opts.BreakerThreshold, e.opts.BreakerCooldown)
+		e.breakers[name] = b
+	}
+	return b
+}
+
+// Stats snapshots the executor's counters and per-service breaker states.
+func (e *Executor) Stats() Stats {
+	s := Stats{
+		Executions:      e.executions.Load(),
+		DegradedResults: e.degraded.Load(),
+		Calls:           e.calls.Load(),
+		Retries:         e.retries.Load(),
+		BreakerOpens:    e.breakerOpens.Load(),
+	}
+	e.bmu.Lock()
+	names := make([]string, 0, len(e.breakers))
+	for name := range e.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Breakers = append(s.Breakers, e.breakers[name].status(name))
+	}
+	e.bmu.Unlock()
+	return s
+}

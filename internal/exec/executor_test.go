@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// testQuery builds an n-service query from (name, cost, selectivity)
+// triples with a zero transfer matrix (transfers are not executed
+// in-process; the executor only reads service names).
+func testQuery(t *testing.T, svcs ...model.Service) *model.Query {
+	t.Helper()
+	n := len(svcs)
+	tr := make([][]float64, n)
+	for i := range tr {
+		tr[i] = make([]float64, n)
+	}
+	q, err := model.NewQuery(svcs, tr)
+	if err != nil {
+		t.Fatalf("NewQuery: %v", err)
+	}
+	return q
+}
+
+func identityPlan(n int) model.Plan {
+	p := make(model.Plan, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// flakyBackend wraps a base backend with per-(service, call-index) scripted
+// failures and delays.
+type flakyBackend struct {
+	base Backend
+
+	mu       sync.Mutex
+	calls    map[string]int
+	failFor  func(service string, idx int) error
+	delayFor func(service string, idx int) time.Duration
+}
+
+func newFlaky(base Backend) *flakyBackend {
+	return &flakyBackend{base: base, calls: make(map[string]int)}
+}
+
+func (f *flakyBackend) callCount(service string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[service]
+}
+
+func (f *flakyBackend) Call(ctx context.Context, service string, in []Tuple) (CallResult, error) {
+	f.mu.Lock()
+	idx := f.calls[service]
+	f.calls[service] = idx + 1
+	f.mu.Unlock()
+	if f.delayFor != nil {
+		if d := f.delayFor(service, idx); d > 0 {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return CallResult{}, ctx.Err()
+			}
+		}
+	}
+	if f.failFor != nil {
+		if err := f.failFor(service, idx); err != nil {
+			return CallResult{}, err
+		}
+	}
+	return f.base.Call(ctx, service, in)
+}
+
+func mockFor(q *model.Query, seed int64) *MockBackend {
+	m := NewMockBackend(seed)
+	m.SetQuery(q)
+	return m
+}
+
+func TestExecuteDeterministicAndMetered(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.002, Selectivity: 0.5},
+		model.Service{Name: "c", Cost: 0.004, Selectivity: 0.5},
+	)
+	plan := identityPlan(3)
+	const n = 1000
+
+	run := func() *Result {
+		ex := New(mockFor(q, 7), Options{BlockSize: 64})
+		res, err := ex.Execute(context.Background(), q, plan, Tuples(n))
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		return res
+	}
+	res1, res2 := run(), run()
+
+	if res1.Degraded != nil {
+		t.Fatalf("unexpected degrade: %v", res1.Degraded)
+	}
+	if res1.TuplesIn != n {
+		t.Fatalf("TuplesIn = %d, want %d", res1.TuplesIn, n)
+	}
+	// Deterministic: two independent executors over same-seeded mocks agree
+	// tuple for tuple.
+	if len(res1.Output) != len(res2.Output) {
+		t.Fatalf("runs disagree: %d vs %d tuples", len(res1.Output), len(res2.Output))
+	}
+	got := make(map[Tuple]int)
+	for _, tp := range res1.Output {
+		got[tp]++
+	}
+	for _, tp := range res2.Output {
+		got[tp]--
+	}
+	for tp, c := range got {
+		if c != 0 {
+			t.Fatalf("runs disagree on tuple %d (count diff %d)", tp, c)
+		}
+	}
+	// Selectivity realized within sampling tolerance: ~n * 0.25 out.
+	if out := res1.TuplesOut; out < 150 || out > 350 {
+		t.Fatalf("TuplesOut = %d, want ~250", out)
+	}
+	// Stage accounting: the first stage saw everything; busy time is the
+	// mock's virtual cost, not wall time.
+	st := res1.Stages[0]
+	if st.Service != "a" || st.TuplesIn != n || st.TuplesOut != n {
+		t.Fatalf("stage 0 = %+v", st)
+	}
+	if want := time.Duration(0.001 * n * float64(time.Second)); st.BusyProcessing != want {
+		t.Fatalf("stage 0 busy = %v, want %v", st.BusyProcessing, want)
+	}
+	// Stage 1 input equals stage 0 output, etc.
+	if res1.Stages[1].TuplesIn != res1.Stages[0].TuplesOut {
+		t.Fatalf("stage 1 in %d != stage 0 out %d", res1.Stages[1].TuplesIn, res1.Stages[0].TuplesOut)
+	}
+	if res1.Stages[2].TuplesOut != res1.TuplesOut {
+		t.Fatalf("stage 2 out %d != result out %d", res1.Stages[2].TuplesOut, res1.TuplesOut)
+	}
+}
+
+func TestExecuteEmptyInput(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "a", Cost: 1, Selectivity: 1})
+	fb := newFlaky(mockFor(q, 1))
+	ex := New(fb, Options{})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.TuplesOut != 0 || res.Degraded != nil || fb.callCount("a") != 0 {
+		t.Fatalf("empty input: out=%d degraded=%v calls=%d", res.TuplesOut, res.Degraded, fb.callCount("a"))
+	}
+}
+
+func TestEarlyTerminationOnEmptyIntermediate(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "kill", Cost: 0.001, Selectivity: 0},
+		model.Service{Name: "after", Cost: 0.001, Selectivity: 1},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	ex := New(fb, Options{BlockSize: 32})
+	res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(500))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 0 {
+		t.Fatalf("out=%d degraded=%v", res.TuplesOut, res.Degraded)
+	}
+	// The plan suffix after the empty intermediate result is never invoked.
+	if got := fb.callCount("after"); got != 0 {
+		t.Fatalf("downstream service called %d times after an empty stream", got)
+	}
+	if res.Stages[1].TuplesIn != 0 || res.Stages[1].Calls != 0 {
+		t.Fatalf("stage 1 = %+v, want untouched", res.Stages[1])
+	}
+}
+
+func TestRetryWithinBudgetSucceeds(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 1},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	fb.failFor = func(service string, idx int) error {
+		if service == "b" && idx < 3 {
+			return fmt.Errorf("transient %d", idx)
+		}
+		return nil
+	}
+	ex := New(fb, Options{RetryBudget: 5, RetryBase: 100 * time.Microsecond, BreakerThreshold: 10})
+	res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(100))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("degraded: %v", res.Degraded)
+	}
+	if res.TuplesOut != 100 {
+		t.Fatalf("TuplesOut = %d, want 100", res.TuplesOut)
+	}
+	if res.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", res.Retries)
+	}
+	if s := ex.Stats(); s.Retries != 3 || s.DegradedResults != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetryBudgetExhaustedDegradesTyped(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 1},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	fb.failFor = func(service string, idx int) error {
+		if service == "b" {
+			return errors.New("down hard")
+		}
+		return nil
+	}
+	ex := New(fb, Options{RetryBudget: 2, RetryBase: 100 * time.Microsecond, BreakerThreshold: 100})
+	res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(100))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	d := res.Degraded
+	if d == nil || d.Service != "b" || d.Position != 1 || d.Reason != ReasonRetryBudget {
+		t.Fatalf("Degraded = %+v, want service b / position 1 / %s", d, ReasonRetryBudget)
+	}
+	// Nothing passed the failed stage, so nothing may reach the sink: a
+	// degraded result is a subset of the truth, never a guess.
+	if res.TuplesOut != 0 {
+		t.Fatalf("TuplesOut = %d through a permanently failed stage", res.TuplesOut)
+	}
+	if res.Retries != 2 {
+		t.Fatalf("Retries = %d, want the whole budget (2)", res.Retries)
+	}
+	if s := ex.Stats(); s.DegradedResults != 1 {
+		t.Fatalf("DegradedResults = %d, want 1", s.DegradedResults)
+	}
+}
+
+func TestPartialResultBeforeMidPlanFailure(t *testing.T) {
+	// Service b works for its first 2 calls, then dies: tuples it already
+	// forwarded must flow through to the sink, later ones must not.
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "c", Cost: 0.001, Selectivity: 1},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	fb.failFor = func(service string, idx int) error {
+		if service == "b" && idx >= 2 {
+			return errors.New("mid-plan death")
+		}
+		return nil
+	}
+	ex := New(fb, Options{BlockSize: 10, RetryBudget: -1, BreakerThreshold: -1})
+	res, err := ex.Execute(context.Background(), q, identityPlan(3), Tuples(100))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded == nil || res.Degraded.Service != "b" || res.Degraded.Reason != ReasonRetryBudget {
+		t.Fatalf("Degraded = %+v", res.Degraded)
+	}
+	// b processed exactly its first two blocks (tuples 0..19, selectivity
+	// 1): whatever reached the sink must come from that set and nothing
+	// else — partial, never wrong.
+	if res.TuplesOut > 20 {
+		t.Fatalf("TuplesOut = %d, more than the failed stage ever forwarded", res.TuplesOut)
+	}
+	for _, tp := range res.Output {
+		if tp >= 20 {
+			t.Fatalf("output tuple %d never passed the failed stage", tp)
+		}
+	}
+}
+
+func TestBreakerOpensShedsAndRecovers(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	plan := identityPlan(1)
+	healed := false
+	fb := newFlaky(mockFor(q, 1))
+	fb.failFor = func(service string, idx int) error {
+		if !healed {
+			return errors.New("melting")
+		}
+		return nil
+	}
+	ex := New(fb, Options{
+		RetryBudget:      1,
+		RetryBase:        100 * time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+
+	// Run 1: failures exhaust the budget and open the breaker.
+	res, err := ex.Execute(context.Background(), q, plan, Tuples(10))
+	if err != nil {
+		t.Fatalf("Execute 1: %v", err)
+	}
+	if res.Degraded == nil || res.Degraded.Reason != ReasonRetryBudget {
+		t.Fatalf("run 1 degraded = %+v", res.Degraded)
+	}
+	st := ex.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+	if got := st.Breakers[0]; got.Service != "s" || got.State != "open" {
+		t.Fatalf("breaker = %+v, want s open", got)
+	}
+	if got := st.OpenBreakers(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("OpenBreakers = %v", got)
+	}
+
+	// Run 2, inside the cooldown: shed without touching the backend.
+	before := fb.callCount("s")
+	res, err = ex.Execute(context.Background(), q, plan, Tuples(10))
+	if err != nil {
+		t.Fatalf("Execute 2: %v", err)
+	}
+	if res.Degraded == nil || res.Degraded.Reason != ReasonBreakerOpen {
+		t.Fatalf("run 2 degraded = %+v, want %s", res.Degraded, ReasonBreakerOpen)
+	}
+	if fb.callCount("s") != before {
+		t.Fatalf("open breaker let %d calls through", fb.callCount("s")-before)
+	}
+
+	// After the cooldown, the service heals: the half-open probe succeeds,
+	// the breaker closes, the request completes.
+	healed = true
+	time.Sleep(40 * time.Millisecond)
+	res, err = ex.Execute(context.Background(), q, plan, Tuples(10))
+	if err != nil {
+		t.Fatalf("Execute 3: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 10 {
+		t.Fatalf("run 3: out=%d degraded=%v", res.TuplesOut, res.Degraded)
+	}
+	if got := ex.Stats().Breakers[0].State; got != "closed" {
+		t.Fatalf("breaker state after recovery = %s, want closed", got)
+	}
+}
+
+func TestDeadlineDegradesTyped(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "slow", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 1},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	fb.delayFor = func(service string, idx int) time.Duration {
+		if service == "slow" {
+			return 50 * time.Millisecond
+		}
+		return 0
+	}
+	ex := New(fb, Options{Deadline: 10 * time.Millisecond, BlockSize: 8})
+	res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(100))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded == nil || res.Degraded.Reason != ReasonDeadline {
+		t.Fatalf("Degraded = %+v, want %s", res.Degraded, ReasonDeadline)
+	}
+}
+
+func TestCallerCancelIsAnError(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "slow", Cost: 0.001, Selectivity: 1})
+	fb := newFlaky(mockFor(q, 1))
+	fb.delayFor = func(string, int) time.Duration { return 20 * time.Millisecond }
+	ex := New(fb, Options{BlockSize: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := ex.Execute(ctx, q, identityPlan(1), Tuples(100))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCallTimeoutIsRetryable(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	fb := newFlaky(mockFor(q, 1))
+	fb.delayFor = func(service string, idx int) time.Duration {
+		if idx == 0 {
+			return 100 * time.Millisecond // first call times out, rest are fast
+		}
+		return 0
+	}
+	ex := New(fb, Options{
+		CallTimeout: 10 * time.Millisecond,
+		RetryBudget: 2,
+		RetryBase:   100 * time.Microsecond,
+	})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(10))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 10 || res.Retries != 1 {
+		t.Fatalf("out=%d retries=%d degraded=%v", res.TuplesOut, res.Retries, res.Degraded)
+	}
+}
+
+func TestExecuteReport(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.002, Selectivity: 0.5},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 1},
+	)
+	ex := New(mockFor(q, 3), Options{})
+	res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(400))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	rep := res.Report()
+	if len(rep.Services) != 2 {
+		t.Fatalf("report services = %d, want 2", len(rep.Services))
+	}
+	if rep.Services[0].Name != "a" || rep.Services[0].TuplesIn != 400 {
+		t.Fatalf("report[0] = %+v", rep.Services[0])
+	}
+	// Fitted cost (busy/in) must reproduce the mock's configured truth.
+	if got := rep.Services[0].BusyProcessing / float64(rep.Services[0].TuplesIn); got < 0.0019 || got > 0.0021 {
+		t.Fatalf("fitted cost = %v, want 0.002", got)
+	}
+	if len(rep.Transfers) != 0 {
+		t.Fatalf("transfers reported: %+v", rep.Transfers)
+	}
+}
+
+func TestNoGoroutineLeaks(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 0.8},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 0.8},
+		model.Service{Name: "c", Cost: 0.001, Selectivity: 0.8},
+	)
+	fb := newFlaky(mockFor(q, 1))
+	fb.failFor = func(service string, idx int) error {
+		if service == "b" && idx%3 == 1 {
+			return errors.New("flap")
+		}
+		return nil
+	}
+	ex := New(fb, Options{BlockSize: 16, RetryBudget: 1, RetryBase: 50 * time.Microsecond, BreakerThreshold: -1})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := ex.Execute(context.Background(), q, identityPlan(3), Tuples(200)); err != nil {
+			t.Fatalf("Execute %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after 50 executions", before, runtime.NumGoroutine())
+}
+
+// TestExecuteRejectsInvalidInput: a malformed plan or query is an error,
+// not a degraded result.
+func TestExecuteRejectsInvalidInput(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 1, Selectivity: 0.5},
+		model.Service{Name: "b", Cost: 1, Selectivity: 0.5},
+	)
+	b := NewMockBackend(1)
+	b.SetQuery(q)
+	ex := New(b, Options{})
+
+	if _, err := ex.Execute(context.Background(), q, model.Plan{0, 0}, Tuples(4)); err == nil {
+		t.Fatal("Execute accepted a plan that repeats a service")
+	}
+	bad := *q
+	bad.Services = append([]model.Service(nil), q.Services...)
+	bad.Services[0].Cost = -1
+	if _, err := ex.Execute(context.Background(), &bad, identityPlan(2), Tuples(4)); err == nil {
+		t.Fatal("Execute accepted a query with a negative cost")
+	}
+}
+
+// TestTypedStringsAndEmptyReport pins the human-readable forms and the
+// nothing-flowed report contract.
+func TestTypedStringsAndEmptyReport(t *testing.T) {
+	d := &Degraded{Service: "svc", Position: 2, Reason: ReasonBreakerOpen, Err: "shed"}
+	want := "degraded at stage 2 (svc): breaker-open: shed"
+	if d.String() != want {
+		t.Errorf("Degraded.String() = %q, want %q", d.String(), want)
+	}
+	cf := &callFailure{reason: ReasonRetryBudget, err: errors.New("boom")}
+	if cf.Error() != "retry-budget-exhausted: boom" {
+		t.Errorf("callFailure.Error() = %q", cf.Error())
+	}
+	for st, want := range map[breakerState]string{
+		breakerClosed:   "closed",
+		breakerOpen:     "open",
+		breakerHalfOpen: "half-open",
+	} {
+		if st.String() != want {
+			t.Errorf("breakerState(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+
+	// A result where nothing flowed converts to a nil report — the
+	// adaptive registry rejects empty observation lists.
+	r := &Result{Stages: []StageReport{{Service: "a", TuplesIn: 0}}}
+	if rep := r.Report(); rep != nil {
+		t.Errorf("empty execution produced a report: %+v", rep)
+	}
+}

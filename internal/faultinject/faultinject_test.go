@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"serviceordering/internal/exec"
+)
+
+func newBase(t *testing.T) *exec.MockBackend {
+	t.Helper()
+	b := exec.NewMockBackend(1)
+	b.SetService("s", exec.MockService{Cost: 0.001, Selectivity: 1})
+	b.SetService("other", exec.MockService{Cost: 0.001, Selectivity: 1})
+	return b
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []bool {
+		inj := Wrap(newBase(t), Plan{Seed: 42, Services: map[string]Faults{
+			"s": {ErrorRate: 0.3},
+		}})
+		outcomes := make([]bool, 100)
+		for i := range outcomes {
+			_, err := inj.Call(context.Background(), "s", exec.Tuples(4))
+			outcomes[i] = err == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: outcome differs between identical runs", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails < 15 || fails > 45 {
+		t.Fatalf("%d/100 failures for rate 0.3, outside sanity band", fails)
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	pattern := func(seed int64) string {
+		inj := Wrap(newBase(t), Plan{Seed: seed, Services: map[string]Faults{
+			"s": {ErrorRate: 0.5},
+		}})
+		var p []byte
+		for i := 0; i < 64; i++ {
+			if _, err := inj.Call(context.Background(), "s", exec.Tuples(1)); err != nil {
+				p = append(p, 'x')
+			} else {
+				p = append(p, '.')
+			}
+		}
+		return string(p)
+	}
+	if pattern(1) == pattern(2) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	inj := Wrap(newBase(t), Plan{Seed: 1, Services: map[string]Faults{
+		"s": {BlackoutFrom: 3, BlackoutLen: 4},
+	}})
+	for i := 0; i < 10; i++ {
+		_, err := inj.Call(context.Background(), "s", exec.Tuples(2))
+		inBlackout := i >= 3 && i < 7
+		if inBlackout && !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d inside blackout: err = %v, want ErrInjected", i, err)
+		}
+		if !inBlackout && err != nil {
+			t.Fatalf("call %d outside blackout failed: %v", i, err)
+		}
+	}
+	st := inj.Stats()
+	if st.Blackouts != 4 || st.Calls != 10 {
+		t.Fatalf("stats = %+v, want 4 blackouts over 10 calls", st)
+	}
+}
+
+func TestUnplannedServicePassesThrough(t *testing.T) {
+	inj := Wrap(newBase(t), Plan{Seed: 1, Services: map[string]Faults{
+		"s": {ErrorRate: 1},
+	}})
+	if _, err := inj.Call(context.Background(), "other", exec.Tuples(4)); err != nil {
+		t.Fatalf("unplanned service faulted: %v", err)
+	}
+	if _, err := inj.Call(context.Background(), "s", exec.Tuples(4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rate-1 service succeeded: %v", err)
+	}
+}
+
+func TestTrickleAndSpikeDelay(t *testing.T) {
+	inj := Wrap(newBase(t), Plan{Seed: 1, Services: map[string]Faults{
+		"s": {TrickleEvery: 2, Trickle: 20 * time.Millisecond},
+	}})
+	t0 := time.Now()
+	if _, err := inj.Call(context.Background(), "s", exec.Tuples(2)); err != nil {
+		t.Fatalf("call 0: %v", err)
+	}
+	fast := time.Since(t0)
+	t0 = time.Now()
+	if _, err := inj.Call(context.Background(), "s", exec.Tuples(2)); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	slow := time.Since(t0)
+	if slow < 20*time.Millisecond {
+		t.Fatalf("trickled call took %v, want >= 20ms", slow)
+	}
+	if fast > 15*time.Millisecond {
+		t.Fatalf("untrickled call took %v, want fast", fast)
+	}
+	if st := inj.Stats(); st.Trickles != 1 {
+		t.Fatalf("stats = %+v, want 1 trickle", st)
+	}
+
+	spiky := Wrap(newBase(t), Plan{Seed: 1, Services: map[string]Faults{
+		"s": {SpikeRate: 1, Spike: 15 * time.Millisecond},
+	}})
+	t0 = time.Now()
+	if _, err := spiky.Call(context.Background(), "s", exec.Tuples(2)); err != nil {
+		t.Fatalf("spiked call: %v", err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("spiked call took %v, want >= 15ms", d)
+	}
+	if st := spiky.Stats(); st.Spikes != 1 {
+		t.Fatalf("stats = %+v, want 1 spike", st)
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	inj := Wrap(newBase(t), Plan{Seed: 1, Services: map[string]Faults{
+		"s": {SpikeRate: 1, Spike: 10 * time.Second},
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := inj.Call(ctx, "s", exec.Tuples(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("delay ignored the context: took %v", d)
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"serviceordering/internal/admit"
+	"serviceordering/internal/exec"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// maxExecuteTuples bounds the synthetic input stream a single POST
+// /execute may request. The executor streams in blocks so memory stays
+// bounded regardless, but a run's wall time is linear in the tuple count
+// and holds an admission ticket throughout.
+const maxExecuteTuples = 1 << 20
+
+// ExecuteRequest is the body of POST /execute: an instance envelope (the
+// query, same shape as /optimize) plus how many synthetic input tuples to
+// stream through the optimized plan.
+type ExecuteRequest struct {
+	Comment string       `json:"comment,omitempty"`
+	Query   *model.Query `json:"query"`
+	Tuples  int64        `json:"tuples"`
+}
+
+// ExecuteResponse is the reply of POST /execute: the plan that ran (with
+// the planner provenance /optimize reports) and the execution's outcome.
+// A Degraded marker means the output is a partial, subset-of-truth result
+// — every emitted tuple passed every service, some input was never fully
+// processed. Observe reports the adaptive registry's outcome when the
+// execution report was fed back (adaptive planners only).
+type ExecuteResponse struct {
+	Plan      model.Plan `json:"plan"`
+	Cost      float64    `json:"cost"`
+	Optimal   bool       `json:"optimal"`
+	Cached    bool       `json:"cached"`
+	Tier      string     `json:"tier"`
+	Signature string     `json:"signature"`
+
+	TuplesIn      int64              `json:"tuplesIn"`
+	TuplesOut     int64              `json:"tuplesOut"`
+	Degraded      *exec.Degraded     `json:"degraded,omitempty"`
+	Retries       int64              `json:"retries"`
+	Stages        []exec.StageReport `json:"stages"`
+	ElapsedMicros int64              `json:"elapsedMicros"`
+
+	Observed bool `json:"observed"`
+}
+
+// executeRequest is the wire decode target: the query stays raw so the
+// memo path in finishInstanceDecode is shared with /optimize.
+type executeRequest struct {
+	Comment json.RawMessage `json:"comment"`
+	Query   json.RawMessage `json:"query"`
+	Tuples  int64           `json:"tuples"`
+
+	inner optimizeRequest
+}
+
+// execute runs one query end to end: optimize (or reuse the cached plan),
+// stream tuples through the plan against the configured backend, and feed
+// the execution report into the adaptive registry when there is one. A
+// degraded execution is still a 200 — the response carries the typed
+// marker; errors are reserved for invalid requests and canceled callers.
+func (h *handler) execute(w http.ResponseWriter, r *http.Request) {
+	ex := h.opts.Executor
+	if ex == nil {
+		httpError(w, http.StatusNotFound, errors.New("execution disabled (start the server with -exec-backend)"))
+		return
+	}
+	var req executeRequest
+	if err := decodeJSON(w, r, h.opts.MaxBody, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Tuples < 0 || req.Tuples > maxExecuteTuples {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("tuples must be in [0, %d]", maxExecuteTuples))
+		return
+	}
+	req.inner.Comment, req.inner.Query = req.Comment, req.Query
+	if err := h.finishInstanceDecode(&req.inner); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := req.inner.query
+	if q == nil {
+		httpError(w, http.StatusBadRequest, errors.New("instance has no query"))
+		return
+	}
+	if !req.inner.validated {
+		if err := q.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	if h.admission != nil {
+		// Same gate as /optimize: the planning half is the admission-
+		// relevant cost and classifies identically; the execution half
+		// holds the ticket so a melting backend also sheds load here.
+		temp := h.p.Classify(q)
+		class := admit.Cold
+		if temp == planner.TempWarm {
+			class = admit.Warm
+		}
+		ticket, err := h.admission.Acquire(r.Context(), class, r.Header.Get("X-Tenant"))
+		if err != nil {
+			var se *admit.ShedError
+			if errors.As(err, &se) {
+				writeShed(w, se)
+			} else {
+				httpError(w, statusFor(err), err)
+			}
+			return
+		}
+		defer ticket.Release()
+	}
+
+	res, err := h.p.Optimize(r.Context(), q)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	result, err := ex.Execute(r.Context(), q, res.Plan, exec.Tuples(int(req.Tuples)))
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+
+	resp := ExecuteResponse{
+		Plan:          res.Plan,
+		Cost:          res.Cost,
+		Optimal:       res.Optimal,
+		Cached:        res.Cached,
+		Tier:          res.Tier,
+		Signature:     res.Signature.String(),
+		TuplesIn:      result.TuplesIn,
+		TuplesOut:     result.TuplesOut,
+		Degraded:      result.Degraded,
+		Retries:       result.Retries,
+		Stages:        result.Stages,
+		ElapsedMicros: result.Elapsed.Microseconds(),
+	}
+	if reg := h.p.Adaptive(); reg != nil {
+		if rep := result.Report(); rep != nil {
+			if _, oerr := reg.Observe(rep); oerr == nil {
+				resp.Observed = true
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthzResponse is the GET /healthz document. The status code is always
+// 200 while the process serves traffic: "degraded" plus reasons is the
+// load balancer's cue to deprioritize, not to kill — a node with an open
+// breaker or a saturated replan queue is impaired, not dead.
+type HealthzResponse struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+
+	// Reasons lists why the node is degraded, empty when ok:
+	// "snapshot-restore-failed", "replan-queue-saturated", and one
+	// "breaker-open:<service>" per currently open circuit breaker.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if h.opts.SnapshotRestoreFailed {
+		reasons = append(reasons, "snapshot-restore-failed")
+	}
+	if h.replanCh != nil && len(h.replanCh) == cap(h.replanCh) {
+		reasons = append(reasons, "replan-queue-saturated")
+	}
+	if ex := h.opts.Executor; ex != nil {
+		st := ex.Stats()
+		for _, svc := range st.OpenBreakers() {
+			reasons = append(reasons, "breaker-open:"+svc)
+		}
+	}
+	status := "ok"
+	if len(reasons) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: status, Reasons: reasons})
+}

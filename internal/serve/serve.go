@@ -33,6 +33,7 @@ import (
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/admit"
 	"serviceordering/internal/ccache"
+	"serviceordering/internal/exec"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
 )
@@ -84,6 +85,19 @@ type Options struct {
 	// (0 = 64). Replans beyond the bound are dropped — the entry stays
 	// stale-servable and a later shed re-enqueues it.
 	ReplanQueue int
+
+	// Executor, when non-nil, enables POST /execute: optimize (or reuse
+	// the cached plan), run the plan through the fault-tolerant streaming
+	// executor, and — when the planner is adaptive — feed the execution
+	// report into the statistics registry, closing the optimize ->
+	// execute -> observe -> replan loop in a single round trip. Nil
+	// disables the route (404).
+	Executor *exec.Executor
+
+	// SnapshotRestoreFailed records that the warm-boot snapshot restore
+	// failed at startup. The server still works (cold caches); /healthz
+	// reports degraded so operators notice the cold start.
+	SnapshotRestoreFailed bool
 }
 
 // DefaultQueryMemoCapacity matches twice the planner's default plan-cache
@@ -174,6 +188,11 @@ type StatsResponse struct {
 	// when the server runs with an admission controller; omitted when
 	// admission is disabled.
 	Overload *OverloadStats `json:"overload,omitempty"`
+
+	// Exec carries the streaming executor's counters and per-service
+	// circuit-breaker states when POST /execute is enabled; omitted when
+	// the server runs without an executor.
+	Exec *exec.Stats `json:"exec,omitempty"`
 
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptimeSeconds"`
@@ -311,11 +330,9 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	mux.HandleFunc("POST /optimize", h.optimize)
 	mux.HandleFunc("POST /optimize/batch", h.optimizeBatch)
 	mux.HandleFunc("POST /observe", h.observe)
+	mux.HandleFunc("POST /execute", h.execute)
 	mux.HandleFunc("GET /stats", h.stats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", h.healthz)
 	if opts.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -563,6 +580,10 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 			ReplanQueueDepth:  len(h.replanCh),
 			ReplanDropped:     h.bgDropped.Load(),
 		}
+	}
+	if h.opts.Executor != nil {
+		es := h.opts.Executor.Stats()
+		resp.Exec = &es
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

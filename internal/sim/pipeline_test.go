@@ -329,6 +329,110 @@ func TestRunValidation(t *testing.T) {
 	})
 }
 
+// TestEOSOrderingUnderFullQueues: with a slow downstream stage behind a
+// one-block queue, the upstream sender spends most of the run parked on
+// a full queue, and the source's EOS arrives while data blocks are still
+// in flight. End-of-stream must never overtake a parked block: every
+// tuple the fast stage emitted has to clear the slow stage before the
+// sink sees EOS, or Run would undercount (or report a drained event
+// queue without end of stream).
+func TestEOSOrderingUnderFullQueues(t *testing.T) {
+	q := mustQuery(t,
+		[]model.Service{
+			{Cost: 0.01, Selectivity: 1},
+			{Cost: 1, Selectivity: 1},
+		},
+		[][]float64{{0, 0.01}, {0.01, 0}},
+	)
+	cfg := DefaultConfig()
+	cfg.Tuples = 257 // ends on a partial block
+	cfg.BlockSize = 4
+	cfg.QueueCapacityBlocks = 1
+	rep, err := Run(q, model.Plan{0, 1}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 257 {
+		t.Errorf("TuplesOut = %d, want 257 (EOS overtook parked data?)", rep.TuplesOut)
+	}
+	if rep.Stages[1].TuplesIn != rep.Stages[0].TuplesOut {
+		t.Errorf("conservation broken across the stall: stage 0 emitted %d, stage 1 received %d",
+			rep.Stages[0].TuplesOut, rep.Stages[1].TuplesIn)
+	}
+	if rep.Stages[0].Blocked <= 0 {
+		t.Errorf("fast upstream never stalled on the one-block queue; the test exercises nothing")
+	}
+}
+
+// TestCreditReturnAfterStalledSender: a sender parked on a full queue is
+// revived only by the receiver's dequeue credit. Drive a three-stage
+// pipeline whose middle stage is the bottleneck behind tiny queues: a
+// lost credit either deadlocks the run (Run errors on a drained event
+// queue) or idles the bottleneck and inflates the measured period past
+// Eq.(1).
+func TestCreditReturnAfterStalledSender(t *testing.T) {
+	q := simFixture(t)
+	plan := model.Plan{1, 2, 0} // middle stage (service 2, cost 4) dominates
+	cfg := DefaultConfig()
+	cfg.Tuples = 20000
+	cfg.BlockSize = 8
+	cfg.QueueCapacityBlocks = 1
+	rep, err := Run(q, plan, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Stages[0].Blocked <= 0 {
+		t.Errorf("the pre-bottleneck stage never blocked; the credit path went unexercised")
+	}
+	relErr := math.Abs(rep.MeasuredPeriod-rep.PredictedBottleneck) / rep.PredictedBottleneck
+	if relErr > 0.05 {
+		t.Errorf("period %v vs Eq.(1) %v (rel err %.3f): stalled senders not revived promptly",
+			rep.MeasuredPeriod, rep.PredictedBottleneck, relErr)
+	}
+}
+
+// TestZeroSurvivorsMidPlan: an annihilating filter mid-plan must
+// terminate the suffix without work — the downstream stage sees no
+// tuples and spends no busy time — while EOS still reaches the sink.
+func TestZeroSurvivorsMidPlan(t *testing.T) {
+	q := simFixture(t)
+	q.Services[1].Selectivity = 0
+	cfg := DefaultConfig()
+	cfg.Tuples = 300
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != 0 {
+		t.Errorf("TuplesOut = %d, want 0", rep.TuplesOut)
+	}
+	last := rep.Stages[2]
+	if last.TuplesIn != 0 || last.BusyProcessing != 0 || last.BusySending != 0 {
+		t.Errorf("post-annihilation stage did work: %+v", last)
+	}
+	if rep.Makespan <= 0 {
+		t.Errorf("Makespan = %v, want > 0 (EOS must still traverse the plan)", rep.Makespan)
+	}
+}
+
+// TestZeroSurvivorsPartialBlock: fewer tuples than one block and an
+// annihilating first filter — the partial-flush and EOS paths meet an
+// output buffer that never held anything.
+func TestZeroSurvivorsPartialBlock(t *testing.T) {
+	q := simFixture(t)
+	q.Services[0].Selectivity = 0
+	cfg := DefaultConfig()
+	cfg.Tuples = 5
+	cfg.BlockSize = 32
+	rep, err := Run(q, model.Plan{0, 1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Stages[0].TuplesIn != 5 || rep.TuplesOut != 0 {
+		t.Errorf("counts = in %d out %d, want 5 in / 0 out", rep.Stages[0].TuplesIn, rep.TuplesOut)
+	}
+}
+
 // TestRandomPlansStayCloseToModel fuzzes the simulator against the cost
 // model across random instances and plans.
 func TestRandomPlansStayCloseToModel(t *testing.T) {
