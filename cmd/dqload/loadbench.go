@@ -764,6 +764,21 @@ func runServeBench(quick bool, opts loadOpts) (*serveReport, error) {
 				cres.complete, cres.degraded, cres.retries, cres.breakerOpens, cres.entry.Verified)
 		}
 
+		// The failover cell: hedged calls, plan-aware failover, and
+		// reliability-priced replanning — the same /execute path with a
+		// replicated backend, a blacked-out mid-plan service, and an
+		// adaptive registry pricing the flakiness into served plans.
+		fres, err := runFailoverScenario(defaultFailoverSpec(quick), opts)
+		if err != nil {
+			return nil, fmt.Errorf("exec-failover: %w", err)
+		}
+		rep.Entries = append(rep.Entries, fres.entry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (%d/%d failovers rescued, %d hedges won, victim demoted %d -> %d, %d verified)\n",
+				fres.entry.Scenario, fres.entry.ReqPerSec, fres.entry.P50Micros, fres.entry.P99Micros,
+				fres.rescued, fres.attempted, fres.hedgesWon, fres.victimPosBefore, fres.victimPosAfter, fres.entry.Verified)
+		}
+
 		// The restart cell: snapshot round-trip and warm-boot hit rate.
 		// Full suite only — the quick CI gate already exercises the
 		// snapshot mechanism through the dqserve end-to-end tests.

@@ -78,7 +78,8 @@ func run(args []string) error {
 		restart  = fs.Bool("restart", false, "run the restart scenario: snapshot a primed plan cache, warm-boot a fresh server from it, and assert a >= 90% first-window hit rate")
 		execute  = fs.Bool("execute", false, "run the execute scenario: drive POST /execute end to end — optimize, stream tuples through the fault-tolerant executor, observe, and re-converge from a mid-run backend drift on execution feedback alone")
 		chaos    = fs.Bool("chaos", false, "run the chaos scenario: POST /execute through a deterministic fault-injection plan and assert typed degrades, breaker transitions, bounded p99, and no goroutine leaks")
-		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart/-execute/-chaos: the CI-sized scenario (smaller budgets and windows)")
+		failover = fs.Bool("failover", false, "run the failover scenario: hedged calls against a spiking service, plan-aware failover through a victim blackout (every non-degraded response the exact full answer), and reliability-priced replanning demoting the flaky service")
+		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart/-execute/-chaos/-failover: the CI-sized scenario (smaller budgets and windows)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -174,6 +175,25 @@ func run(args []string) error {
 			res.injected.Errors, res.injected.Blackouts, res.injected.Spikes, res.injected.Trickles, res.injected.Calls)
 		fmt.Printf("  survived   %d retries, %d breaker opens (surfaced in /healthz), p50 %.1fµs p99 %.1fµs, no goroutine leaks\n",
 			res.retries, res.breakerOpens, res.entry.P50Micros, res.entry.P99Micros)
+		return nil
+	}
+
+	if *failover {
+		res, err := runFailoverScenario(defaultFailoverSpec(*quickAd), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("failover scenario: %d requests through the fault plan, every non-degraded answer exact\n", res.entry.Requests)
+		fmt.Printf("  hedging    %d launched / %d won against %s's spikes (plus %d in the determinism replay, decisions identical)\n",
+			res.hedgesLaunched, res.hedgesWon, res.spiky, res.detHedges)
+		fmt.Printf("  failover   %d attempted at %s, %d rescued (%.0f%%), %d infeasible; %d complete, %d degraded\n",
+			res.attempted, res.victim, res.rescued, 100*float64(res.rescued)/float64(res.attempted), res.infeasible, res.complete, res.degraded)
+		fmt.Printf("  injected   %d errors, %d blackout failures, %d spikes over %d backend calls\n",
+			res.injected.Errors, res.injected.Blackouts, res.injected.Spikes, res.injected.Calls)
+		fmt.Printf("  drift      %s demoted %d -> %d in %d executions (%d generations), matching the oracle on the registry overlay\n",
+			res.victim, res.victimPosBefore, res.victimPosAfter, res.driftExecs, res.generations)
+		fmt.Printf("  traffic    p50 %.1fµs p99 %.1fµs, %d verified, no goroutine leaks\n",
+			res.entry.P50Micros, res.entry.P99Micros, res.entry.Verified)
 		return nil
 	}
 

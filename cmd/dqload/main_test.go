@@ -17,8 +17,8 @@ func TestSuiteTinyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 7 {
-		t.Fatalf("suite produced %d cells, want 7 (warm-single, warm-batch32, cold-single, drift-replan, overload-shed, execute-loop, exec-chaos; restart-warmboot is full-suite only)", len(rep.Entries))
+	if len(rep.Entries) != 8 {
+		t.Fatalf("suite produced %d cells, want 8 (warm-single, warm-batch32, cold-single, drift-replan, overload-shed, execute-loop, exec-chaos, exec-failover; restart-warmboot is full-suite only)", len(rep.Entries))
 	}
 	for _, e := range rep.Entries {
 		if e.Requests <= 0 {
@@ -33,7 +33,7 @@ func TestSuiteTinyRuns(t *testing.T) {
 		if e.Verified <= 0 {
 			t.Errorf("%s: no responses were cross-checked", e.Scenario)
 		}
-		if e.AllocsPerOp <= 0 && e.Mode != "drift" && e.Mode != "overload" && e.Mode != "execute" && e.Mode != "chaos" {
+		if e.AllocsPerOp <= 0 && e.Mode != "drift" && e.Mode != "overload" && e.Mode != "execute" && e.Mode != "chaos" && e.Mode != "failover" {
 			t.Errorf("%s: allocs/op not measured on a self-hosted run", e.Scenario)
 		}
 		switch e.Mode {
@@ -240,6 +240,35 @@ func TestDriftScenario(t *testing.T) {
 	// The threshold is regret-derived, not a hard-coded default.
 	if res.driftDelta <= 0 || res.driftDelta > 0.25 {
 		t.Fatalf("drift threshold %v outside the probed range", res.driftDelta)
+	}
+}
+
+// TestFailoverScenario is the end-to-end robustness gate: hedge decisions
+// replay deterministically, every non-degraded response through the fault
+// plan is the exact full answer, at least half the would-be-degraded
+// requests are rescued by plan-aware failover, and reliability pricing
+// demotes the flaky service (runFailoverScenario fails on any violation;
+// the assertions here pin the metrics it reports).
+func TestFailoverScenario(t *testing.T) {
+	res, err := runFailoverScenario(defaultFailoverSpec(true), loadOpts{seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.attempted < 5 || res.rescued == 0 {
+		t.Fatalf("failover machinery unexercised: %d attempted, %d rescued", res.attempted, res.rescued)
+	}
+	if res.hedgesLaunched == 0 || res.hedgesWon == 0 || res.detHedges == 0 {
+		t.Fatalf("hedging unexercised: %d launched, %d won, %d in the determinism replay",
+			res.hedgesLaunched, res.hedgesWon, res.detHedges)
+	}
+	if res.victimPosAfter <= res.victimPosBefore {
+		t.Fatalf("victim %s not demoted: position %d -> %d", res.victim, res.victimPosBefore, res.victimPosAfter)
+	}
+	if res.generations == 0 || res.driftExecs <= 0 {
+		t.Fatalf("reliability drift unexercised: %d generations, converged in %d", res.generations, res.driftExecs)
+	}
+	if res.entry.Scenario != "exec-failover" || res.entry.Requests <= 0 || res.entry.Verified <= 0 {
+		t.Fatalf("malformed failover cell: %+v", res.entry)
 	}
 }
 

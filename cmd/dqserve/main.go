@@ -154,6 +154,15 @@ func run(args []string, ready chan<- string) error {
 		execDeadln  = fs.Duration("exec-deadline", 0, "end-to-end execution deadline per /execute request, propagated to every call (0 = none; the server write timeout still applies)")
 		execBlock   = fs.Int("exec-block", 0, "tuples per streamed block between pipeline stages (0 = 64 default)")
 
+		// Hedged calls and plan-aware failover.
+		execReplicas   = fs.Int("exec-replicas", 0, "replica count the mock backend reports per service; >= 2 arms hedged calls (0 = 1, no hedging; ignored for HTTP backends)")
+		execHedgeDelay = fs.Duration("exec-hedge-delay", 0, "fixed delay before a slow call is hedged against a replica (0 = adapt per service to the -exec-hedge-quantile latency, -1 disables hedging)")
+		execHedgeQ     = fs.Float64("exec-hedge-quantile", 0, "latency quantile the adaptive hedge delay tracks (0 = 0.95 default)")
+		execHedgeBudg  = fs.Int("exec-hedge-budget", 0, "hedged attempts one /execute request may launch (0 = default 2, -1 disables)")
+		execHedgeCap   = fs.Float64("exec-hedge-cap", 0, "global cap on hedges as a fraction of all call attempts (0 = 0.25 default, -1 uncapped)")
+		execFailover   = fs.Bool("exec-failover", false, "enable plan-aware failover: re-solve the residual query around a failed stage and rescue the request instead of degrading")
+		execFailRetry  = fs.Int("exec-failover-retries", 0, "fresh retry budget a failover rescue pipeline runs under (0 = default 4, -1 disables rescue retries)")
+
 		adaptiveOn = fs.Bool("adaptive", false, "enable online adaptive replanning: ingest execution reports on POST /observe, overlay fitted statistics onto queries, replan on drift")
 		driftDelta = fs.Float64("drift-delta", adapt.DefaultDriftDelta, "relative parameter drift that publishes a new statistics generation (derive from a regret budget with adapt.ThresholdFromRegret)")
 		ewmaAlpha  = fs.Float64("ewma-alpha", adapt.DefaultAlpha, "EWMA smoothing factor for observed statistics, in (0, 1]")
@@ -229,18 +238,27 @@ func run(args []string, ready chan<- string) error {
 			// The server sees arbitrary queries, so the mock derives a
 			// deterministic profile for any service name it is asked for.
 			mb.DeriveUnknown = true
+			if *execReplicas > 1 {
+				mb.SetDefaultReplicas(*execReplicas)
+			}
 			backend = mb
 		} else {
 			backend = &exec.HTTPBackend{BaseURL: *execBackend}
 		}
 		executor = exec.New(backend, exec.Options{
-			BlockSize:        *execBlock,
-			CallTimeout:      *execTimeout,
-			RetryBudget:      *execRetries,
-			BreakerThreshold: *execBrkN,
-			BreakerCooldown:  *execBrkCool,
-			Deadline:         *execDeadln,
-			JitterSeed:       *execSeed,
+			BlockSize:           *execBlock,
+			CallTimeout:         *execTimeout,
+			RetryBudget:         *execRetries,
+			BreakerThreshold:    *execBrkN,
+			BreakerCooldown:     *execBrkCool,
+			Deadline:            *execDeadln,
+			JitterSeed:          *execSeed,
+			HedgeDelay:          *execHedgeDelay,
+			HedgeQuantile:       *execHedgeQ,
+			HedgeBudget:         *execHedgeBudg,
+			HedgeRateCap:        *execHedgeCap,
+			Failover:            *execFailover,
+			FailoverRetryBudget: *execFailRetry,
 		})
 	}
 

@@ -255,35 +255,76 @@
 // -adaptive, serving traffic alone closes the observe-detect-replan
 // loop, no synthetic /observe payloads required.
 //
-// Real backends fail, so every call is guarded by an escalation ladder:
-// a per-call timeout; retries with exponential backoff and jitter paid
-// from a per-request budget (one flapping service cannot multiply the
-// worst case by the plan length); and a per-service circuit breaker that
-// opens on consecutive failures, sheds calls without touching the
-// backend while open, and admits a single half-open probe per cooldown
-// to decide between closing and re-opening. When a stage fails past the
-// ladder (or the end-to-end deadline expires), the request degrades
-// instead of erroring: upstream stages stop, in-flight work drains, and
-// the caller receives every tuple that completed all stages plus a typed
-// Degraded marker naming the stage, service, and reason — a degraded
-// result is a subset of the true answer, never a wrong one. GET /healthz
-// reports readiness the same way: always 200, with status "degraded" and
-// machine-readable reasons (breaker-open:<service>, replan-queue-
-// saturated, snapshot-restore-failed) as the load balancer's cue to
-// deprioritize rather than kill the node.
+// Real backends fail, so every call is guarded by an escalation ladder
+// — hedge, retry, break, fail over, degrade — where each rung is
+// strictly cheaper for the caller than the next:
+//
+//   - Hedged calls. When the backend exposes replicas (ReplicaBackend)
+//     and a call outlives its hedge delay — fixed, or derived per
+//     service from a windowed latency quantile — a second attempt races
+//     it against another replica; first success wins and the loser is
+//     canceled. A per-request hedge budget and a global hedge-rate cap
+//     keep tail-chasing from multiplying backend load; like backoff
+//     jitter, hedge decisions are deterministic given the seed and the
+//     latency history.
+//   - Retries with exponential backoff and jitter, paid from a
+//     per-request budget (one flapping service cannot multiply the
+//     worst case by the plan length), under a per-call timeout.
+//   - A per-service circuit breaker that opens on consecutive failures,
+//     sheds calls without touching the backend while open, and admits a
+//     single half-open probe per cooldown to decide between closing and
+//     re-opening.
+//   - Plan-aware failover (Options.Failover). When a stage fails past
+//     the retry budget or is shed by an open breaker, the executor
+//     exploits the problem's own structure instead of giving up: the
+//     executed prefix is kept, the residual query over the unfinished
+//     suffix is re-solved with the failed service deferred to the very
+//     end (maximizing its recovery time), and a rescue pipeline runs
+//     the new suffix under a fresh retry budget. A clean rescue returns
+//     the FULL answer — the response carries a FailoverReport instead
+//     of a Degraded marker. Only when precedence constraints make
+//     deferral infeasible, or the rescue itself fails, does the request
+//     degrade.
+//   - Typed degradation. When a stage fails past the whole ladder (or
+//     the end-to-end deadline expires) the request degrades instead of
+//     erroring: upstream stages stop, in-flight work drains, and the
+//     caller receives every tuple that completed all stages plus a
+//     typed Degraded marker naming the stage, service, and reason — a
+//     degraded result is a subset of the true answer, never a wrong
+//     one.
+//
+// Failures also feed back into planning: execution reports carry
+// per-service attempt, failure, and latency-spike tallies, and the
+// adaptive registry (internal/adapt) fits error and spike rates from
+// them, pricing unreliability into the effective cost as
+// cost x E[attempts] — a flaky service gets demoted in subsequent plans
+// by the same machinery that reacts to cost drift, and reliability
+// drift alone publishes a new statistics generation. GET /healthz
+// reports readiness the same way degradation works: always 200, with
+// status "degraded" and machine-readable reasons (breaker-open:
+// <service>, failover-active:<service>, hedge-rate-saturated, replan-
+// queue-saturated, snapshot-restore-failed) as the load balancer's cue
+// to deprioritize rather than kill the node.
 //
 // The fault-injection harness (internal/faultinject) wraps any backend
 // with a deterministic, seedable fault plan — error rates, latency
 // spikes, trickle delays, and blackout windows, all pure functions of
-// (seed, service, call index) — so failure behavior is testable
-// byte-for-byte reproducibly. Two dqload scenarios gate the stack in CI:
-// -execute drives POST /execute traffic through a mock backend whose
-// ground truth drifts mid-run and asserts served plans re-converge on
-// execution feedback alone, and -chaos runs a fault plan (flaky, spiky,
-// and blacked-out services at once) and asserts every response is a 200,
-// every degraded result is typed and stage-consistent, breakers open and
-// recover, /healthz surfaces the open breaker while it lasts, and no
-// goroutines leak. Both run as cells of BENCH_serve.json.
+// (seed, service, call index), with independent per-replica streams so
+// hedges against healthy replicas replay identically — so failure
+// behavior is testable byte-for-byte reproducibly. Three dqload
+// scenarios gate the stack in CI: -execute drives POST /execute traffic
+// through a mock backend whose ground truth drifts mid-run and asserts
+// served plans re-converge on execution feedback alone; -chaos runs a
+// fault plan (flaky, spiky, and blacked-out services at once) and
+// asserts every response is a 200, every degraded result is typed and
+// stage-consistent, breakers open and recover, /healthz surfaces the
+// open breaker while it lasts, and no goroutines leak; and -failover
+// blacks out a mid-plan service while spiking a replicated one and
+// asserts hedge decisions replay deterministically, every non-degraded
+// response is the exact full answer, at least half of the would-be-
+// degraded requests are rescued by plan-aware failover, and reliability
+// pricing demotes the flaky service to match an oracle re-solve of the
+// registry's own overlay. All run as cells of BENCH_serve.json.
 //
 // # The search hot path
 //

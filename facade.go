@@ -168,6 +168,30 @@ type (
 	// true answer, never a wrong one.
 	Degraded = exec.Degraded
 
+	// ExecReplicaBackend extends ExecBackend with replica awareness: a
+	// backend reporting >= 2 replicas for a service arms hedged calls
+	// against it.
+	ExecReplicaBackend = exec.ReplicaBackend
+
+	// FailoverReport records one plan-aware failover: the failed service,
+	// the re-solved residual suffix, and whether the rescue recovered the
+	// full answer.
+	FailoverReport = exec.FailoverReport
+
+	// HedgeReport tallies one execution's hedged attempts (launched, won,
+	// canceled).
+	HedgeReport = exec.HedgeReport
+
+	// ExecResidualPlanner re-solves the residual query a failover builds
+	// around a failed stage; attach one via ExecOptions.ResidualPlanner
+	// (defaults to a direct branch-and-bound solve).
+	ExecResidualPlanner = exec.ResidualPlanner
+
+	// ReliabilityParams is a service's fitted failure profile (error rate,
+	// spike rate); its InflationFactor prices unreliability into planning
+	// cost as the expected attempts per successful call.
+	ReliabilityParams = adapt.ReliabilityParams
+
 	// Tuple is the opaque row identifier flowing through an execution.
 	Tuple = exec.Tuple
 

@@ -98,12 +98,24 @@ func (c Config) validate() error {
 
 // ServiceObservation is the per-service slice of one execution report:
 // aggregate tuple counts and busy processing time for one named service,
-// exactly the quantities internal/calibrate fits offline.
+// exactly the quantities internal/calibrate fits offline — plus the
+// reliability tallies (call attempts, failures, latency spikes) the
+// executor accounts per stage. An observation may carry performance data
+// (TuplesIn > 0), reliability data (Attempts > 0), or both; one with
+// neither is malformed. A stage that only ever failed still teaches the
+// registry its error rate.
 type ServiceObservation struct {
 	Name           string  `json:"name"`
 	TuplesIn       int64   `json:"tuplesIn"`
 	TuplesOut      int64   `json:"tuplesOut"`
 	BusyProcessing float64 `json:"busyProcessing"`
+
+	// Attempts counts call attempts, Failures the failed ones, Spikes
+	// the successful ones slower than the hedge threshold. Zero Attempts
+	// means no reliability content.
+	Attempts int64 `json:"attempts,omitempty"`
+	Failures int64 `json:"failures,omitempty"`
+	Spikes   int64 `json:"spikes,omitempty"`
 }
 
 // TransferObservation is the per-edge slice of one execution report: the
@@ -178,16 +190,59 @@ func (e *ewma) observe(v, alpha float64) {
 	e.count++
 }
 
-// svcState holds one service's live estimates.
+// svcState holds one service's live estimates. Performance (cost, sel)
+// and reliability (errRate, spikeRate) estimates gain confidence
+// independently: a service observed only through failures can publish a
+// reliability anchor before its cost is ever fitted.
 type svcState struct {
 	cost ewma
 	sel  ewma
+
+	errRate   ewma
+	spikeRate ewma
 }
 
 // ServiceParams is one service's published (anchor) parameters.
 type ServiceParams struct {
 	Cost        float64 `json:"cost"`
 	Selectivity float64 `json:"selectivity"`
+}
+
+// ReliabilityParams is one service's published reliability anchor.
+type ReliabilityParams struct {
+	// ErrorRate is the EWMA fraction of call attempts that failed;
+	// SpikeRate the fraction of successful calls slower than the hedge
+	// threshold.
+	ErrorRate float64 `json:"errorRate"`
+	SpikeRate float64 `json:"spikeRate"`
+}
+
+// maxInflationErrorRate caps the error rate entering the expected-attempts
+// geometric series, and maxInflation the factor itself: a fully-black
+// service would otherwise price to infinity and destabilize every plan
+// comparison.
+const (
+	maxInflationErrorRate = 0.9
+	maxInflation          = 10.0
+)
+
+// InflationFactor converts the reliability estimates into the effective
+// cost multiplier reliability-priced planning applies: E[attempts] under
+// independent failures is 1/(1-errorRate) (each failure costs a retry of
+// the same call), and each spike costs roughly one extra concurrent
+// hedged attempt, a (1+spikeRate) load factor. The product is clamped to
+// [1, 10].
+func (p ReliabilityParams) InflationFactor() float64 {
+	er := math.Min(math.Max(p.ErrorRate, 0), maxInflationErrorRate)
+	sr := math.Max(p.SpikeRate, 0)
+	f := (1 + sr) / (1 - er)
+	if f < 1 {
+		f = 1
+	}
+	if f > maxInflation {
+		f = maxInflation
+	}
+	return f
 }
 
 // Snapshot is one published generation: an immutable view of every
@@ -203,20 +258,29 @@ type Snapshot struct {
 	// Edges maps directed name pairs to anchored transfer costs.
 	Services map[string]ServiceParams
 	Edges    map[Edge]float64
+
+	// Reliability maps service name to its anchored error/spike rates.
+	// The overlay prices it as a cost multiplier (InflationFactor), so a
+	// chronically flaky service loses plan positions it would win on raw
+	// cost alone.
+	Reliability map[string]ReliabilityParams
 }
 
 // Empty reports whether the snapshot carries no fitted parameters (the
 // gen-0 state, or a registry that has only seen unconfident observations).
 func (s *Snapshot) Empty() bool {
-	return s == nil || (len(s.Services) == 0 && len(s.Edges) == 0)
+	return s == nil || (len(s.Services) == 0 && len(s.Edges) == 0 && len(s.Reliability) == 0)
 }
 
 // Overlay returns q with every parameter the snapshot anchors substituted
 // in — services matched by name, transfer edges by name pairs — leaving
-// unanchored parameters at the client-provided values. The second result
-// reports whether anything was substituted; when false the original query
-// is returned as-is (no clone). The returned query must be treated as
-// read-only by callers that received changed=false.
+// unanchored parameters at the client-provided values, then inflates each
+// reliability-anchored service's cost by its InflationFactor (effective
+// cost = cost x expected retry/hedge overhead, so the optimizer prices
+// unreliability). The second result reports whether anything was
+// substituted; when false the original query is returned as-is (no
+// clone). The returned query must be treated as read-only by callers that
+// received changed=false.
 func (s *Snapshot) Overlay(q *model.Query) (eff *model.Query, changed bool) {
 	if s.Empty() {
 		return q, false
@@ -231,6 +295,9 @@ func (s *Snapshot) Overlay(q *model.Query) (eff *model.Query, changed bool) {
 		}
 		idxByName[name] = i
 		if _, ok := s.Services[name]; ok {
+			touched = true
+		}
+		if rp, ok := s.Reliability[name]; ok && rp.InflationFactor() > 1 {
 			touched = true
 		}
 	}
@@ -253,6 +320,9 @@ func (s *Snapshot) Overlay(q *model.Query) (eff *model.Query, changed bool) {
 		if p, ok := s.Services[out.Services[i].Name]; ok {
 			out.Services[i].Cost = p.Cost
 			out.Services[i].Selectivity = p.Selectivity
+		}
+		if rp, ok := s.Reliability[out.Services[i].Name]; ok {
+			out.Services[i].Cost *= rp.InflationFactor()
 		}
 	}
 	for ek, t := range s.Edges {
@@ -334,8 +404,11 @@ func (r *Registry) Generation() uint64 { return r.snap.Load().Gen }
 // Observe folds one execution report into the live estimates, re-evaluates
 // drift against the published anchors, and publishes a new generation when
 // any confident parameter has drifted beyond the threshold. Malformed
-// observations (non-positive tuple counts, negative or non-finite times)
-// reject the whole report without touching any estimate.
+// observations (negative or non-finite values, a service observation with
+// neither performance nor reliability content) reject the whole report
+// without touching any estimate. A reliability-only observation — call
+// attempts with no surviving latency sample, e.g. a service that failed
+// every call — is valid and can bump the generation on its own.
 func (r *Registry) Observe(rep *Report) (Outcome, error) {
 	if rep == nil || (len(rep.Services) == 0 && len(rep.Transfers) == 0) {
 		return Outcome{}, fmt.Errorf("adapt: empty report")
@@ -345,7 +418,11 @@ func (r *Registry) Observe(rep *Report) (Outcome, error) {
 	// bad trailing observation cannot leave a half-applied report.
 	type svcFit struct {
 		name      string
+		hasPerf   bool
 		cost, sel float64
+
+		hasRel             bool
+		errRate, spikeRate float64
 	}
 	type edgeFit struct {
 		key Edge
@@ -356,11 +433,29 @@ func (r *Registry) Observe(rep *Report) (Outcome, error) {
 		if o.Name == "" {
 			return Outcome{}, fmt.Errorf("adapt: service observation %d has no name", i)
 		}
-		cost, sel, err := calibrate.FitService(o.BusyProcessing, o.TuplesIn, o.TuplesOut)
-		if err != nil {
-			return Outcome{}, fmt.Errorf("adapt: service %q: %w", o.Name, err)
+		f := svcFit{name: o.Name}
+		if o.TuplesIn > 0 {
+			cost, sel, err := calibrate.FitService(o.BusyProcessing, o.TuplesIn, o.TuplesOut)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("adapt: service %q: %w", o.Name, err)
+			}
+			f.hasPerf, f.cost, f.sel = true, cost, sel
 		}
-		svcFits = append(svcFits, svcFit{o.Name, cost, sel})
+		if o.Attempts > 0 {
+			if o.Failures < 0 || o.Failures > o.Attempts || o.Spikes < 0 || o.Spikes > o.Attempts {
+				return Outcome{}, fmt.Errorf("adapt: service %q: failures %d / spikes %d outside attempts %d",
+					o.Name, o.Failures, o.Spikes, o.Attempts)
+			}
+			f.hasRel = true
+			f.errRate = float64(o.Failures) / float64(o.Attempts)
+			f.spikeRate = float64(o.Spikes) / float64(o.Attempts)
+		} else if o.Attempts < 0 || o.Failures != 0 || o.Spikes != 0 {
+			return Outcome{}, fmt.Errorf("adapt: service %q: failures/spikes without attempts", o.Name)
+		}
+		if !f.hasPerf && !f.hasRel {
+			return Outcome{}, fmt.Errorf("adapt: service %q: observation has neither tuples nor attempts", o.Name)
+		}
+		svcFits = append(svcFits, f)
 	}
 	edgeFits := make([]edgeFit, 0, len(rep.Transfers))
 	for i, o := range rep.Transfers {
@@ -381,8 +476,14 @@ func (r *Registry) Observe(rep *Report) (Outcome, error) {
 			st = &svcState{}
 			r.svc[f.name] = st
 		}
-		st.cost.observe(f.cost, r.cfg.Alpha)
-		st.sel.observe(f.sel, r.cfg.Alpha)
+		if f.hasPerf {
+			st.cost.observe(f.cost, r.cfg.Alpha)
+			st.sel.observe(f.sel, r.cfg.Alpha)
+		}
+		if f.hasRel {
+			st.errRate.observe(f.errRate, r.cfg.Alpha)
+			st.spikeRate.observe(f.spikeRate, r.cfg.Alpha)
+		}
 	}
 	for _, f := range edgeFits {
 		e := r.edge[f.key]
@@ -429,16 +530,27 @@ func relDrift(live float64, anchored bool, anchor float64) float64 {
 }
 
 // driftLocked computes the maximum relative deviation of any confident
-// live estimate from the anchor snapshot. Caller holds r.mu.
+// live estimate from the anchor snapshot. Reliability drifts in
+// inflation-factor space against an implicit anchor of 1.0 when
+// unanchored (gen 0 prices every service as perfectly reliable, and a
+// healthy service measuring factor 1.0 is zero drift, not churn).
+// Caller holds r.mu.
 func (r *Registry) driftLocked(anchor *Snapshot) float64 {
 	maxDrift := 0.0
 	for name, st := range r.svc {
-		if st.cost.count < r.cfg.MinObservations {
-			continue
+		if st.cost.count >= r.cfg.MinObservations {
+			p, ok := anchor.Services[name]
+			maxDrift = math.Max(maxDrift, relDrift(st.cost.value, ok, p.Cost))
+			maxDrift = math.Max(maxDrift, relDrift(st.sel.value, ok, p.Selectivity))
 		}
-		p, ok := anchor.Services[name]
-		maxDrift = math.Max(maxDrift, relDrift(st.cost.value, ok, p.Cost))
-		maxDrift = math.Max(maxDrift, relDrift(st.sel.value, ok, p.Selectivity))
+		if st.errRate.count >= r.cfg.MinObservations {
+			live := ReliabilityParams{ErrorRate: st.errRate.value, SpikeRate: st.spikeRate.value}.InflationFactor()
+			anchorF := 1.0
+			if rp, ok := anchor.Reliability[name]; ok {
+				anchorF = rp.InflationFactor()
+			}
+			maxDrift = math.Max(maxDrift, relDrift(live, true, anchorF))
+		}
 	}
 	for key, e := range r.edge {
 		if e.count < r.cfg.MinObservations {
@@ -454,13 +566,17 @@ func (r *Registry) driftLocked(anchor *Snapshot) float64 {
 // estimate. Caller holds r.mu.
 func (r *Registry) publishLocked(gen uint64) *Snapshot {
 	next := &Snapshot{
-		Gen:      gen,
-		Services: make(map[string]ServiceParams, len(r.svc)),
-		Edges:    make(map[Edge]float64, len(r.edge)),
+		Gen:         gen,
+		Services:    make(map[string]ServiceParams, len(r.svc)),
+		Edges:       make(map[Edge]float64, len(r.edge)),
+		Reliability: make(map[string]ReliabilityParams, len(r.svc)),
 	}
 	for name, st := range r.svc {
 		if st.cost.count >= r.cfg.MinObservations {
 			next.Services[name] = ServiceParams{Cost: st.cost.value, Selectivity: st.sel.value}
+		}
+		if st.errRate.count >= r.cfg.MinObservations {
+			next.Reliability[name] = ReliabilityParams{ErrorRate: st.errRate.value, SpikeRate: st.spikeRate.value}
 		}
 	}
 	for key, e := range r.edge {

@@ -357,3 +357,162 @@ func ExampleRegistry_Observe() {
 	fmt.Println(out.Published, out.Generation)
 	// Output: true 1
 }
+
+func TestInflationFactor(t *testing.T) {
+	cases := []struct {
+		p    ReliabilityParams
+		want float64
+	}{
+		{ReliabilityParams{}, 1},
+		{ReliabilityParams{ErrorRate: 0.5}, 2},                 // E[attempts] = 1/(1-0.5)
+		{ReliabilityParams{SpikeRate: 0.5}, 1.5},               // hedge load factor
+		{ReliabilityParams{ErrorRate: 0.5, SpikeRate: 0.5}, 3}, // product
+		{ReliabilityParams{ErrorRate: 1.0}, 10},                // capped, not infinite
+		{ReliabilityParams{ErrorRate: -1, SpikeRate: -1}, 1},   // clamped below
+	}
+	for _, c := range cases {
+		if got := c.p.InflationFactor(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("InflationFactor(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestObserveReliabilityOnly: a report carrying only attempt/failure
+// tallies — a service that failed every call has no tuple counts to fit —
+// is valid, gains confidence, and publishes a reliability anchor that
+// bumps the generation on its own.
+func TestObserveReliabilityOnly(t *testing.T) {
+	r := MustNew(Config{MinObservations: 3, DriftDelta: 0.1})
+	rep := &Report{Services: []ServiceObservation{
+		{Name: "flaky", Attempts: 10, Failures: 5, Spikes: 2},
+	}}
+	var out Outcome
+	var err error
+	for i := 0; i < 3; i++ {
+		out, err = r.Observe(rep)
+		if err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+	// At confidence, the live inflation factor (~(1+0.2)/(1-0.5) = 2.4)
+	// drifts 140% from the implicit 1.0 anchor: a publish.
+	if !out.Published || out.Generation != 1 {
+		t.Fatalf("outcome = %+v, want a gen-1 publish from reliability alone", out)
+	}
+	snap := r.Current()
+	rp, ok := snap.Reliability["flaky"]
+	if !ok {
+		t.Fatalf("snapshot has no reliability anchor: %+v", snap)
+	}
+	if math.Abs(rp.ErrorRate-0.5) > 1e-12 || math.Abs(rp.SpikeRate-0.2) > 1e-12 {
+		t.Fatalf("anchored reliability = %+v, want {0.5 0.2}", rp)
+	}
+	if _, ok := snap.Services["flaky"]; ok {
+		t.Fatal("a reliability-only service published performance params")
+	}
+}
+
+// TestObserveRejectsMalformedReliability: tallies that cannot have
+// happened reject the whole report without touching estimates.
+func TestObserveRejectsMalformedReliability(t *testing.T) {
+	r := MustNew(Config{})
+	bad := []*Report{
+		{Services: []ServiceObservation{{Name: "s", Attempts: 2, Failures: 3}}},  // failures > attempts
+		{Services: []ServiceObservation{{Name: "s", Attempts: 2, Spikes: -1}}},   // negative spikes
+		{Services: []ServiceObservation{{Name: "s", Failures: 1}}},               // failures without attempts
+		{Services: []ServiceObservation{{Name: "s", Attempts: -1}}},              // negative attempts
+		{Services: []ServiceObservation{{Name: "s"}}},                            // neither tuples nor attempts
+		{Services: []ServiceObservation{{Name: "s", Attempts: 4, Failures: -2}}}, // negative failures
+	}
+	for i, rep := range bad {
+		if _, err := r.Observe(rep); err == nil {
+			t.Errorf("report %d accepted: %+v", i, rep.Services[0])
+		}
+	}
+	if st := r.Stats(); st.Observations != 0 || st.TrackedServices != 0 {
+		t.Fatalf("rejected reports touched the registry: %+v", st)
+	}
+}
+
+// TestObserveHealthyReliabilityNoChurn: a service measuring factor-1.0
+// reliability matches the implicit anchor — confident healthy services
+// must not bump generations.
+func TestObserveHealthyReliabilityNoChurn(t *testing.T) {
+	r := MustNew(Config{MinObservations: 2, DriftDelta: 0.1})
+	rep := &Report{Services: []ServiceObservation{
+		{Name: "solid", Attempts: 20, Failures: 0, Spikes: 0},
+	}}
+	for i := 0; i < 5; i++ {
+		out, err := r.Observe(rep)
+		if err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+		if out.Published {
+			t.Fatalf("observation %d published on a perfectly healthy service", i)
+		}
+	}
+	if gen := r.Generation(); gen != 0 {
+		t.Fatalf("generation = %d, want 0", gen)
+	}
+}
+
+// TestOverlayInflatesUnreliableCost: the overlay multiplies an anchored
+// service's cost by its inflation factor, so the planner demotes flaky
+// services even when raw performance is unchanged.
+func TestOverlayInflatesUnreliableCost(t *testing.T) {
+	q := twoService(t)
+	snap := &Snapshot{
+		Gen:         1,
+		Reliability: map[string]ReliabilityParams{"a": {ErrorRate: 0.5}},
+	}
+	eff, changed := snap.Overlay(q)
+	if !changed {
+		t.Fatal("reliability-only snapshot did not change the query")
+	}
+	if got := eff.Services[0].Cost; math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("inflated cost = %v, want 1 x factor 2", got)
+	}
+	if got := eff.Services[1].Cost; got != 2 {
+		t.Fatalf("unanchored service cost changed to %v", got)
+	}
+	// Inflation composes with a performance anchor: substituted cost, then
+	// the multiplier.
+	snap.Services = map[string]ServiceParams{"a": {Cost: 3, Selectivity: 0.4}}
+	eff, _ = snap.Overlay(q)
+	if got := eff.Services[0].Cost; math.Abs(got-6.0) > 1e-12 {
+		t.Fatalf("anchored+inflated cost = %v, want 3 x 2", got)
+	}
+	// A factor-1 reliability anchor alone is a no-op overlay.
+	calm := &Snapshot{Gen: 1, Reliability: map[string]ReliabilityParams{"a": {}}}
+	if _, changed := calm.Overlay(q); changed {
+		t.Fatal("factor-1 reliability anchor cloned the query for nothing")
+	}
+}
+
+// TestReliabilityDriftRepublishes: after a reliability anchor exists,
+// further error-rate movement re-triggers publication in inflation-factor
+// space.
+func TestReliabilityDriftRepublishes(t *testing.T) {
+	r := MustNew(Config{Alpha: 1, MinObservations: 1, DriftDelta: 0.2})
+	flaky := func(failures int64) *Report {
+		return &Report{Services: []ServiceObservation{
+			{Name: "s", Attempts: 10, Failures: failures},
+		}}
+	}
+	out, err := r.Observe(flaky(5)) // factor 2 vs implicit 1.0: publish
+	if err != nil || !out.Published {
+		t.Fatalf("first publish: out=%+v err=%v", out, err)
+	}
+	out, err = r.Observe(flaky(5)) // unchanged: no churn
+	if err != nil || out.Published {
+		t.Fatalf("steady state published: out=%+v err=%v", out, err)
+	}
+	out, err = r.Observe(flaky(8)) // factor 5 vs anchor 2: 150% drift
+	if err != nil || !out.Published || out.Generation != 2 {
+		t.Fatalf("worsening reliability did not republish: out=%+v err=%v", out, err)
+	}
+	rp := r.Current().Reliability["s"]
+	if math.Abs(rp.ErrorRate-0.8) > 1e-12 {
+		t.Fatalf("anchored error rate = %v, want 0.8", rp.ErrorRate)
+	}
+}

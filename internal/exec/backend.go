@@ -33,6 +33,22 @@ type Backend interface {
 	Call(ctx context.Context, service string, in []Tuple) (CallResult, error)
 }
 
+// ReplicaBackend extends Backend with replica fan-out: a service may be
+// served by several interchangeable replicas, and a hedged attempt targets
+// one explicitly. Replica 0 is the primary (Call's implicit target);
+// replicas must be semantically identical — the executor may take either
+// arm's answer. A backend reporting fewer than two replicas for a service
+// is never hedged against for it.
+type ReplicaBackend interface {
+	Backend
+
+	// Replicas reports how many interchangeable replicas serve service.
+	Replicas(service string) int
+
+	// CallReplica applies the named service's given replica to a block.
+	CallReplica(ctx context.Context, service string, replica int, in []Tuple) (CallResult, error)
+}
+
 // MockService parameterizes one deterministic mock service.
 type MockService struct {
 	// Cost is the virtual processing time per input tuple, in seconds
@@ -63,13 +79,15 @@ type MockBackend struct {
 
 	seed int64
 
-	mu       sync.RWMutex
-	services map[string]MockService
+	mu              sync.RWMutex
+	services        map[string]MockService
+	replicas        map[string]int
+	defaultReplicas int
 }
 
 // NewMockBackend builds an empty mock with the given filtering seed.
 func NewMockBackend(seed int64) *MockBackend {
-	return &MockBackend{seed: seed, services: make(map[string]MockService)}
+	return &MockBackend{seed: seed, services: make(map[string]MockService), replicas: make(map[string]int)}
 }
 
 // SetService registers (or replaces — that is a drift) one service.
@@ -86,6 +104,46 @@ func (m *MockBackend) SetQuery(q *model.Query) {
 	for _, svc := range q.Services {
 		m.SetService(svc.Name, MockService{Cost: svc.Cost, Selectivity: svc.Selectivity})
 	}
+}
+
+// SetReplicas declares how many interchangeable replicas serve one
+// service (values below 1 reset to the default).
+func (m *MockBackend) SetReplicas(name string, n int) {
+	m.mu.Lock()
+	if n < 1 {
+		delete(m.replicas, name)
+	} else {
+		m.replicas[name] = n
+	}
+	m.mu.Unlock()
+}
+
+// SetDefaultReplicas declares the replica count for services without an
+// explicit SetReplicas entry (dqserve's mock mode sets this from a flag).
+func (m *MockBackend) SetDefaultReplicas(n int) {
+	m.mu.Lock()
+	m.defaultReplicas = n
+	m.mu.Unlock()
+}
+
+// Replicas implements ReplicaBackend.
+func (m *MockBackend) Replicas(service string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if n, ok := m.replicas[service]; ok {
+		return n
+	}
+	if m.defaultReplicas > 0 {
+		return m.defaultReplicas
+	}
+	return 1
+}
+
+// CallReplica implements ReplicaBackend. Mock replicas are data-identical
+// by construction — a tuple's fate depends only on (seed, service, tuple)
+// — so a hedged call can never change an answer, only its latency.
+func (m *MockBackend) CallReplica(ctx context.Context, service string, replica int, in []Tuple) (CallResult, error) {
+	return m.Call(ctx, service, in)
 }
 
 // Call implements Backend.

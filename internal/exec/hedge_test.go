@@ -1,0 +1,368 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"serviceordering/internal/model"
+)
+
+// replicaFlaky is a ReplicaBackend test double: data comes from a shared
+// deterministic mock (replicas are semantically identical by construction),
+// while per-(service, replica, call-index) scripts control delay and
+// failure. Call indices are tracked per replica, so scripts are stable
+// regardless of hedge interleaving.
+type replicaFlaky struct {
+	base *MockBackend
+
+	mu       sync.Mutex
+	calls    map[string]int
+	replicas map[string]int
+	delayFor func(service string, replica, idx int) time.Duration
+	failFor  func(service string, replica, idx int) error
+}
+
+func newReplicaFlaky(base *MockBackend) *replicaFlaky {
+	return &replicaFlaky{base: base, calls: make(map[string]int), replicas: make(map[string]int)}
+}
+
+func (f *replicaFlaky) setReplicas(service string, n int) { f.replicas[service] = n }
+
+func (f *replicaFlaky) Replicas(service string) int {
+	if n, ok := f.replicas[service]; ok {
+		return n
+	}
+	return 1
+}
+
+func (f *replicaFlaky) Call(ctx context.Context, service string, in []Tuple) (CallResult, error) {
+	return f.CallReplica(ctx, service, 0, in)
+}
+
+func (f *replicaFlaky) CallReplica(ctx context.Context, service string, replica int, in []Tuple) (CallResult, error) {
+	key := fmt.Sprintf("%s#%d", service, replica)
+	f.mu.Lock()
+	idx := f.calls[key]
+	f.calls[key] = idx + 1
+	f.mu.Unlock()
+	if f.delayFor != nil {
+		if d := f.delayFor(service, replica, idx); d > 0 {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return CallResult{}, ctx.Err()
+			}
+		}
+	}
+	if f.failFor != nil {
+		if err := f.failFor(service, replica, idx); err != nil {
+			return CallResult{}, err
+		}
+	}
+	return f.base.Call(ctx, service, in)
+}
+
+// TestHedgeWinsOnSlowPrimary: a stalled primary is hedged after the fixed
+// delay and the fast replica's answer wins — same tuples, cut latency.
+func TestHedgeWinsOnSlowPrimary(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7))
+	rf.setReplicas("s", 2)
+	rf.delayFor = func(service string, replica, idx int) time.Duration {
+		if replica == 0 {
+			return 80 * time.Millisecond // primary is stuck
+		}
+		return 0
+	}
+	ex := New(rf, Options{HedgeDelay: 2 * time.Millisecond, BlockSize: 64})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(50))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 50 {
+		t.Fatalf("out=%d degraded=%v", res.TuplesOut, res.Degraded)
+	}
+	if res.Hedges.Launched != 1 || res.Hedges.Won != 1 || res.Hedges.Canceled != 0 {
+		t.Fatalf("Hedges = %+v, want one launched and won", res.Hedges)
+	}
+	if res.Stages[0].Hedges != 1 {
+		t.Fatalf("stage hedges = %d, want 1", res.Stages[0].Hedges)
+	}
+	st := ex.Stats()
+	if st.Hedges.Launched != 1 || st.Hedges.Won != 1 {
+		t.Fatalf("stats hedges = %+v", st.Hedges)
+	}
+}
+
+// TestHedgeCanceledWhenPrimaryWins: the hedge launches but the primary
+// answers first; the loser is canceled, not counted as a win, and the
+// answer is unchanged.
+func TestHedgeCanceledWhenPrimaryWins(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7))
+	rf.setReplicas("s", 2)
+	rf.delayFor = func(service string, replica, idx int) time.Duration {
+		if replica == 0 {
+			return 15 * time.Millisecond // slow enough to hedge, fast enough to win
+		}
+		return 200 * time.Millisecond // replica never beats it
+	}
+	ex := New(rf, Options{HedgeDelay: 2 * time.Millisecond})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(20))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 20 {
+		t.Fatalf("out=%d degraded=%v", res.TuplesOut, res.Degraded)
+	}
+	if res.Hedges.Launched != 1 || res.Hedges.Won != 0 || res.Hedges.Canceled != 1 {
+		t.Fatalf("Hedges = %+v, want launched and canceled", res.Hedges)
+	}
+}
+
+// TestHedgeRequiresReplicas: with one replica (or a plain Backend), the
+// hedge machinery stays cold no matter the delay — existing deployments
+// see zero behavior change.
+func TestHedgeRequiresReplicas(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7)) // replicas default to 1
+	rf.delayFor = func(service string, replica, idx int) time.Duration { return 10 * time.Millisecond }
+	ex := New(rf, Options{HedgeDelay: time.Millisecond})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(10))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Hedges != (HedgeReport{}) {
+		t.Fatalf("Hedges = %+v on a single-replica service", res.Hedges)
+	}
+	if st := ex.Stats(); st.Hedges.Launched != 0 || st.Hedges.Suppressed != 0 {
+		t.Fatalf("stats hedges = %+v", st.Hedges)
+	}
+}
+
+// TestHedgeDeterministicDecisions: two identically seeded, identically
+// scripted stacks make the same hedge decisions call for call and return
+// the same answers — hedging never trades determinism for latency.
+func TestHedgeDeterministicDecisions(t *testing.T) {
+	q := testQuery(t,
+		model.Service{Name: "a", Cost: 0.001, Selectivity: 1},
+		model.Service{Name: "b", Cost: 0.001, Selectivity: 0.5},
+	)
+	run := func() *Result {
+		rf := newReplicaFlaky(mockFor(q, 13))
+		rf.setReplicas("b", 3)
+		rf.delayFor = func(service string, replica, idx int) time.Duration {
+			if service == "b" && replica == 0 && idx%2 == 0 {
+				return 40 * time.Millisecond // every even primary call stalls
+			}
+			return 0
+		}
+		ex := New(rf, Options{
+			HedgeDelay:   3 * time.Millisecond,
+			HedgeBudget:  100,
+			HedgeRateCap: -1, // uncapped: decisions depend on the script alone
+			BlockSize:    20,
+		})
+		res, err := ex.Execute(context.Background(), q, identityPlan(2), Tuples(200))
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Hedges != r2.Hedges {
+		t.Fatalf("hedge decisions diverged: %+v vs %+v", r1.Hedges, r2.Hedges)
+	}
+	if r1.Hedges.Launched != 5 || r1.Hedges.Won != 5 {
+		t.Fatalf("Hedges = %+v, want 5 launched and won (even call indices of 10 blocks)", r1.Hedges)
+	}
+	if len(r1.Output) != len(r2.Output) {
+		t.Fatalf("outputs diverged: %d vs %d tuples", len(r1.Output), len(r2.Output))
+	}
+	seen := make(map[Tuple]int)
+	for _, tp := range r1.Output {
+		seen[tp]++
+	}
+	for _, tp := range r2.Output {
+		seen[tp]--
+	}
+	for tp, c := range seen {
+		if c != 0 {
+			t.Fatalf("outputs disagree on tuple %d", tp)
+		}
+	}
+}
+
+// TestHedgeBudgetSuppresses: the per-request budget bounds launches; the
+// excess is suppressed, and suppressed calls still complete on the slow
+// primary.
+func TestHedgeBudgetSuppresses(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7))
+	rf.setReplicas("s", 2)
+	rf.delayFor = func(service string, replica, idx int) time.Duration {
+		if replica == 0 {
+			return 10 * time.Millisecond // every primary call is slow
+		}
+		return 0
+	}
+	ex := New(rf, Options{HedgeDelay: time.Millisecond, HedgeBudget: 1, BlockSize: 10})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(40)) // 4 calls
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil || res.TuplesOut != 40 {
+		t.Fatalf("out=%d degraded=%v", res.TuplesOut, res.Degraded)
+	}
+	if res.Hedges.Launched != 1 {
+		t.Fatalf("Launched = %d, want the whole budget (1)", res.Hedges.Launched)
+	}
+	if st := ex.Stats(); st.Hedges.Suppressed != 3 {
+		t.Fatalf("Suppressed = %d, want 3", st.Hedges.Suppressed)
+	}
+}
+
+// TestHedgeRateCapSaturates: past the burst allowance the global cap
+// blocks further hedges and raises the saturation flag; a later launch
+// clears it.
+func TestHedgeRateCapSaturates(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7))
+	rf.setReplicas("s", 2)
+	rf.delayFor = func(service string, replica, idx int) time.Duration {
+		if replica == 0 {
+			return 8 * time.Millisecond
+		}
+		return 0
+	}
+	ex := New(rf, Options{HedgeDelay: time.Millisecond, HedgeBudget: 1000, HedgeRateCap: 0.01, BlockSize: 4})
+	res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(48)) // 12 calls
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Degraded != nil {
+		t.Fatalf("degraded: %v", res.Degraded)
+	}
+	st := ex.Stats()
+	// The burst lets the first hedgeBurst launch; at 1% of attempts the cap
+	// then blocks everything after.
+	if st.Hedges.Launched != hedgeBurst {
+		t.Fatalf("Launched = %d, want the burst allowance (%d)", st.Hedges.Launched, hedgeBurst)
+	}
+	if st.Hedges.Suppressed != 4 {
+		t.Fatalf("Suppressed = %d, want 4", st.Hedges.Suppressed)
+	}
+	if !st.Hedges.Saturated {
+		t.Fatal("Saturated = false while the cap is blocking hedges")
+	}
+}
+
+// TestHedgeQuantileDelayArming: with HedgeDelay 0 the delay derives from
+// the observed latency quantile — disabled until enough samples, then the
+// quantile clamped to [100us, CallTimeout/2].
+func TestHedgeQuantileDelayArming(t *testing.T) {
+	rf := newReplicaFlaky(NewMockBackend(1))
+	rf.setReplicas("s", 2)
+	ex := New(rf, Options{CallTimeout: 100 * time.Millisecond})
+
+	if d := ex.hedgeDelayFor("s"); d >= 0 {
+		t.Fatalf("hedge armed with zero samples: %v", d)
+	}
+	for i := 0; i < latMinSamples; i++ {
+		ex.recordLatency("s", 2*time.Millisecond)
+	}
+	if d := ex.hedgeDelayFor("s"); d != 2*time.Millisecond {
+		t.Fatalf("quantile delay = %v, want 2ms", d)
+	}
+	// The clamp: microsecond-fast services floor at 100us, slow ones cap
+	// at half the call timeout.
+	for i := 0; i < latWindowSize; i++ {
+		ex.recordLatency("s", time.Microsecond)
+	}
+	if d := ex.hedgeDelayFor("s"); d != 100*time.Microsecond {
+		t.Fatalf("floor clamp = %v, want 100us", d)
+	}
+	for i := 0; i < latWindowSize; i++ {
+		ex.recordLatency("s", time.Second)
+	}
+	if d := ex.hedgeDelayFor("s"); d != 50*time.Millisecond {
+		t.Fatalf("ceiling clamp = %v, want CallTimeout/2", d)
+	}
+	// A single-replica service never arms regardless of samples.
+	for i := 0; i < latMinSamples; i++ {
+		ex.recordLatency("solo", time.Millisecond)
+	}
+	if d := ex.hedgeDelayFor("solo"); d >= 0 {
+		t.Fatalf("single-replica service armed: %v", d)
+	}
+}
+
+// TestHedgeNoGoroutineLeakCanceledMidflight: hedge arms that lose (or
+// whose request finishes first) must exit promptly — repeated executions
+// hold the goroutine count flat.
+func TestHedgeNoGoroutineLeakCanceledMidflight(t *testing.T) {
+	q := testQuery(t, model.Service{Name: "s", Cost: 0.001, Selectivity: 1})
+	rf := newReplicaFlaky(mockFor(q, 7))
+	rf.setReplicas("s", 2)
+	rf.delayFor = func(service string, replica, idx int) time.Duration {
+		if replica == 0 {
+			return 6 * time.Millisecond // slow enough to hedge
+		}
+		return time.Hour // the hedge arm parks until canceled
+	}
+	ex := New(rf, Options{HedgeDelay: time.Millisecond, HedgeBudget: 100, HedgeRateCap: -1, BlockSize: 16})
+	before := runtime.NumGoroutine()
+	var canceled int64
+	for i := 0; i < 30; i++ {
+		res, err := ex.Execute(context.Background(), q, identityPlan(1), Tuples(32))
+		if err != nil {
+			t.Fatalf("Execute %d: %v", i, err)
+		}
+		if res.Degraded != nil {
+			t.Fatalf("Execute %d degraded: %v", i, res.Degraded)
+		}
+		canceled += res.Hedges.Canceled
+	}
+	if canceled == 0 {
+		t.Fatal("no hedges were canceled mid-flight; the test exercised nothing")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after 30 hedged executions", before, runtime.NumGoroutine())
+}
+
+// TestJitterIsPure: the backoff jitter is a pure function of (seed,
+// service, attempt) — identical inputs, identical factor, inside the
+// documented [0.5, 1.5) envelope, and actually varying across inputs.
+func TestJitterIsPure(t *testing.T) {
+	vals := make(map[float64]bool)
+	for _, seed := range []int64{1, 7, 42} {
+		for _, svc := range []string{"a", "b", "search"} {
+			for attempt := 0; attempt < 4; attempt++ {
+				j1 := backoffJitter(seed, svc, attempt)
+				j2 := backoffJitter(seed, svc, attempt)
+				if j1 != j2 {
+					t.Fatalf("jitter(%d,%q,%d) not pure: %v vs %v", seed, svc, attempt, j1, j2)
+				}
+				if j1 < 0.5 || j1 >= 1.5 {
+					t.Fatalf("jitter(%d,%q,%d) = %v outside [0.5, 1.5)", seed, svc, attempt, j1)
+				}
+				vals[j1] = true
+			}
+		}
+	}
+	if len(vals) < 30 {
+		t.Fatalf("only %d distinct jitter values over 36 inputs; the stream is degenerate", len(vals))
+	}
+}

@@ -66,6 +66,14 @@ type Plan struct {
 	// Services maps service names to their faults; absent services pass
 	// through untouched.
 	Services map[string]Faults
+
+	// Replicas, when set, overrides a service's faults for specific
+	// replica indices (hedged calls target replicas explicitly). Replica
+	// 0 always uses Services[name]; other replicas default to fault-free
+	// unless listed here. Every (service, replica) pair keeps its own
+	// deterministic decision stream and call index, so a hedge against a
+	// healthy replica replays identically run after run.
+	Replicas map[string]map[int]Faults
 }
 
 // Stats counts what the injector actually did.
@@ -77,9 +85,12 @@ type Stats struct {
 	Trickles  int64 `json:"trickles"`  // trickle delays injected
 }
 
-// Injector is the wrapping backend.
+// Injector is the wrapping backend. It implements exec.ReplicaBackend:
+// replica counts pass through to the wrapped backend (1 when it has no
+// replica support), and per-replica calls get their own fault streams.
 type Injector struct {
 	backend exec.Backend
+	rb      exec.ReplicaBackend // non-nil when backend exposes replicas
 	plan    Plan
 
 	mu      sync.Mutex
@@ -90,7 +101,11 @@ type Injector struct {
 
 // Wrap builds an Injector applying plan in front of backend.
 func Wrap(backend exec.Backend, plan Plan) *Injector {
-	return &Injector{backend: backend, plan: plan, callIdx: make(map[string]int64)}
+	inj := &Injector{backend: backend, plan: plan, callIdx: make(map[string]int64)}
+	if rb, ok := backend.(exec.ReplicaBackend); ok {
+		inj.rb = rb
+	}
+	return inj
 }
 
 // Stats snapshots the injected-fault counters.
@@ -111,22 +126,63 @@ func (inj *Injector) Call(ctx context.Context, service string, in []Tuple) (exec
 	if !ok {
 		return inj.backend.Call(ctx, service, in)
 	}
+	if err := inj.inject(ctx, service, f); err != nil {
+		return exec.CallResult{}, err
+	}
+	return inj.backend.Call(ctx, service, in)
+}
+
+// Replicas implements exec.ReplicaBackend.
+func (inj *Injector) Replicas(service string) int {
+	if inj.rb == nil {
+		return 1
+	}
+	return inj.rb.Replicas(service)
+}
+
+// CallReplica implements exec.ReplicaBackend. Replica 0 shares the
+// primary stream (its faults and call index are exactly Call's); replica
+// r > 0 draws from the independent stream keyed "service#r" with the
+// faults Plan.Replicas assigns it (fault-free when absent).
+func (inj *Injector) CallReplica(ctx context.Context, service string, replica int, in []Tuple) (exec.CallResult, error) {
+	if inj.rb == nil {
+		return exec.CallResult{}, fmt.Errorf("faultinject: backend has no replica support for %s", service)
+	}
+	inj.calls.Add(1)
+	key := service
+	f, ok := inj.plan.Services[service]
+	if replica > 0 {
+		key = fmt.Sprintf("%s#%d", service, replica)
+		f, ok = inj.plan.Replicas[service][replica]
+	}
+	if ok {
+		if err := inj.inject(ctx, key, f); err != nil {
+			return exec.CallResult{}, err
+		}
+	}
+	return inj.rb.CallReplica(ctx, service, replica, in)
+}
+
+// inject advances key's call index and applies one call's worth of faults
+// from f: a non-nil return is the injected failure; nil means the call
+// proceeds (possibly after an injected delay).
+func (inj *Injector) inject(ctx context.Context, key string, f Faults) error {
 	inj.mu.Lock()
-	idx := inj.callIdx[service]
-	inj.callIdx[service] = idx + 1
+	idx := inj.callIdx[key]
+	inj.callIdx[key] = idx + 1
 	inj.mu.Unlock()
 
 	if f.BlackoutLen > 0 && idx >= f.BlackoutFrom && idx < f.BlackoutFrom+f.BlackoutLen {
 		inj.blackouts.Add(1)
-		return exec.CallResult{}, fmt.Errorf("%w: %s call %d inside blackout [%d,%d)",
-			ErrInjected, service, idx, f.BlackoutFrom, f.BlackoutFrom+f.BlackoutLen)
+		return fmt.Errorf("%w: %s call %d inside blackout [%d,%d)",
+			ErrInjected, key, idx, f.BlackoutFrom, f.BlackoutFrom+f.BlackoutLen)
 	}
-	if f.ErrorRate > 0 && decision(inj.plan.Seed, service, idx, saltError) < f.ErrorRate {
+	if f.ErrorRate > 0 && decision(inj.plan.Seed, key, idx, saltError) < f.ErrorRate {
 		inj.errs.Add(1)
-		return exec.CallResult{}, fmt.Errorf("%w: %s call %d (error rate %.2f)", ErrInjected, service, idx, f.ErrorRate)
+		return fmt.Errorf("%w: %s call %d (error rate %.2f)", ErrInjected, key, idx, f.ErrorRate)
 	}
 	var delay time.Duration
-	if f.SpikeRate > 0 && f.Spike > 0 && decision(inj.plan.Seed, service, idx, saltSpike) < f.SpikeRate {
+	if f.SpikeRate > 0 && f.Spike > 0 && decision(inj.plan.Seed, key, idx, saltSpike) < f.SpikeRate {
 		inj.spikes.Add(1)
 		delay += f.Spike
 	}
@@ -140,10 +196,10 @@ func (inj *Injector) Call(ctx context.Context, service string, in []Tuple) (exec
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
-			return exec.CallResult{}, ctx.Err()
+			return ctx.Err()
 		}
 	}
-	return inj.backend.Call(ctx, service, in)
+	return nil
 }
 
 // Tuple aliases exec.Tuple so the Backend interface matches.

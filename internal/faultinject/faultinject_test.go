@@ -150,3 +150,97 @@ func TestDelayRespectsContext(t *testing.T) {
 		t.Fatalf("delay ignored the context: took %v", d)
 	}
 }
+
+// TestReplicaStreamsIndependentAndDeterministic: replica 0 shares the
+// primary stream exactly; replica r > 0 draws from its own "service#r"
+// stream — fault-free unless Plan.Replicas lists it, and byte-for-byte
+// reproducible across identically seeded injectors.
+func TestReplicaStreamsIndependentAndDeterministic(t *testing.T) {
+	mb := newBase(t)
+	mb.SetReplicas("s", 3)
+	plan := Plan{
+		Seed:     42,
+		Services: map[string]Faults{"s": {ErrorRate: 0.4}},
+		Replicas: map[string]map[int]Faults{"s": {2: {ErrorRate: 0.4}}},
+	}
+
+	run := func() (primary, viaCall, r1, r2 []bool) {
+		inj := Wrap(mb, plan)
+		if got := inj.Replicas("s"); got != 3 {
+			t.Fatalf("Replicas = %d, want 3 (pass-through)", got)
+		}
+		for i := 0; i < 50; i++ {
+			_, err := inj.CallReplica(context.Background(), "s", 0, exec.Tuples(2))
+			primary = append(primary, err == nil)
+		}
+		for i := 0; i < 50; i++ {
+			_, err := inj.CallReplica(context.Background(), "s", 1, exec.Tuples(2))
+			r1 = append(r1, err == nil)
+		}
+		for i := 0; i < 50; i++ {
+			_, err := inj.CallReplica(context.Background(), "s", 2, exec.Tuples(2))
+			r2 = append(r2, err == nil)
+		}
+		// Call and CallReplica(0) must be the SAME stream: a fresh injector
+		// replaying via Call sees the identical outcome sequence.
+		inj2 := Wrap(mb, plan)
+		for i := 0; i < 50; i++ {
+			_, err := inj2.Call(context.Background(), "s", exec.Tuples(2))
+			viaCall = append(viaCall, err == nil)
+		}
+		return primary, viaCall, r1, r2
+	}
+
+	p1, c1, a1, b1 := run()
+	p2, c2, a2, b2 := run()
+	for i := range p1 {
+		if p1[i] != p2[i] || a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatalf("call %d: replica streams differ between identical runs", i)
+		}
+		if p1[i] != c1[i] || c1[i] != c2[i] {
+			t.Fatalf("call %d: Call and CallReplica(0) streams diverge", i)
+		}
+	}
+	// Replica 1 is unlisted: fault-free.
+	for i, ok := range a1 {
+		if !ok {
+			t.Fatalf("replica 1 call %d failed without a fault plan", i)
+		}
+	}
+	// Replica 2 has its own 40%% stream: some failures, and NOT the same
+	// sequence as the primary (independent salt inputs via the #2 key).
+	fails2, same := 0, true
+	for i, ok := range b1 {
+		if !ok {
+			fails2++
+		}
+		if ok != p1[i] {
+			same = false
+		}
+	}
+	if fails2 < 5 || fails2 > 35 {
+		t.Fatalf("replica 2 failures = %d/50 at rate 0.4", fails2)
+	}
+	if same {
+		t.Fatal("replica 2 replays the primary stream; streams are not independent")
+	}
+}
+
+// TestReplicaWithoutSupportErrors: CallReplica against a wrapped backend
+// with no replica support is an explicit error, not a silent fallback.
+func TestReplicaWithoutSupportErrors(t *testing.T) {
+	inj := Wrap(plainBackend{newBase(t)}, Plan{Seed: 1})
+	if got := inj.Replicas("s"); got != 1 {
+		t.Fatalf("Replicas = %d, want 1", got)
+	}
+	if _, err := inj.CallReplica(context.Background(), "s", 1, exec.Tuples(1)); err == nil {
+		t.Fatal("CallReplica succeeded against a replica-less backend")
+	}
+}
+
+// plainBackend strips MockBackend down to the bare Backend interface.
+type plainBackend struct{ mb *exec.MockBackend }
+
+func (p plainBackend) Call(ctx context.Context, service string, in []exec.Tuple) (exec.CallResult, error) {
+	return p.mb.Call(ctx, service, in)
+}

@@ -48,6 +48,14 @@ type ExecuteResponse struct {
 	Stages        []exec.StageReport `json:"stages"`
 	ElapsedMicros int64              `json:"elapsedMicros"`
 
+	// Failover reports a plan-aware failover (a rescued response carries
+	// the FULL answer despite a mid-run failure); FailoverStages are the
+	// rescue pipeline's per-stage accounts. Hedges tallies hedged
+	// attempts, present when any launched.
+	Failover       *exec.FailoverReport `json:"failover,omitempty"`
+	FailoverStages []exec.StageReport   `json:"failoverStages,omitempty"`
+	Hedges         *exec.HedgeReport    `json:"hedges,omitempty"`
+
 	Observed bool `json:"observed"`
 }
 
@@ -145,6 +153,12 @@ func (h *handler) execute(w http.ResponseWriter, r *http.Request) {
 		Stages:        result.Stages,
 		ElapsedMicros: result.Elapsed.Microseconds(),
 	}
+	resp.Failover = result.Failover
+	resp.FailoverStages = result.FailoverStages
+	if result.Hedges.Launched > 0 {
+		hr := result.Hedges
+		resp.Hedges = &hr
+	}
 	if reg := h.p.Adaptive(); reg != nil {
 		if rep := result.Report(); rep != nil {
 			if _, oerr := reg.Observe(rep); oerr == nil {
@@ -164,8 +178,11 @@ type HealthzResponse struct {
 	Status string `json:"status"`
 
 	// Reasons lists why the node is degraded, empty when ok:
-	// "snapshot-restore-failed", "replan-queue-saturated", and one
-	// "breaker-open:<service>" per currently open circuit breaker.
+	// "snapshot-restore-failed", "replan-queue-saturated",
+	// "hedge-rate-saturated" while the global hedge-rate cap is blocking
+	// hedges, one "breaker-open:<service>" per currently open circuit
+	// breaker, and one "failover-active:<service>" per service with a
+	// residual rescue in flight.
 	Reasons []string `json:"reasons,omitempty"`
 }
 
@@ -179,8 +196,14 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if ex := h.opts.Executor; ex != nil {
 		st := ex.Stats()
+		if st.Hedges.Saturated {
+			reasons = append(reasons, "hedge-rate-saturated")
+		}
 		for _, svc := range st.OpenBreakers() {
 			reasons = append(reasons, "breaker-open:"+svc)
+		}
+		for _, svc := range st.Failovers.Active {
+			reasons = append(reasons, "failover-active:"+svc)
 		}
 	}
 	status := "ok"

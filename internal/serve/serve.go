@@ -309,6 +309,19 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	h := &handler{p: p, opts: opts, started: time.Now()}
 	h.bufs.New = func() any { b := make([]byte, 0, 4096); return &b }
 	h.admission = opts.Admission
+	if ex := opts.Executor; ex != nil {
+		// Failover residual queries route through the shared planner: they
+		// hit the plan cache like any request and are priced against the
+		// adaptive overlay, so a rescue's suffix ordering already reflects
+		// fitted reliability.
+		ex.SetResidualPlanner(func(ctx context.Context, sub *model.Query) (model.Plan, error) {
+			res, err := p.Optimize(ctx, sub)
+			if err != nil {
+				return nil, err
+			}
+			return res.Plan, nil
+		})
+	}
 	if h.admission != nil && opts.StaleServe {
 		depth := opts.ReplanQueue
 		if depth <= 0 {
