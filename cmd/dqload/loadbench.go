@@ -40,7 +40,7 @@ const serveBenchSchema = "serviceordering/serve-bench/v1"
 // serveEntry is one load-test cell measurement.
 type serveEntry struct {
 	Scenario    string  `json:"scenario"`
-	Mode        string  `json:"mode"` // warm | cold | drift | overload | restart
+	Mode        string  `json:"mode"` // warm | cold | drift | overload | restart | fleet
 	Batch       int     `json:"batch,omitempty"`
 	Conc        int     `json:"conc"`
 	Requests    int64   `json:"requests"`
@@ -777,6 +777,32 @@ func runServeBench(quick bool, opts loadOpts) (*serveReport, error) {
 			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (%d/%d failovers rescued, %d hedges won, victim demoted %d -> %d, %d verified)\n",
 				fres.entry.Scenario, fres.entry.ReqPerSec, fres.entry.P50Micros, fres.entry.P99Micros,
 				fres.rescued, fres.attempted, fres.hedgesWon, fres.victimPosBefore, fres.victimPosAfter, fres.entry.Verified)
+		}
+
+		// The fleet cells: three consistent-hash-sharded peers. Aggregate
+		// throughput is gated at 2x the warm-single cell just measured,
+		// cross-node cache hits have a floor, and the drift cell reruns
+		// the adaptive loop with the observer and replanner on different
+		// nodes — self-hosted only, like every scenario that must control
+		// its ground truth.
+		warmRef := 0.0
+		for _, e := range rep.Entries {
+			if e.Scenario == "warm-single" {
+				warmRef = e.ReqPerSec
+			}
+		}
+		flres, err := runFleetScenario(defaultFleetSpec(quick), opts, warmRef)
+		if err != nil {
+			return nil, fmt.Errorf("fleet-3peer: %w", err)
+		}
+		rep.Entries = append(rep.Entries, flres.entry, flres.driftEntry)
+		if opts.verbose != nil {
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (aggregate over %d peers [%.1fx single-node], cross-node hit %.1f%%, %d verified)\n",
+				flres.entry.Scenario, flres.entry.ReqPerSec, flres.entry.P50Micros, flres.entry.P99Micros,
+				len(flres.perPeerRps), flres.aggregate/flres.warmRef, 100*flres.hitRate, flres.entry.Verified)
+			fmt.Fprintf(opts.verbose, "serve-bench %-13s %9.0f req/s  p50 %8.1fµs  p99 %8.1fµs  (converged in %d obs at %.4f%% regret, %d anchors gossiped, %d remote re-solves, %d verified)\n",
+				flres.driftEntry.Scenario, flres.driftEntry.ReqPerSec, flres.driftEntry.P50Micros, flres.driftEntry.P99Micros,
+				flres.obsToConverge, 100*flres.finalRegret, flres.gossipSent, flres.remoteSolves, flres.driftEntry.Verified)
 		}
 
 		// The restart cell: snapshot round-trip and warm-boot hit rate.

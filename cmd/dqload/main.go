@@ -79,6 +79,7 @@ func run(args []string) error {
 		execute  = fs.Bool("execute", false, "run the execute scenario: drive POST /execute end to end — optimize, stream tuples through the fault-tolerant executor, observe, and re-converge from a mid-run backend drift on execution feedback alone")
 		chaos    = fs.Bool("chaos", false, "run the chaos scenario: POST /execute through a deterministic fault-injection plan and assert typed degrades, breaker transitions, bounded p99, and no goroutine leaks")
 		failover = fs.Bool("failover", false, "run the failover scenario: hedged calls against a spiking service, plan-aware failover through a victim blackout (every non-degraded response the exact full answer), and reliability-priced replanning demoting the flaky service")
+		fleetRun = fs.Bool("fleet", false, "run the fleet scenario: three consistent-hash-sharded dqserve peers (self-hosted, or >= 2 comma-separated -target URLs), measuring aggregate throughput, cross-node cache hits, and drift convergence with the observer and replanner on different nodes")
 		quickAd  = fs.Bool("drift-quick", false, "with -drift/-overload/-restart/-execute/-chaos/-failover: the CI-sized scenario (smaller budgets and windows)")
 		seed     = fs.Int64("seed", 1, "workload generation seed")
 	)
@@ -175,6 +176,28 @@ func run(args []string) error {
 			res.injected.Errors, res.injected.Blackouts, res.injected.Spikes, res.injected.Trickles, res.injected.Calls)
 		fmt.Printf("  survived   %d retries, %d breaker opens (surfaced in /healthz), p50 %.1fµs p99 %.1fµs, no goroutine leaks\n",
 			res.retries, res.breakerOpens, res.entry.P50Micros, res.entry.P99Micros)
+		return nil
+	}
+
+	if *fleetRun {
+		res, err := runFleetScenario(defaultFleetSpec(*quickAd), opts, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet scenario: %d peers, aggregate %.0f req/s (single-node reference %.0f, %.1fx)\n",
+			len(res.perPeerRps), res.aggregate, res.warmRef, res.aggregate/res.warmRef)
+		for i, rps := range res.perPeerRps {
+			fmt.Printf("  peer %d      %9.0f req/s\n", i, rps)
+		}
+		fmt.Printf("  cross-node  %9.1f%% of requests answered from a replicated or forwarded-warm entry\n", 100*res.hitRate)
+		fmt.Printf("  traffic     %d requests, p50 %.1fµs p99 %.1fµs, %d oracle-verified\n",
+			res.entry.Requests, res.entry.P50Micros, res.entry.P99Micros, res.entry.Verified)
+		if res.driftEntry.Requests > 0 {
+			fmt.Printf("  drift       converged in %d observations at %.4f%% regret; observer %s gossiped %d anchors (%d applied remotely), %d re-solves on other nodes, generation %d fleet-wide\n",
+				res.obsToConverge, 100*res.finalRegret, res.observer, res.gossipSent, res.gossipApplied, res.remoteSolves, res.generations)
+			fmt.Printf("  drift cell  %9.0f req/s, p50 %.1fµs p99 %.1fµs, %d verified\n",
+				res.driftEntry.ReqPerSec, res.driftEntry.P50Micros, res.driftEntry.P99Micros, res.driftEntry.Verified)
+		}
 		return nil
 	}
 

@@ -17,8 +17,8 @@ func TestSuiteTinyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 8 {
-		t.Fatalf("suite produced %d cells, want 8 (warm-single, warm-batch32, cold-single, drift-replan, overload-shed, execute-loop, exec-chaos, exec-failover; restart-warmboot is full-suite only)", len(rep.Entries))
+	if len(rep.Entries) != 10 {
+		t.Fatalf("suite produced %d cells, want 10 (warm-single, warm-batch32, cold-single, drift-replan, overload-shed, execute-loop, exec-chaos, exec-failover, fleet-3peer, fleet-drift; restart-warmboot is full-suite only)", len(rep.Entries))
 	}
 	for _, e := range rep.Entries {
 		if e.Requests <= 0 {
@@ -33,7 +33,7 @@ func TestSuiteTinyRuns(t *testing.T) {
 		if e.Verified <= 0 {
 			t.Errorf("%s: no responses were cross-checked", e.Scenario)
 		}
-		if e.AllocsPerOp <= 0 && e.Mode != "drift" && e.Mode != "overload" && e.Mode != "execute" && e.Mode != "chaos" && e.Mode != "failover" {
+		if e.AllocsPerOp <= 0 && e.Mode != "drift" && e.Mode != "overload" && e.Mode != "execute" && e.Mode != "chaos" && e.Mode != "failover" && e.Mode != "fleet" {
 			t.Errorf("%s: allocs/op not measured on a self-hosted run", e.Scenario)
 		}
 		switch e.Mode {

@@ -58,17 +58,34 @@ func TestRestartScenarioRejectsExternalTarget(t *testing.T) {
 	}
 }
 
-// TestScenarioCLIFlags drives the real -overload / -restart flag surface
-// through run(), covering the scenario summaries main prints.
+// TestScenarioCLIFlags drives the real scenario flag surface through
+// run(), covering each dispatch and the scenario summaries main prints.
 func TestScenarioCLIFlags(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real load scenarios")
 	}
-	if err := run([]string{"-overload", "-drift-quick"}); err != nil {
-		t.Fatalf("-overload: %v", err)
+	for _, flag := range []string{"-overload", "-restart", "-drift", "-execute", "-chaos", "-failover"} {
+		if err := run([]string{flag, "-drift-quick"}); err != nil {
+			t.Fatalf("%s: %v", flag, err)
+		}
 	}
-	if err := run([]string{"-restart", "-drift-quick"}); err != nil {
-		t.Fatalf("-restart: %v", err)
+}
+
+// TestAdhocCLIFlags drives the default (no scenario flag) single-cell
+// path: closed-loop warm, open-loop warm, and the mode validation.
+func TestAdhocCLIFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real load cells")
+	}
+	common := []string{"-corpus", "4", "-n", "6", "-conc", "2", "-duration", "60ms"}
+	if err := run(append([]string{"-mode", "warm"}, common...)); err != nil {
+		t.Fatalf("ad-hoc closed-loop: %v", err)
+	}
+	if err := run(append([]string{"-mode", "warm", "-open", "-rate", "500"}, common...)); err != nil {
+		t.Fatalf("ad-hoc open-loop: %v", err)
+	}
+	if err := run([]string{"-mode", "tepid"}); err == nil || !strings.Contains(err.Error(), "want warm or cold") {
+		t.Fatalf("-mode tepid accepted: %v", err)
 	}
 }
 

@@ -37,6 +37,12 @@
 //	                      open). Always 200 while the process serves.
 //	GET  /debug/pprof/*   runtime profiling, only with -pprof.
 //
+// Every endpoint above also exists under /v1/ (plus POST /v1/call/{service}
+// when a backend is configured) speaking the versioned envelope —
+// {"data":...,"error":null} on success, {"data":null,"error":{"code",
+// "message","retryAfterSeconds"}} on failure. The unversioned paths are
+// deprecation aliases: identical bodies, plus a Deprecation header.
+//
 // Usage:
 //
 //	dqserve -addr :8080 -cache 4096 -batch-workers 8
@@ -69,6 +75,15 @@
 //	                                  # fault-tolerance knobs: per-request
 //	                                  # retry budget, per-service breaker,
 //	                                  # per-call timeout, end-to-end deadline
+//	dqserve -fleet-addr :9080 -peers host1:9080,host2:9080,host3:9080 \
+//	        -fleet-id prod -replication 2
+//	                                  # fleet member: the plan-signature
+//	                                  # space is consistent-hash sharded
+//	                                  # across the peers; mis-owned
+//	                                  # /v1/optimize requests forward to
+//	                                  # their owner, warm entries replicate
+//	                                  # owner->replica, adaptive generations
+//	                                  # gossip to every peer
 //
 // Instances with more services than the exact core's 64-service limit are
 // served by the heuristic planning tier (greedy + beam + local search, and
@@ -89,13 +104,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"serviceordering/internal/adapt"
 	"serviceordering/internal/admit"
+	"serviceordering/internal/choreo"
 	"serviceordering/internal/core"
 	"serviceordering/internal/exec"
+	"serviceordering/internal/fleet"
 	"serviceordering/internal/htier"
 	"serviceordering/internal/planner"
 	"serviceordering/internal/serve"
@@ -162,6 +180,14 @@ func run(args []string, ready chan<- string) error {
 		execHedgeCap   = fs.Float64("exec-hedge-cap", 0, "global cap on hedges as a fraction of all call attempts (0 = 0.25 default, -1 uncapped)")
 		execFailover   = fs.Bool("exec-failover", false, "enable plan-aware failover: re-solve the residual query around a failed stage and rescue the request instead of degrading")
 		execFailRetry  = fs.Int("exec-failover-retries", 0, "fresh retry budget a failover rescue pipeline runs under (0 = default 4, -1 disables rescue retries)")
+
+		// Fleet: consistent-hash sharding of the plan-signature space
+		// across several dqserve processes (see internal/fleet). All three
+		// peer flags must agree across the fleet.
+		fleetAddr   = fs.String("fleet-addr", "", "this node's peer-protocol listen address (host:port); required with -peers")
+		fleetPeers  = fs.String("peers", "", "comma-separated fleet membership: every peer's -fleet-addr, including this node's (empty = single-node, no fleet)")
+		fleetID     = fs.String("fleet-id", "dqfleet", "fleet name; peers refuse frames from another fleet")
+		replication = fs.Int("replication", 2, "peers (owner included) holding each warm plan entry")
 
 		adaptiveOn = fs.Bool("adaptive", false, "enable online adaptive replanning: ingest execution reports on POST /observe, overlay fitted statistics onto queries, replan on drift")
 		driftDelta = fs.Float64("drift-delta", adapt.DefaultDriftDelta, "relative parameter drift that publishes a new statistics generation (derive from a regret budget with adapt.ThresholdFromRegret)")
@@ -231,8 +257,8 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	var executor *exec.Executor
+	var backend exec.Backend
 	if *execBackend != "" {
-		var backend exec.Backend
 		if *execBackend == "mock" {
 			mb := exec.NewMockBackend(*execSeed)
 			// The server sees arbitrary queries, so the mock derives a
@@ -275,6 +301,40 @@ func run(args []string, ready chan<- string) error {
 		return fmt.Errorf("-stale-serve requires admission control (-admit-max-concurrent > 0): stale-serve is the degraded mode of a shed, and without shedding there is nothing to degrade")
 	}
 
+	// Fleet membership: a static peer list, this node identified by its
+	// own -fleet-addr appearing in it. The peer listener binds before the
+	// HTTP listener so a peer booting later can reach this one as soon as
+	// it serves traffic.
+	var fleetPeer *fleet.Peer
+	if *fleetPeers != "" {
+		if *fleetAddr == "" {
+			return fmt.Errorf("-peers requires -fleet-addr (this node's own peer address)")
+		}
+		members := strings.Split(*fleetPeers, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		ps, err := choreo.ListenPeer(*fleetAddr, *fleetID)
+		if err != nil {
+			return err
+		}
+		fleetPeer, err = fleet.New(fleet.Options{
+			FleetID:     *fleetID,
+			Self:        *fleetAddr,
+			Peers:       members,
+			Replication: *replication,
+			Planner:     p,
+			Registry:    registry,
+			Server:      ps,
+		})
+		if err != nil {
+			ps.Close()
+			return err
+		}
+		fleetPeer.Run()
+		defer fleetPeer.Close()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -288,6 +348,8 @@ func run(args []string, ready chan<- string) error {
 			ReplanQueue:           *replanQueue,
 			Executor:              executor,
 			SnapshotRestoreFailed: snapRestoreFailed,
+			Fleet:                 fleetPeer,
+			Backend:               backend,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,

@@ -326,6 +326,65 @@
 // pricing demotes the flaky service to match an oracle re-solve of the
 // registry's own overlay. All run as cells of BENCH_serve.json.
 //
+// # The fleet
+//
+// One warm node serves its working set in microseconds; internal/fleet
+// makes N of them one service. Peers (dqserve -peers, -fleet-id)
+// consistent-hash the canonical plan-signature space — FNV-64 over the
+// same WL-refinement signature the cache is keyed by, 64 virtual nodes
+// per peer — so every node independently computes the same owner for
+// every query with no coordinator and no routing state to reconcile.
+// The peer wire protocol runs over internal/choreo's length-prefixed
+// TCP frames with a fleet-ID handshake (a staging node dialing prod is
+// refused at hello), and all forwarded requests speak only the /v1
+// envelope.
+//
+// A /v1/optimize request landing on the wrong node is forwarded to the
+// owner and the owner's response — status, Retry-After, envelope bytes
+// — is relayed verbatim: one wrap, by construction, because the relay
+// path never re-encodes (a shed on the owner reaches the client as the
+// owner's own 429). Forwarding is one hop at most: a forwarded request
+// is always served locally by its receiver. When the owner solves a
+// query fresh it exports the cache entry as a single-entry SOP1
+// document and pushes it, stamped with the owner's statistics
+// generation, to its replica set; a replica that already moved past
+// that generation stores the entry stale rather than serve a plan
+// fitted to parameters it no longer holds. Replicated entries let
+// non-owners answer repeat traffic locally — the cross-node warm hit —
+// and let reads survive the owner's death. When a forward fails (peer
+// died mid-flight), the forwarder solves locally instead: a correct,
+// colder answer, never an error; the consistent-hash ring needs no
+// rebalancing because ownership is a pure function of the peer list.
+//
+// The adaptive loop crosses nodes the same way: when any peer's
+// registry publishes a new statistics generation (an /observe ingest
+// that crossed the drift threshold), the fitted anchor snapshot is
+// broadcast to every peer. Installing it bumps the local generation,
+// and the generation-stamped cache gives lazy fleet-wide invalidation
+// for free — every entry fitted under the old generation simply stops
+// matching, exactly as on a single node. The observer and the
+// replanner can be different machines: reports land wherever the
+// executor runs, the re-solve happens wherever the signature hashes.
+// The dqload -fleet scenario gates this in CI as two BENCH_serve.json
+// cells: fleet-3peer (three self-hosted peers must aggregate >= 2x the
+// warm-single cell, with the cross-node hit rate reported) and
+// fleet-drift (post-drift convergence to <= 1% regret with observer
+// and replanner on different peers), every sampled response
+// oracle-verified.
+//
+// The HTTP surface is versioned: every endpoint lives under /v1
+// (/v1/optimize, /v1/optimize/batch, /v1/execute, /v1/observe,
+// /v1/stats, /v1/healthz, /v1/call/{service}) and answers one envelope
+// — {"data":...,"error":null} on success, {"data":null,"error":
+// {"code","message","retryAfterSeconds"}} on failure — with one
+// error-mapping table shared by the local and forwarded paths. The
+// legacy unversioned paths remain as thin aliases that emit a
+// Deprecation header and a Link to their successor. The facade
+// consolidates server construction into NewServeHandler(ServeOptions)
+// and NewFleetPeer(FleetOptions); the scattered compatibility knobs
+// (serve.Options.LegacyEncode, planner.Config.LegacyLRUCache) are
+// deprecated in favor of the single ServeOptions.Compat CompatMode.
+//
 // # The search hot path
 //
 // The exact search is engineered so a dfs node costs tens of nanoseconds

@@ -2,17 +2,22 @@ package serviceordering
 
 import (
 	"context"
+	"net/http"
+	"time"
 
 	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
 	"serviceordering/internal/baseline"
 	"serviceordering/internal/choreo"
 	"serviceordering/internal/core"
 	"serviceordering/internal/exec"
 	"serviceordering/internal/faultinject"
+	"serviceordering/internal/fleet"
 	"serviceordering/internal/gen"
 	"serviceordering/internal/htier"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
+	"serviceordering/internal/serve"
 	"serviceordering/internal/sim"
 )
 
@@ -332,3 +337,180 @@ func Generate(p GenParams) (*Query, error) { return p.Generate() }
 // DefaultGenParams returns the experiment suite's base distribution for n
 // services.
 func DefaultGenParams(n int, seed int64) GenParams { return gen.Default(n, seed) }
+
+// CompatMode selects how much pre-v1 behavior a component replays. The
+// loose per-layer knobs (serve.Options.LegacyEncode and
+// PlannerConfig.LegacyLRUCache) remain as the wire-level switches, but new
+// code states its intent once, here, and the facade maps it down.
+type CompatMode int
+
+const (
+	// CompatOff is the production mode: fast encoder, clock caches, /v1
+	// envelope everywhere.
+	CompatOff CompatMode = iota
+
+	// CompatLegacy replays the pre-v4 serving stack — encoding/json
+	// responses with two-space indentation and the promote-on-read mutex
+	// LRU — for differential tests and A/B load measurement.
+	CompatLegacy
+)
+
+// Serving-layer types, re-exported from internal/serve, internal/admit,
+// and internal/fleet: the dqserve HTTP handler, its admission controller,
+// and the multi-node fleet runtime.
+type (
+	// AdmissionController is the cost-aware admission gate: bounded
+	// concurrency and queueing with warm/cold classification, cold-first
+	// shedding, per-tenant fair share, and Retry-After estimates.
+	AdmissionController = admit.Controller
+
+	// AdmissionOptions tunes an AdmissionController. The zero value of
+	// any field selects its default.
+	AdmissionOptions = admit.Options
+
+	// FleetPeer is one member of a multi-node dqserve fleet: it
+	// consistent-hashes the canonical plan-signature space across the
+	// peer ring, forwards wrong-owner /v1/optimize requests (or answers
+	// from a fresh local replica), replicates warm plan-cache entries
+	// owner -> replica set, and gossips published adaptive generations
+	// to every peer.
+	FleetPeer = fleet.Peer
+
+	// FleetStats snapshots a FleetPeer's routing, replication, and
+	// gossip counters (the "fleet" block of GET /v1/stats).
+	FleetStats = fleet.Stats
+
+	// PeerServer is a fleet peer's frame listener (the choreography TCP
+	// transport reused for peer-to-peer frames).
+	PeerServer = choreo.PeerServer
+)
+
+// ServeOptions configures NewServeHandler: the production dqserve HTTP
+// handler hosted in-process. It groups the serving knobs that grew up as
+// loose fields — body limits, admission, stale-serve, execution, fleet
+// membership — into one document, with compatibility behavior named once
+// via Compat.
+type ServeOptions struct {
+	// MaxBody bounds request body size in bytes (0 = 8 MiB).
+	MaxBody int64
+
+	// Pprof exposes /debug/pprof endpoints.
+	Pprof bool
+
+	// QueryMemoCapacity bounds the byte-exact query memo (0 = default,
+	// negative disables).
+	QueryMemoCapacity int
+
+	// Admission, when non-nil, gates /optimize and /optimize/batch (and
+	// their /v1 forms) through the admission controller.
+	Admission *AdmissionController
+
+	// StaleServe answers admission-shed requests from a resident
+	// previous-generation plan ("stale":true) and enqueues a background
+	// replan. Requires Admission.
+	StaleServe bool
+
+	// ReplanQueue bounds the stale-serve background replan queue (0 = 64).
+	ReplanQueue int
+
+	// Executor, when non-nil, enables POST /execute and /v1/execute.
+	Executor *Executor
+
+	// Backend, when non-nil, exposes POST /v1/call/{service}.
+	Backend ExecBackend
+
+	// Fleet, when non-nil, attaches this handler to a fleet peer:
+	// /v1/optimize routes by signature ownership; legacy paths always
+	// serve locally.
+	Fleet *FleetPeer
+
+	// SnapshotRestoreFailed marks a failed warm-boot snapshot restore so
+	// /healthz reports degraded.
+	SnapshotRestoreFailed bool
+
+	// Compat selects the serving compatibility mode. CompatLegacy maps
+	// onto the deprecated serve.Options.LegacyEncode wire knob.
+	Compat CompatMode
+}
+
+// FleetOptions configures NewFleetPeer. Self must appear in Peers, and the
+// same FleetID, Peers, Replication, and VirtualNodes must be passed on
+// every node — the ring is computed independently and must agree.
+type FleetOptions struct {
+	// FleetID names the fleet; peers refuse frames from another fleet.
+	FleetID string
+
+	// Self is this peer's fleet address (host:port of its PeerServer).
+	Self string
+
+	// Peers is the full static membership, Self included.
+	Peers []string
+
+	// Replication is the number of peers (owner included) holding each
+	// signature's plan entry; clamped to [1, len(Peers)], default 2.
+	Replication int
+
+	// VirtualNodes is the per-peer consistent-hash ring point count
+	// (default 64).
+	VirtualNodes int
+
+	// Planner is the local planner whose cache is sharded and replicated.
+	Planner *Planner
+
+	// Registry, when non-nil, receives gossiped anchor snapshots.
+	Registry *AdaptiveRegistry
+
+	// Server is this peer's already-listening frame listener (see
+	// ListenFleetPeer).
+	Server *PeerServer
+
+	// DialTimeout bounds peer dials (default 2s).
+	DialTimeout time.Duration
+}
+
+// NewAdmissionController builds the cost-aware admission gate. Attach it
+// via ServeOptions.Admission.
+func NewAdmissionController(opts AdmissionOptions) *AdmissionController { return admit.New(opts) }
+
+// NewServeHandler builds the production dqserve HTTP handler over a
+// planner: the full route table (versioned /v1 surface plus the deprecated
+// unversioned aliases), the allocation-lean response fast path, and — when
+// configured — admission control, execution, and fleet routing.
+func NewServeHandler(p *Planner, o ServeOptions) http.Handler {
+	return serve.NewHandler(p, serve.Options{
+		MaxBody:               o.MaxBody,
+		Pprof:                 o.Pprof,
+		LegacyEncode:          o.Compat == CompatLegacy,
+		QueryMemoCapacity:     o.QueryMemoCapacity,
+		Admission:             o.Admission,
+		StaleServe:            o.StaleServe,
+		ReplanQueue:           o.ReplanQueue,
+		Executor:              o.Executor,
+		SnapshotRestoreFailed: o.SnapshotRestoreFailed,
+		Fleet:                 o.Fleet,
+		Backend:               o.Backend,
+	})
+}
+
+// ListenFleetPeer opens a fleet peer's frame listener on addr (":0" picks
+// a free port; read it back with Addr). Pass the result as
+// FleetOptions.Server.
+func ListenFleetPeer(addr, fleetID string) (*PeerServer, error) {
+	return choreo.ListenPeer(addr, fleetID)
+}
+
+// NewFleetPeer builds one fleet member's runtime. Call Run to start
+// serving peer frames and replicating, and Close on shutdown.
+func NewFleetPeer(o FleetOptions) (*FleetPeer, error) {
+	return fleet.New(fleet.Options{
+		FleetID:      o.FleetID,
+		Self:         o.Self,
+		Peers:        o.Peers,
+		Replication:  o.Replication,
+		VirtualNodes: o.VirtualNodes,
+		Planner:      o.Planner,
+		Registry:     o.Registry,
+		Server:       o.Server,
+		DialTimeout:  o.DialTimeout,
+	})
+}

@@ -1,0 +1,129 @@
+package serviceordering_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"serviceordering"
+)
+
+// TestFacadeServeHandler exercises the consolidated ServeOptions
+// constructor: the /v1 surface answers in the envelope, the legacy path
+// still works and carries the deprecation steer, and CompatLegacy yields
+// the same documents as the default mode.
+func TestFacadeServeHandler(t *testing.T) {
+	body := []byte(`{"query":{"services":[{"name":"a","cost":2,"selectivity":0.5},{"name":"b","cost":1,"selectivity":0.8}],"transfer":[[0,1],[2,0]]}}`)
+
+	post := func(compat serviceordering.CompatMode, path string) *httptest.ResponseRecorder {
+		t.Helper()
+		p := serviceordering.NewPlanner(serviceordering.PlannerConfig{})
+		handler := serviceordering.NewServeHandler(p, serviceordering.ServeOptions{Compat: compat})
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		return w
+	}
+
+	wV1 := post(serviceordering.CompatOff, "/v1/optimize")
+	if wV1.Code != 200 {
+		t.Fatalf("/v1/optimize status %d: %s", wV1.Code, wV1.Body)
+	}
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(wV1.Body.Bytes(), &env); err != nil || string(env.Error) != "null" {
+		t.Fatalf("v1 envelope: %v %s", err, wV1.Body)
+	}
+
+	wLegacy := post(serviceordering.CompatOff, "/optimize")
+	if wLegacy.Code != 200 {
+		t.Fatalf("/optimize status %d: %s", wLegacy.Code, wLegacy.Body)
+	}
+	if wLegacy.Header().Get("Deprecation") != "true" {
+		t.Fatal("legacy path missing Deprecation header")
+	}
+
+	wCompat := post(serviceordering.CompatLegacy, "/optimize")
+	if wCompat.Code != 200 {
+		t.Fatalf("CompatLegacy status %d: %s", wCompat.Code, wCompat.Body)
+	}
+	var a, b map[string]any
+	if err := json.Unmarshal(wLegacy.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wCompat.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"plan", "cost", "signature", "optimal"} {
+		av, bv := a[k], b[k]
+		aj, _ := json.Marshal(av)
+		bj, _ := json.Marshal(bv)
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("CompatLegacy diverged on %q: %s vs %s", k, aj, bj)
+		}
+	}
+}
+
+// TestFacadeFleetPeer wires a two-peer fleet entirely through the facade:
+// listeners, peers, validation.
+func TestFacadeFleetPeer(t *testing.T) {
+	s1, err := serviceordering.ListenFleetPeer("127.0.0.1:0", "facade-fleet")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s2, err := serviceordering.ListenFleetPeer("127.0.0.1:0", "facade-fleet")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addrs := []string{s1.Addr(), s2.Addr()}
+
+	mk := func(self string, srv *serviceordering.PeerServer) *serviceordering.FleetPeer {
+		t.Helper()
+		fp, err := serviceordering.NewFleetPeer(serviceordering.FleetOptions{
+			FleetID: "facade-fleet",
+			Self:    self,
+			Peers:   addrs,
+			Planner: serviceordering.NewPlanner(serviceordering.PlannerConfig{}),
+			Server:  srv,
+		})
+		if err != nil {
+			t.Fatalf("NewFleetPeer(%s): %v", self, err)
+		}
+		fp.Run()
+		return fp
+	}
+	p1 := mk(addrs[0], s1)
+	p2 := mk(addrs[1], s2)
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+
+	// Both facade-built peers compute the same owner for any signature.
+	for b := 1; b < 64; b++ {
+		sig := serviceordering.PlanSignature{byte(b), byte(b * 3)}
+		if p1.Owner(sig) != p2.Owner(sig) {
+			t.Fatal("facade peers disagree on ownership")
+		}
+	}
+
+	if _, err := serviceordering.NewFleetPeer(serviceordering.FleetOptions{FleetID: "x", Self: "nowhere", Peers: addrs}); err == nil {
+		t.Fatal("invalid fleet options accepted")
+	}
+}
+
+// TestFacadeAdmissionController: the facade constructor produces a working
+// controller usable in ServeOptions.
+func TestFacadeAdmissionController(t *testing.T) {
+	ctl := serviceordering.NewAdmissionController(serviceordering.AdmissionOptions{MaxConcurrent: 2, MaxQueue: 2})
+	if ctl == nil {
+		t.Fatal("nil controller")
+	}
+	h := serviceordering.NewServeHandler(serviceordering.NewPlanner(serviceordering.PlannerConfig{}), serviceordering.ServeOptions{Admission: ctl})
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("healthz through admission-wired handler: %d", w.Code)
+	}
+}

@@ -1,0 +1,148 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"serviceordering/internal/model"
+)
+
+// TestSnapshotEncodeDecodeRoundTrip: a published snapshot survives the
+// gossip wire byte-exactly in every map.
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	s := &Snapshot{
+		Gen: 7,
+		Services: map[string]ServiceParams{
+			"a": {Cost: 1.25, Selectivity: 0.5},
+			"b": {Cost: 2, Selectivity: 0.125},
+		},
+		Edges: map[Edge]float64{
+			{From: "a", To: "b"}: 0.1,
+			{From: "b", To: "a"}: 0.2,
+		},
+		Reliability: map[string]ReliabilityParams{
+			"a": {ErrorRate: 0.01, SpikeRate: 0.002},
+		},
+	}
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Gen != s.Gen {
+		t.Fatalf("gen %d, want %d", got.Gen, s.Gen)
+	}
+	if len(got.Services) != len(s.Services) || len(got.Edges) != len(s.Edges) || len(got.Reliability) != len(s.Reliability) {
+		t.Fatalf("map sizes %d/%d/%d, want %d/%d/%d",
+			len(got.Services), len(got.Edges), len(got.Reliability),
+			len(s.Services), len(s.Edges), len(s.Reliability))
+	}
+	for name, want := range s.Services {
+		if got.Services[name] != want {
+			t.Fatalf("service %s = %+v, want %+v", name, got.Services[name], want)
+		}
+	}
+	for e, want := range s.Edges {
+		if math.Abs(got.Edges[e]-want) > 0 {
+			t.Fatalf("edge %v = %v, want %v", e, got.Edges[e], want)
+		}
+	}
+	for name, want := range s.Reliability {
+		if got.Reliability[name] != want {
+			t.Fatalf("reliability %s = %+v, want %+v", name, got.Reliability[name], want)
+		}
+	}
+}
+
+// TestSnapshotEncodeNil: nil encodes as the empty generation-0 snapshot,
+// and the decode side gives back usable (non-nil) maps.
+func TestSnapshotEncodeNil(t *testing.T) {
+	t.Parallel()
+	data, err := EncodeSnapshot(nil)
+	if err != nil {
+		t.Fatalf("encode nil: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Gen != 0 || len(got.Services) != 0 || len(got.Edges) != 0 {
+		t.Fatalf("nil snapshot decoded as %+v, want empty gen 0", got)
+	}
+	if got.Services == nil || got.Edges == nil || got.Reliability == nil {
+		t.Fatal("decoded snapshot has nil maps")
+	}
+}
+
+// TestSnapshotDecodeRejects: garbage and unknown formats are typed errors,
+// never a silently-empty snapshot.
+func TestSnapshotDecodeRejects(t *testing.T) {
+	t.Parallel()
+	if _, err := DecodeSnapshot([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"format":99,"gen":1}`)); err == nil {
+		t.Fatal("unknown format decoded without error")
+	}
+}
+
+// TestInstallMonotonic: Install adopts only strictly newer generations —
+// out-of-order gossip and self-echoes are ignored.
+func TestInstallMonotonic(t *testing.T) {
+	t.Parallel()
+	r := MustNew(Config{})
+	if r.Install(nil) {
+		t.Fatal("installed nil snapshot")
+	}
+	if !r.Install(&Snapshot{Gen: 3, Services: map[string]ServiceParams{"a": {Cost: 2, Selectivity: 0.5}}}) {
+		t.Fatal("refused strictly newer snapshot")
+	}
+	if got := r.Generation(); got != 3 {
+		t.Fatalf("generation %d after install, want 3", got)
+	}
+	if r.Install(&Snapshot{Gen: 3}) {
+		t.Fatal("adopted equal-generation snapshot")
+	}
+	if r.Install(&Snapshot{Gen: 2}) {
+		t.Fatal("adopted older snapshot")
+	}
+	if got := r.Current().Services["a"].Cost; got != 2 {
+		t.Fatalf("stale install overwrote anchor: cost %v, want 2", got)
+	}
+	if !r.Install(&Snapshot{Gen: 4}) {
+		t.Fatal("refused newer snapshot after earlier install")
+	}
+}
+
+// TestInstallDriftsAgainstInstalledAnchor: after adopting a remote anchor,
+// local observations drift against it exactly as against a local publish —
+// the next publish is a strictly higher generation.
+func TestInstallDriftsAgainstInstalledAnchor(t *testing.T) {
+	t.Parallel()
+	q := twoService(t)
+	r := MustNew(Config{Alpha: 0.5, MinObservations: 2, DriftDelta: 0.05})
+	// Remote anchor fitted far from q's truth: local observations of the
+	// truth must register as drift and publish past the installed gen.
+	remote := &Snapshot{
+		Gen: 10,
+		Services: map[string]ServiceParams{
+			"a": {Cost: 100, Selectivity: 0.9},
+			"b": {Cost: 100, Selectivity: 0.9},
+		},
+	}
+	if !r.Install(remote) {
+		t.Fatal("install refused")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Observe(report(q, model.Plan{0, 1}, 1000)); err != nil {
+			t.Fatalf("observe: %v", err)
+		}
+	}
+	if got := r.Generation(); got <= 10 {
+		t.Fatalf("generation %d after drift against installed anchor, want > 10", got)
+	}
+}

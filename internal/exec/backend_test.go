@@ -135,3 +135,47 @@ func TestHTTPBackendContextCancel(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// Replica bookkeeping on the mock: per-service counts override the
+// default, values below 1 reset, and CallReplica is data-identical to
+// Call (a hedge can change latency, never an answer).
+func TestMockBackendReplicaHelpers(t *testing.T) {
+	b := NewMockBackend(7)
+	b.SetService("s", MockService{Cost: 0.001, Selectivity: 0.5})
+
+	if got := b.Replicas("s"); got != 1 {
+		t.Fatalf("unconfigured replicas = %d, want 1", got)
+	}
+	b.SetDefaultReplicas(3)
+	if got := b.Replicas("s"); got != 3 {
+		t.Fatalf("default replicas = %d, want 3", got)
+	}
+	b.SetReplicas("s", 5)
+	if got := b.Replicas("s"); got != 5 {
+		t.Fatalf("explicit replicas = %d, want 5", got)
+	}
+	b.SetReplicas("s", 0)
+	if got := b.Replicas("s"); got != 3 {
+		t.Fatalf("reset replicas = %d, want default 3", got)
+	}
+
+	in := Tuples(64)
+	direct, err := b.Call(context.Background(), "s", in)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	for r := 0; r < 3; r++ {
+		rep, err := b.CallReplica(context.Background(), "s", r, in)
+		if err != nil {
+			t.Fatalf("CallReplica(%d): %v", r, err)
+		}
+		if len(rep.Tuples) != len(direct.Tuples) {
+			t.Fatalf("replica %d returned %d tuples, direct returned %d", r, len(rep.Tuples), len(direct.Tuples))
+		}
+		for i := range rep.Tuples {
+			if rep.Tuples[i] != direct.Tuples[i] {
+				t.Fatalf("replica %d tuple %d diverges from the direct call", r, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"serviceordering/internal/adapt"
+	"serviceordering/internal/gen"
+)
+
+// The fleet export surface: signature-keyed routing probes and single-entry
+// SOP1 replication, including the generation semantics the fleet leans on
+// (fresh imports resident, cross-generation imports stored stale).
+
+// TestSignatureForMatchesOptimize: the routing key equals the signature the
+// full Optimize path reports, and resolving it does not disturb counters.
+func TestSignatureForMatchesOptimize(t *testing.T) {
+	t.Parallel()
+	p := New(Config{})
+	q := testQuery(t, gen.Default(7, 41))
+
+	sig, ok := p.SignatureFor(q)
+	if !ok {
+		t.Fatal("SignatureFor refused a valid query")
+	}
+	if got := p.Stats(); got.Searches != 0 || got.Hits != 0 {
+		t.Fatalf("SignatureFor touched counters: %+v", got)
+	}
+	res, err := p.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Signature != sig {
+		t.Fatalf("SignatureFor %s != Optimize signature %s", sig, res.Signature)
+	}
+
+	if _, ok := p.SignatureFor(nil); ok {
+		t.Fatal("SignatureFor accepted nil query")
+	}
+	var nilP *Planner
+	if _, ok := nilP.SignatureFor(q); ok {
+		t.Fatal("nil planner produced a signature")
+	}
+}
+
+// TestResidentFresh: false before any solve, true after, false again once
+// a drift publish moves the generation past the cached entry.
+func TestResidentFresh(t *testing.T) {
+	t.Parallel()
+	reg := adapt.MustNew(adapt.Config{Alpha: 1, MinObservations: 1, DriftDelta: 0.05})
+	p := New(Config{Adaptive: reg})
+	q := namedQuery(t, 6, 91, "rf-")
+
+	sig, ok := p.SignatureFor(q)
+	if !ok {
+		t.Fatal("SignatureFor refused")
+	}
+	if p.ResidentFresh(sig) {
+		t.Fatal("fresh residency before any solve")
+	}
+	if _, err := p.Optimize(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if !p.ResidentFresh(sig) {
+		t.Fatal("no fresh residency after solve")
+	}
+
+	// Drift: the published generation moves; the resident entry is now a
+	// previous generation's answer and must read as not-fresh.
+	truth := q.Clone()
+	for i := range truth.Services {
+		truth.Services[i].Cost *= 3
+	}
+	observeCovering(t, reg, truth, 1)
+	if reg.Generation() == 0 {
+		t.Fatal("no generation published")
+	}
+	if p.ResidentFresh(sig) {
+		t.Fatal("stale-generation entry reported fresh")
+	}
+}
+
+// TestExportImportEntry: a warm entry round-trips owner -> replica; the
+// replica serves it as a cache hit with identical plan and cost.
+func TestExportImportEntry(t *testing.T) {
+	t.Parallel()
+	owner := New(Config{})
+	q := testQuery(t, gen.Default(8, 67))
+	res, err := owner.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, ok := owner.ExportEntry(res.Signature)
+	if !ok {
+		t.Fatal("ExportEntry refused a resident entry")
+	}
+	if _, ok := owner.ExportEntry(Signature{}); ok {
+		t.Fatal("ExportEntry produced a document for an absent signature")
+	}
+
+	replica := New(Config{})
+	restored, fresh, err := replica.ImportEntry(doc)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if restored != 1 || !fresh {
+		t.Fatalf("restored=%d fresh=%v, want 1/true", restored, fresh)
+	}
+	if !replica.ResidentFresh(res.Signature) {
+		t.Fatal("imported entry not resident fresh")
+	}
+	got, err := replica.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatal("replica solved instead of serving the imported entry")
+	}
+	if got.Cost != res.Cost || len(got.Plan) != len(res.Plan) {
+		t.Fatalf("replica served cost %v plan %v, owner had %v %v", got.Cost, got.Plan, res.Cost, res.Plan)
+	}
+	for i := range got.Plan {
+		if got.Plan[i] != res.Plan[i] {
+			t.Fatalf("replica plan %v != owner plan %v", got.Plan, res.Plan)
+		}
+	}
+	if st := replica.Stats(); st.Searches != 0 {
+		t.Fatalf("replica ran %d searches, want 0", st.Searches)
+	}
+}
+
+// TestImportEntryStaleGeneration: a document exported under a different
+// anchor generation is stored, but stale — ResidentFresh stays false and
+// the fresh flag tells the importer to count it as a stale replication.
+func TestImportEntryStaleGeneration(t *testing.T) {
+	t.Parallel()
+	owner := New(Config{})
+	q := namedQuery(t, 6, 23, "sg-")
+	res, err := owner.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, ok := owner.ExportEntry(res.Signature)
+	if !ok {
+		t.Fatal("export refused")
+	}
+
+	// Replica already on a later anchor generation than the gen-0 owner.
+	reg := adapt.MustNew(adapt.Config{})
+	replica := New(Config{Adaptive: reg})
+	if !reg.Install(&adapt.Snapshot{Gen: 5}) {
+		t.Fatal("install refused")
+	}
+	restored, fresh, err := replica.ImportEntry(doc)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if restored != 1 || fresh {
+		t.Fatalf("restored=%d fresh=%v, want 1/false", restored, fresh)
+	}
+	sig, _ := replica.SignatureFor(q)
+	if replica.ResidentFresh(sig) {
+		t.Fatal("cross-generation import reported fresh")
+	}
+}
+
+// TestImportEntryRejectsCorruption: a flipped byte fails the CRC and
+// nothing is restored.
+func TestImportEntryRejectsCorruption(t *testing.T) {
+	t.Parallel()
+	owner := New(Config{})
+	q := testQuery(t, gen.Default(5, 13))
+	res, err := owner.Optimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, ok := owner.ExportEntry(res.Signature)
+	if !ok {
+		t.Fatal("export refused")
+	}
+	doc[len(doc)/2] ^= 0x40
+	replica := New(Config{})
+	if restored, _, err := replica.ImportEntry(doc); err == nil || restored != 0 {
+		t.Fatalf("corrupted import: restored=%d err=%v, want 0 and an error", restored, err)
+	}
+}

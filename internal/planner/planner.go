@@ -109,6 +109,10 @@ type Config struct {
 	// the entry. Kept for the clock-vs-LRU differential tests and for A/B
 	// load measurement (cmd/dqload -legacy); production planners should
 	// leave it false.
+	//
+	// Deprecated: new code should state compatibility intent once through
+	// serviceordering.CompatMode; this field remains the wire-level knob
+	// the facade maps onto.
 	LegacyLRUCache bool
 
 	// Adaptive attaches the online statistics registry (internal/adapt)

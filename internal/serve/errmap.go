@@ -1,0 +1,111 @@
+package serve
+
+// The one error-mapping table. Every typed failure the serving stack can
+// produce maps here to exactly one (HTTP status, stable machine-readable
+// code) pair, and every path — legacy endpoints, /v1 endpoints, and
+// requests served on behalf of a forwarding peer — consults this table
+// and nothing else. Forwarded responses relay the owner's status and
+// envelope verbatim, so a shed on the owning node reaches the client as
+// the same single envelope it would have gotten locally: one wrap, by
+// construction.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"serviceordering/internal/admit"
+	"serviceordering/internal/planner"
+)
+
+// apiCode is a stable machine-readable error class, carried in the /v1
+// error envelope's "code" field.
+type apiCode string
+
+const (
+	codeBadRequest    apiCode = "bad_request"     // malformed or invalid request document
+	codeNotFound      apiCode = "not_found"       // unknown endpoint or disabled subsystem
+	codeTimeout       apiCode = "timeout"         // caller's context ended mid-request
+	codeUnprocessable apiCode = "unprocessable"   // valid document the planner cannot serve
+	codeQueryTooLarge apiCode = "query_too_large" // exceeds the exact core with heuristics off
+	codeOverloaded    apiCode = "overloaded"      // admission shed; retryAfterSeconds set
+	codeBackendFailed apiCode = "backend_failed"  // service backend call failed
+	codeInternal      apiCode = "internal"        // unreachable today; the envelope's floor
+)
+
+// codeStatus is the single code → HTTP status mapping.
+var codeStatus = map[apiCode]int{
+	codeBadRequest:    http.StatusBadRequest,
+	codeNotFound:      http.StatusNotFound,
+	codeTimeout:       http.StatusRequestTimeout,
+	codeUnprocessable: http.StatusUnprocessableEntity,
+	codeQueryTooLarge: http.StatusUnprocessableEntity,
+	codeOverloaded:    http.StatusTooManyRequests,
+	codeBackendFailed: http.StatusBadGateway,
+	codeInternal:      http.StatusInternalServerError,
+}
+
+// classifyError maps an error from the optimize/execute paths to its code
+// and, for sheds, the Retry-After seconds (rounded up so clients never
+// come back early).
+func classifyError(err error) (apiCode, int64) {
+	var se *admit.ShedError
+	switch {
+	case errors.As(err, &se):
+		return codeOverloaded, ceilSeconds(se.RetryAfter)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return codeTimeout, 0
+	case errors.Is(err, planner.ErrQueryTooLarge):
+		// Typed rejection: the query exceeds the exact core's service
+		// limit and the server was started with the heuristic tier
+		// disabled. Semantically valid, not servable here — 422.
+		return codeQueryTooLarge, 0
+	default:
+		return codeUnprocessable, 0
+	}
+}
+
+func ceilSeconds(d time.Duration) int64 {
+	return int64((d + time.Second - 1) / time.Second)
+}
+
+// statusFor is the legacy surface's view of the table.
+func statusFor(err error) int {
+	code, _ := classifyError(err)
+	return codeStatus[code]
+}
+
+// appendV1Error appends the complete /v1 error envelope:
+//
+//	{"data":null,"error":{"code":"...","message":"...","retryAfterSeconds":N}}
+//
+// retryAfterSeconds is omitted when zero — it only means something on
+// overloaded responses.
+func appendV1Error(b []byte, code apiCode, msg string, retryAfter int64) []byte {
+	b = append(b, `{"data":null,"error":{"code":`...)
+	b = appendJSONString(b, string(code))
+	b = append(b, `,"message":`...)
+	b = appendJSONString(b, msg)
+	if retryAfter > 0 {
+		b = append(b, `,"retryAfterSeconds":`...)
+		b = strconv.AppendInt(b, retryAfter, 10)
+	}
+	b = append(b, `}}`...)
+	return append(b, '\n')
+}
+
+// v1Error writes one enveloped error response. Sheds additionally carry
+// the Retry-After header, same unit and rounding as the legacy 429 body.
+func (h *handler) v1Error(w http.ResponseWriter, code apiCode, msg string, retryAfter int64) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	}
+	bufp := h.getBuf()
+	b := appendV1Error((*bufp)[:0], code, msg, retryAfter)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(codeStatus[code])
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}

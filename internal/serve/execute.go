@@ -69,40 +69,74 @@ type executeRequest struct {
 	inner optimizeRequest
 }
 
+// apiFailure is a classified request failure: the table code plus the
+// original error. Legacy handlers map it back through codeStatus and the
+// legacy body shapes; /v1 handlers write the envelope.
+type apiFailure struct {
+	code       apiCode
+	retryAfter int64
+	err        error
+}
+
+func failure(code apiCode, err error) *apiFailure {
+	return &apiFailure{code: code, err: err}
+}
+
+func classifiedFailure(err error) *apiFailure {
+	code, ra := classifyError(err)
+	return &apiFailure{code: code, retryAfter: ra, err: err}
+}
+
+// writeLegacyFailure emits f in the pre-v1 body shapes: sheds get the
+// Retry-After header and the typed 429 body, everything else the bare
+// {"error": ...} document at the table's status.
+func writeLegacyFailure(w http.ResponseWriter, f *apiFailure) {
+	var se *admit.ShedError
+	if errors.As(f.err, &se) {
+		writeShed(w, se)
+		return
+	}
+	httpError(w, codeStatus[f.code], f.err)
+}
+
 // execute runs one query end to end: optimize (or reuse the cached plan),
 // stream tuples through the plan against the configured backend, and feed
 // the execution report into the adaptive registry when there is one. A
 // degraded execution is still a 200 — the response carries the typed
 // marker; errors are reserved for invalid requests and canceled callers.
 func (h *handler) execute(w http.ResponseWriter, r *http.Request) {
+	resp, fail := h.executeCore(w, r)
+	if fail != nil {
+		writeLegacyFailure(w, fail)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// executeCore is the shared /execute implementation behind both surfaces.
+func (h *handler) executeCore(w http.ResponseWriter, r *http.Request) (*ExecuteResponse, *apiFailure) {
 	ex := h.opts.Executor
 	if ex == nil {
-		httpError(w, http.StatusNotFound, errors.New("execution disabled (start the server with -exec-backend)"))
-		return
+		return nil, failure(codeNotFound, errors.New("execution disabled (start the server with -exec-backend)"))
 	}
 	var req executeRequest
 	if err := decodeJSON(w, r, h.opts.MaxBody, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, failure(codeBadRequest, err)
 	}
 	if req.Tuples < 0 || req.Tuples > maxExecuteTuples {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("tuples must be in [0, %d]", maxExecuteTuples))
-		return
+		return nil, failure(codeBadRequest, fmt.Errorf("tuples must be in [0, %d]", maxExecuteTuples))
 	}
 	req.inner.Comment, req.inner.Query = req.Comment, req.Query
 	if err := h.finishInstanceDecode(&req.inner); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, failure(codeBadRequest, err)
 	}
 	q := req.inner.query
 	if q == nil {
-		httpError(w, http.StatusBadRequest, errors.New("instance has no query"))
-		return
+		return nil, failure(codeBadRequest, errors.New("instance has no query"))
 	}
 	if !req.inner.validated {
 		if err := q.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, failure(codeBadRequest, err)
 		}
 	}
 
@@ -117,29 +151,21 @@ func (h *handler) execute(w http.ResponseWriter, r *http.Request) {
 		}
 		ticket, err := h.admission.Acquire(r.Context(), class, r.Header.Get("X-Tenant"))
 		if err != nil {
-			var se *admit.ShedError
-			if errors.As(err, &se) {
-				writeShed(w, se)
-			} else {
-				httpError(w, statusFor(err), err)
-			}
-			return
+			return nil, classifiedFailure(err)
 		}
 		defer ticket.Release()
 	}
 
 	res, err := h.p.Optimize(r.Context(), q)
 	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
+		return nil, classifiedFailure(err)
 	}
 	result, err := ex.Execute(r.Context(), q, res.Plan, exec.Tuples(int(req.Tuples)))
 	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
+		return nil, classifiedFailure(err)
 	}
 
-	resp := ExecuteResponse{
+	resp := &ExecuteResponse{
 		Plan:          res.Plan,
 		Cost:          res.Cost,
 		Optimal:       res.Optimal,
@@ -161,12 +187,13 @@ func (h *handler) execute(w http.ResponseWriter, r *http.Request) {
 	}
 	if reg := h.p.Adaptive(); reg != nil {
 		if rep := result.Report(); rep != nil {
-			if _, oerr := reg.Observe(rep); oerr == nil {
+			if out, oerr := reg.Observe(rep); oerr == nil {
 				resp.Observed = true
+				h.afterObserve(out)
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // HealthzResponse is the GET /healthz document. The status code is always
@@ -187,6 +214,12 @@ type HealthzResponse struct {
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.buildHealthz())
+}
+
+// buildHealthz assembles the health document served by both /healthz and
+// /v1/healthz.
+func (h *handler) buildHealthz() HealthzResponse {
 	var reasons []string
 	if h.opts.SnapshotRestoreFailed {
 		reasons = append(reasons, "snapshot-restore-failed")
@@ -210,5 +243,5 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if len(reasons) > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, HealthzResponse{Status: status, Reasons: reasons})
+	return HealthzResponse{Status: status, Reasons: reasons}
 }

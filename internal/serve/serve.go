@@ -34,6 +34,7 @@ import (
 	"serviceordering/internal/admit"
 	"serviceordering/internal/ccache"
 	"serviceordering/internal/exec"
+	"serviceordering/internal/fleet"
 	"serviceordering/internal/model"
 	"serviceordering/internal/planner"
 )
@@ -54,6 +55,10 @@ type Options struct {
 	// fast-vs-legacy encoder differential test and for A/B load
 	// measurement (cmd/dqload -legacy); production servers leave it
 	// false.
+	//
+	// Deprecated: set serviceordering.ServeOptions.Compat to
+	// CompatLegacy instead; this field remains the wire-level knob the
+	// facade maps onto.
 	LegacyEncode bool
 
 	// QueryMemoCapacity bounds the query memo: a bounded byte-exact
@@ -98,6 +103,22 @@ type Options struct {
 	// failed at startup. The server still works (cold caches); /healthz
 	// reports degraded so operators notice the cold start.
 	SnapshotRestoreFailed bool
+
+	// Fleet, when non-nil, shards the plan-signature space across a peer
+	// ring: /v1/optimize requests whose canonical signature another peer
+	// owns are forwarded there (unless a fresh replica is resident
+	// locally), fresh local searches replicate to the signature's replica
+	// set, and published adaptive generations gossip to every peer.
+	// Legacy unversioned paths always serve locally — only the versioned
+	// surface routes, so the peer wire format is the /v1 envelope from
+	// day one.
+	Fleet *fleet.Peer
+
+	// Backend, when non-nil, exposes POST /v1/call/{service}: the
+	// enveloped service-invocation endpoint, so one dqserve process can
+	// host both planning and a (mock or real) service backend on the
+	// versioned surface.
+	Backend exec.Backend
 }
 
 // DefaultQueryMemoCapacity matches twice the planner's default plan-cache
@@ -194,6 +215,11 @@ type StatsResponse struct {
 	// the server runs without an executor.
 	Exec *exec.Stats `json:"exec,omitempty"`
 
+	// Fleet carries the peer runtime's counters (routing, replication,
+	// gossip) when the server is a fleet member; omitted on single-node
+	// servers.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
+
 	// Uptime is seconds since the server started.
 	Uptime float64 `json:"uptimeSeconds"`
 }
@@ -253,6 +279,11 @@ type handler struct {
 	opts    Options
 	started time.Time
 
+	// fleet is Options.Fleet (nil on single-node servers): consulted by
+	// the /v1/optimize routing step, fed fresh-search signatures for
+	// replication, and handed published anchors for gossip.
+	fleet *fleet.Peer
+
 	// qmemo maps FNV-64(raw query JSON) -> parsed query; nil when
 	// disabled. Read-lock-free (ccache clock store).
 	qmemo     *ccache.Clock[uint64, *queryMemoEntry]
@@ -309,6 +340,10 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	h := &handler{p: p, opts: opts, started: time.Now()}
 	h.bufs.New = func() any { b := make([]byte, 0, 4096); return &b }
 	h.admission = opts.Admission
+	h.fleet = opts.Fleet
+	if h.fleet != nil {
+		h.fleet.SetLocalHandler(h.serveForwarded)
+	}
 	if ex := opts.Executor; ex != nil {
 		// Failover residual queries route through the shared planner: they
 		// hit the plan cache like any request and are priced against the
@@ -340,12 +375,16 @@ func NewHandler(p *planner.Planner, opts Options) http.Handler {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /optimize", h.optimize)
-	mux.HandleFunc("POST /optimize/batch", h.optimizeBatch)
-	mux.HandleFunc("POST /observe", h.observe)
-	mux.HandleFunc("POST /execute", h.execute)
-	mux.HandleFunc("GET /stats", h.stats)
-	mux.HandleFunc("GET /healthz", h.healthz)
+	// The versioned surface is primary; the unversioned paths are thin
+	// deprecation aliases onto the same handlers (identical bodies, plus
+	// Deprecation/Link headers steering clients to the successor).
+	h.registerV1(mux)
+	mux.HandleFunc("POST /optimize", deprecated("/v1/optimize", h.optimize))
+	mux.HandleFunc("POST /optimize/batch", deprecated("/v1/optimize/batch", h.optimizeBatch))
+	mux.HandleFunc("POST /observe", deprecated("/v1/observe", h.observe))
+	mux.HandleFunc("POST /execute", deprecated("/v1/execute", h.execute))
+	mux.HandleFunc("GET /stats", deprecated("/v1/stats", h.stats))
+	mux.HandleFunc("GET /healthz", deprecated("/v1/healthz", h.healthz))
 	if opts.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -570,10 +609,30 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	h.afterObserve(out)
 	writeJSON(w, http.StatusOK, out)
 }
 
+// afterObserve runs the fleet side effect of an ingested report: a
+// published generation carries a new anchor snapshot, and every peer must
+// replan off it — broadcast before the response is written, so a client
+// that saw "published":true can rely on the fleet having been told.
+func (h *handler) afterObserve(out adapt.Outcome) {
+	if out.Published && h.fleet != nil {
+		// Best-effort: an unreachable peer misses this gossip round but
+		// catches up on the next publish (or a replicated entry's header
+		// generation mismatch keeps it safely forwarding meanwhile).
+		_ = h.fleet.BroadcastAnchor()
+	}
+}
+
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.buildStats())
+}
+
+// buildStats assembles the stats document served by both /stats and
+// /v1/stats.
+func (h *handler) buildStats() StatsResponse {
 	st := h.p.Stats()
 	resp := StatsResponse{
 		Stats:         st,
@@ -598,7 +657,11 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		es := h.opts.Executor.Stats()
 		resp.Exec = &es
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if h.fleet != nil {
+		fs := h.fleet.Stats()
+		resp.Fleet = &fs
+	}
+	return resp
 }
 
 func (h *handler) getBuf() *[]byte { return h.bufs.Get().(*[]byte) }
@@ -828,20 +891,6 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) er
 		return fmt.Errorf("decoding request: %w", err)
 	}
 	return nil
-}
-
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout
-	case errors.Is(err, planner.ErrQueryTooLarge):
-		// Typed rejection: the query exceeds the exact core's service
-		// limit and the server was started with the heuristic tier
-		// disabled. Semantically valid, not servable here — 422.
-		return http.StatusUnprocessableEntity
-	default:
-		return http.StatusUnprocessableEntity
-	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

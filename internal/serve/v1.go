@@ -1,0 +1,392 @@
+package serve
+
+// The /v1 surface: every endpoint under /v1/ speaks one envelope —
+//
+//	success: {"data":<payload>,"error":null}
+//	failure: {"data":null,"error":{"code":"...","message":"...","retryAfterSeconds":N}}
+//
+// — newline-terminated compact JSON, replacing the legacy mix of indented
+// 422 documents, 429 shed bodies, and bare 400s. The unversioned paths
+// remain as deprecation aliases (identical legacy bodies plus a
+// Deprecation header); new clients and the fleet peer protocol speak only
+// this surface.
+//
+// The warm hit path stays zero-extra-alloc: the envelope prefix/suffix are
+// appended around appendSolved in the same pooled buffer the legacy fast
+// path uses, and the response goes out in one Write.
+//
+// Fleet routing happens here and only here. A /v1/optimize request whose
+// canonical signature another peer owns is forwarded (owner's status,
+// Retry-After, and envelope relayed verbatim — errors stay single-wrapped
+// because the owner already wrote the one true envelope) unless a fresh
+// replica is resident locally. Legacy paths always serve locally, keeping
+// their byte-exact contract with existing clients and tests.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
+	"serviceordering/internal/exec"
+	"serviceordering/internal/fleet"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// registerV1 installs the versioned route table.
+func (h *handler) registerV1(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/optimize", h.v1Optimize)
+	mux.HandleFunc("POST /v1/optimize/batch", h.v1OptimizeBatch)
+	mux.HandleFunc("POST /v1/observe", h.v1Observe)
+	mux.HandleFunc("POST /v1/execute", h.v1Execute)
+	mux.HandleFunc("GET /v1/stats", h.v1Stats)
+	mux.HandleFunc("GET /v1/healthz", h.v1Healthz)
+	mux.HandleFunc("POST /v1/call/{service}", h.v1Call)
+	// Catch-all: an unknown /v1 path gets the envelope, not the mux's
+	// plain-text 404.
+	mux.HandleFunc("/v1/", h.v1NotFound)
+}
+
+// deprecated wraps a legacy handler with the successor-steering headers.
+// Bodies are untouched — existing clients and the differential tests see
+// the exact pre-v1 payloads.
+func deprecated(successor string, next http.HandlerFunc) http.HandlerFunc {
+	link := "<" + successor + `>; rel="successor-version"`
+	return func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set("Deprecation", "true")
+		hd.Set("Link", link)
+		next(w, r)
+	}
+}
+
+func (h *handler) v1NotFound(w http.ResponseWriter, r *http.Request) {
+	h.v1Error(w, codeNotFound, "no such endpoint: "+r.URL.Path, 0)
+}
+
+// writeV1Data writes {"data":<v>,"error":null} with v marshaled by
+// encoding/json — the non-hot-path envelope writer (stats, healthz,
+// observe, execute, call).
+func (h *handler) writeV1Data(w http.ResponseWriter, status int, v any) {
+	bufp := h.getBuf()
+	b := append((*bufp)[:0], `{"data":`...)
+	data, err := json.Marshal(v)
+	if err != nil { // unreachable: every response type marshals
+		h.putBuf(bufp, b)
+		h.v1Error(w, codeInternal, err.Error(), 0)
+		return
+	}
+	b = append(b, data...)
+	b = append(b, `,"error":null}`...)
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}
+
+// writeV1Failure writes a classified failure in the envelope.
+func (h *handler) writeV1Failure(w http.ResponseWriter, f *apiFailure) {
+	h.v1Error(w, f.code, f.err.Error(), f.retryAfter)
+}
+
+// v1Optimize serves POST /v1/optimize: decode, (fleet-route,) admit,
+// solve, envelope.
+func (h *handler) v1Optimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if h.fleet != nil {
+		// The body must survive the decode so a mis-owned request can be
+		// relayed byte-identically to its owner.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBody))
+		if err != nil {
+			h.v1Error(w, codeBadRequest, "reading request: "+err.Error(), 0)
+			return
+		}
+		if err := h.decodeInstanceBytes(body, &req); err != nil {
+			h.v1Error(w, codeBadRequest, "decoding request: "+err.Error(), 0)
+			return
+		}
+		if err := h.finishOptimizeDecode(&req); err != nil {
+			h.v1Error(w, codeBadRequest, err.Error(), 0)
+			return
+		}
+		if sig, ok := h.p.SignatureFor(req.query); ok {
+			if decision, owner := h.fleet.Route(sig); decision == fleet.Forward {
+				status, retryAfter, resp, err := h.fleet.Forward(owner, "/v1/optimize", body)
+				if err == nil {
+					writeRelayed(w, status, retryAfter, resp)
+					return
+				}
+				// Peer death: the owner is unreachable, so serve locally —
+				// a correct (if colder) answer beats an error. The failed
+				// forward is counted in the fleet stats.
+			}
+		}
+	} else if err := h.decodeOptimizeRequest(w, r, &req); err != nil {
+		h.v1Error(w, codeBadRequest, err.Error(), 0)
+		return
+	}
+
+	bufp := h.getBuf()
+	b, status, retryAfter, _ := h.solveV1(r.Context(), r.Header.Get("X-Tenant"), &req, (*bufp)[:0])
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}
+
+// finishOptimizeDecode applies the single-instance requirements on top of
+// decodeInstanceBytes: a query must be present and (unless the memo
+// already proved it) valid.
+func (h *handler) finishOptimizeDecode(req *optimizeRequest) error {
+	if req.query == nil {
+		return errors.New("instance has no query")
+	}
+	if req.validated {
+		return nil
+	}
+	return req.query.Validate()
+}
+
+// solveV1 runs admission and planning for one decoded request and appends
+// the complete envelope — success or failure — to b. It returns the HTTP
+// status, the Retry-After seconds (sheds only), and whether the answer
+// was a fresh-generation cache hit (the fleet's cross-node warmth
+// signal). Both the HTTP handler above and the forwarded-frame path go
+// through here, so the two are the same code path by construction.
+func (h *handler) solveV1(ctx context.Context, tenant string, req *optimizeRequest, b []byte) (out []byte, status int, retryAfter int64, warm bool) {
+	if h.admission != nil {
+		temp := h.p.Classify(req.query)
+		class := admit.Cold
+		if temp == planner.TempWarm {
+			class = admit.Warm
+		}
+		ticket, err := h.admission.Acquire(ctx, class, tenant)
+		if err != nil {
+			var se *admit.ShedError
+			if errors.As(err, &se) && h.opts.StaleServe && temp == planner.TempStale {
+				// Degraded mode, same policy as the legacy path: answer
+				// from the resident previous-generation plan and replan
+				// off-request.
+				if res, ok := h.p.ServeStale(req.query); ok {
+					if res.Stale {
+						h.staleServed.Add(1)
+						h.enqueueReplan(req.query, res.Signature)
+					}
+					return h.appendV1Solved(b, req, res), http.StatusOK, 0, res.Cached && !res.Stale
+				}
+			}
+			code, ra := classifyError(err)
+			return appendV1Error(b, code, err.Error(), ra), codeStatus[code], ra, false
+		}
+		defer ticket.Release()
+	}
+
+	res, err := h.p.Optimize(ctx, req.query)
+	if err != nil {
+		code, ra := classifyError(err)
+		return appendV1Error(b, code, err.Error(), ra), codeStatus[code], ra, false
+	}
+	if h.fleet != nil && !res.Cached && !res.Shared && !res.Stale {
+		// A fresh search on this node is new warmth: push it to the
+		// signature's replica set (self included or not, the fleet layer
+		// sorts it out) so replicas can answer without the forward hop.
+		h.fleet.ReplicateAsync(res.Signature)
+	}
+	return h.appendV1Solved(b, req, res), http.StatusOK, 0, res.Cached && !res.Stale
+}
+
+// appendV1Solved wraps appendSolved in the success envelope on the same
+// buffer — the hot path stays a single pooled append chain.
+func (h *handler) appendV1Solved(b []byte, req *optimizeRequest, res planner.Result) []byte {
+	b = append(b, `{"data":`...)
+	b = appendSolved(b, req, res)
+	b = append(b, `,"error":null}`...)
+	return append(b, '\n')
+}
+
+// writeRelayed emits a forwarded peer's answer verbatim: its status, its
+// Retry-After, its envelope bytes. No re-encoding, no double wrap.
+func writeRelayed(w http.ResponseWriter, status int, retryAfter int64, body []byte) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// serveForwarded is the fleet's LocalHandler: it answers a peer-forwarded
+// request body exactly as the local /v1 path would, minus the routing
+// step (a forwarded request is never re-forwarded — the single-hop loop
+// guard). Forwarded work carries no client deadline across the hop; the
+// planner's own budgets still bound it.
+func (h *handler) serveForwarded(path string, body []byte) (status int, retryAfter int64, warm bool, resp []byte) {
+	if path != "/v1/optimize" {
+		return http.StatusNotFound, 0, false,
+			appendV1Error(nil, codeNotFound, "fleet: path not forwardable: "+path, 0)
+	}
+	var req optimizeRequest
+	if err := h.decodeInstanceBytes(body, &req); err != nil {
+		return http.StatusBadRequest, 0, false,
+			appendV1Error(nil, codeBadRequest, "decoding request: "+err.Error(), 0)
+	}
+	if err := h.finishOptimizeDecode(&req); err != nil {
+		return http.StatusBadRequest, 0, false,
+			appendV1Error(nil, codeBadRequest, err.Error(), 0)
+	}
+	// The response escapes into a peer frame, so it gets its own buffer
+	// rather than a pooled one.
+	b, status, retryAfter, warm := h.solveV1(context.Background(), "", &req, make([]byte, 0, 512))
+	return status, retryAfter, warm, b
+}
+
+// v1OptimizeBatch serves POST /v1/optimize/batch. Batches always solve
+// locally: one batch can span many owners, and fanning a single request
+// across the fleet would trade its one-round-trip contract for tail
+// latency. Fresh searches inside the batch still replicate.
+func (h *handler) v1OptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if err := decodeJSON(w, r, h.opts.MaxBody, &batch); err != nil {
+		h.v1Error(w, codeBadRequest, err.Error(), 0)
+		return
+	}
+	reqs := make([]optimizeRequest, len(batch.Instances))
+	qs := make([]*model.Query, len(batch.Instances))
+	for i, raw := range batch.Instances {
+		if len(raw) == 0 || string(raw) == "null" {
+			continue // nil query rejected by the planner, fails alone
+		}
+		if err := h.decodeInstanceBytes(raw, &reqs[i]); err != nil {
+			h.v1Error(w, codeBadRequest, fmt.Sprintf("decoding request: instance %d: %v", i, err), 0)
+			return
+		}
+		qs[i] = reqs[i].query
+	}
+
+	if h.admission != nil {
+		ticket, err := h.admission.Acquire(r.Context(), admit.Cold, r.Header.Get("X-Tenant"))
+		if err != nil {
+			h.writeV1Failure(w, classifiedFailure(err))
+			return
+		}
+		defer ticket.Release()
+	}
+
+	results := h.p.OptimizeBatch(r.Context(), qs)
+
+	bufp := h.getBuf()
+	b := append((*bufp)[:0], `{"data":{"results":[`...)
+	for i, br := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if br.Err != nil {
+			code, _ := classifyError(br.Err)
+			b = append(b, `{"error":{"code":`...)
+			b = appendJSONString(b, string(code))
+			b = append(b, `,"message":`...)
+			b = appendJSONString(b, br.Err.Error())
+			b = append(b, `}}`...)
+			continue
+		}
+		if h.fleet != nil && !br.Result.Cached && !br.Result.Shared && !br.Result.Stale {
+			h.fleet.ReplicateAsync(br.Result.Signature)
+		}
+		b = appendSolved(b, &reqs[i], br.Result)
+	}
+	b = append(b, `]},"error":null}`...)
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	h.putBuf(bufp, b)
+}
+
+// v1Observe serves POST /v1/observe: the legacy semantics in the
+// envelope, plus the fleet gossip hook on published generations.
+func (h *handler) v1Observe(w http.ResponseWriter, r *http.Request) {
+	reg := h.p.Adaptive()
+	if reg == nil {
+		h.v1Error(w, codeNotFound, "adaptive replanning disabled (start the server with -adaptive)", 0)
+		return
+	}
+	var rep adapt.Report
+	if err := decodeJSON(w, r, h.opts.MaxBody, &rep); err != nil {
+		h.v1Error(w, codeBadRequest, err.Error(), 0)
+		return
+	}
+	out, err := reg.Observe(&rep)
+	if err != nil {
+		h.v1Error(w, codeBadRequest, err.Error(), 0)
+		return
+	}
+	h.afterObserve(out)
+	h.writeV1Data(w, http.StatusOK, out)
+}
+
+// v1Execute serves POST /v1/execute via the shared core.
+func (h *handler) v1Execute(w http.ResponseWriter, r *http.Request) {
+	resp, fail := h.executeCore(w, r)
+	if fail != nil {
+		h.writeV1Failure(w, fail)
+		return
+	}
+	h.writeV1Data(w, http.StatusOK, resp)
+}
+
+func (h *handler) v1Stats(w http.ResponseWriter, r *http.Request) {
+	h.writeV1Data(w, http.StatusOK, h.buildStats())
+}
+
+func (h *handler) v1Healthz(w http.ResponseWriter, r *http.Request) {
+	h.writeV1Data(w, http.StatusOK, h.buildHealthz())
+}
+
+// CallDocument is the /v1/call/{service} payload in both directions: a
+// tuple block in, the survivors (plus the backend's own processing-time
+// measure) out. It mirrors the unversioned exec wire document.
+type CallDocument struct {
+	Tuples           []exec.Tuple `json:"tuples"`
+	ProcessingMicros int64        `json:"processingMicros,omitempty"`
+}
+
+// v1Call serves POST /v1/call/{service}: one enveloped backend
+// invocation, dqserve's versioned twin of exec.BackendHandler.
+func (h *handler) v1Call(w http.ResponseWriter, r *http.Request) {
+	b := h.opts.Backend
+	if b == nil {
+		h.v1Error(w, codeNotFound, "service calls disabled (no backend configured)", 0)
+		return
+	}
+	service, err := url.PathUnescape(r.PathValue("service"))
+	if err != nil || service == "" {
+		h.v1Error(w, codeBadRequest, "bad service name", 0)
+		return
+	}
+	var doc CallDocument
+	if err := decodeJSON(w, r, h.opts.MaxBody, &doc); err != nil {
+		h.v1Error(w, codeBadRequest, err.Error(), 0)
+		return
+	}
+	res, err := b.Call(r.Context(), service, doc.Tuples)
+	if err != nil {
+		h.v1Error(w, codeBackendFailed, err.Error(), 0)
+		return
+	}
+	out := CallDocument{Tuples: res.Tuples, ProcessingMicros: res.Processing.Microseconds()}
+	if out.Tuples == nil {
+		out.Tuples = []exec.Tuple{} // an empty block is data, not null
+	}
+	h.writeV1Data(w, http.StatusOK, out)
+}

@@ -1,0 +1,784 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"serviceordering/internal/adapt"
+	"serviceordering/internal/admit"
+	"serviceordering/internal/choreo"
+	"serviceordering/internal/exec"
+	"serviceordering/internal/fleet"
+	"serviceordering/internal/gen"
+	"serviceordering/internal/model"
+	"serviceordering/internal/planner"
+)
+
+// v1ErrorBody is the decoded error half of the envelope.
+type v1ErrorBody struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int64  `json:"retryAfterSeconds"`
+}
+
+// v1Envelope decodes any /v1 response.
+type v1Envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *v1ErrorBody    `json:"error"`
+}
+
+// v1Volatile masks the fields whose values depend on the clock, so golden
+// files byte-compare across runs. Everything else — plans, costs,
+// signatures, counters, error codes and messages — is deterministic and
+// compared exactly.
+var v1Volatile = []struct {
+	re   *regexp.Regexp
+	repl string
+}{
+	{regexp.MustCompile(`"elapsedMicros":\d+`), `"elapsedMicros":0`},
+	{regexp.MustCompile(`"uptimeSeconds":[0-9.eE+-]+`), `"uptimeSeconds":0`},
+	{regexp.MustCompile(`"retryAfterSeconds":\d+`), `"retryAfterSeconds":1`},
+	{regexp.MustCompile(`retry after [0-9][^"]*`), `retry after ?`},
+	{regexp.MustCompile(`"busyProcessingNanos":\d+`), `"busyProcessingNanos":0`},
+	{regexp.MustCompile(`"(warmServiceEwmaMicros|coldServiceEwmaMicros)":[0-9.eE+-]+`), `"$1":0`},
+}
+
+func maskVolatile(b []byte) []byte {
+	for _, m := range v1Volatile {
+		b = m.re.ReplaceAll(b, []byte(m.repl))
+	}
+	return b
+}
+
+// checkGolden byte-compares the masked body against
+// testdata/v1/<name>.golden. Run with UPDATE_GOLDENS=1 to regenerate —
+// the api-compat CI check runs these tests, so an envelope change without
+// a matching goldens update fails the build.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	masked := maskVolatile(append([]byte(nil), body...))
+	path := filepath.Join("testdata", "v1", name+".golden")
+	if os.Getenv("UPDATE_GOLDENS") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, masked, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDENS=1 to create): %v", path, err)
+	}
+	if !bytes.Equal(masked, want) {
+		t.Fatalf("envelope diverged from golden %s\n got: %s\nwant: %s", path, masked, want)
+	}
+}
+
+// v1Request drives one request against srv and returns the response and
+// its full body.
+func v1Request(t *testing.T, srv *httptest.Server, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestV1Golden pins every /v1 endpoint's envelope — success and error
+// classes — byte-for-byte (volatile fields masked).
+func TestV1Golden(t *testing.T) {
+	fixture := mustJSON(t, fixtureInstance(t))
+
+	t.Run("optimize_ok", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/optimize", fixture)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "optimize_ok", body)
+		// Warm hit: identical envelope apart from cached:true.
+		resp2, body2 := v1Request(t, srv, "POST", "/v1/optimize", fixture)
+		if resp2.StatusCode != 200 {
+			t.Fatalf("warm status %d", resp2.StatusCode)
+		}
+		checkGolden(t, "optimize_warm", body2)
+	})
+
+	t.Run("optimize_bad_json", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/optimize", `{"query":`)
+		if resp.StatusCode != 400 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "optimize_bad_json", body)
+	})
+
+	t.Run("optimize_no_query", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/optimize", `{}`)
+		if resp.StatusCode != 400 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "optimize_no_query", body)
+	})
+
+	t.Run("optimize_too_large", func(t *testing.T) {
+		p := planner.New(planner.Config{HeuristicThreshold: -1})
+		srv := httptest.NewServer(NewHandler(p, Options{}))
+		t.Cleanup(srv.Close)
+		resp, body := v1Request(t, srv, "POST", "/v1/optimize", mustJSON(t, genInstance(t, gen.Default(65, 5))))
+		if resp.StatusCode != 422 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "optimize_too_large", body)
+	})
+
+	t.Run("optimize_overloaded", func(t *testing.T) {
+		ctl := admit.New(admit.Options{MaxConcurrent: 1, MaxQueue: 1, MaxWait: 10 * time.Second})
+		srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{Admission: ctl}))
+		t.Cleanup(srv.Close)
+		// Warm the cache, then pin the slot and fill the queue with a warm
+		// waiter so a cold arrival sheds immediately and deterministically.
+		if resp, body := v1Request(t, srv, "POST", "/v1/optimize", fixture); resp.StatusCode != 200 {
+			t.Fatalf("warmup: %d %s", resp.StatusCode, body)
+		}
+		ticket, err := ctl.Acquire(context.Background(), admit.Warm, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waiterDone := make(chan struct{})
+		go func() {
+			defer close(waiterDone)
+			resp, _ := v1Request(t, srv, "POST", "/v1/optimize", fixture)
+			resp.Body.Close()
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for ctl.Stats().Queued == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("warm waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		resp, body := v1Request(t, srv, "POST", "/v1/optimize", mustJSON(t, genInstance(t, gen.Default(5, 2))))
+		if resp.StatusCode != 429 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+			t.Fatalf("Retry-After %q", resp.Header.Get("Retry-After"))
+		}
+		checkGolden(t, "optimize_overloaded", body)
+		ticket.Release()
+		<-waiterDone
+	})
+
+	t.Run("batch_ok", func(t *testing.T) {
+		srv := newTestServer(t)
+		body := fmt.Sprintf(`{"instances":[%s,null,%s]}`, fixture, mustJSON(t, genInstance(t, gen.Default(4, 9))))
+		resp, got := v1Request(t, srv, "POST", "/v1/optimize/batch", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, got)
+		}
+		checkGolden(t, "batch_ok", got)
+	})
+
+	t.Run("batch_bad_instance", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, got := v1Request(t, srv, "POST", "/v1/optimize/batch", `{"instances":[{"query":{"services":"nope"}}]}`)
+		if resp.StatusCode != 400 {
+			t.Fatalf("status %d: %s", resp.StatusCode, got)
+		}
+		checkGolden(t, "batch_bad_instance", got)
+	})
+
+	t.Run("observe_disabled", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/observe", `{"services":[]}`)
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "observe_disabled", body)
+	})
+
+	t.Run("observe_ok", func(t *testing.T) {
+		reg := adapt.MustNew(adapt.Config{})
+		p := planner.New(planner.Config{Adaptive: reg})
+		srv := httptest.NewServer(NewHandler(p, Options{}))
+		t.Cleanup(srv.Close)
+		rep := `{"services":[{"name":"a","tuplesIn":1000,"tuplesOut":500,"busyProcessing":2000}]}`
+		resp, body := v1Request(t, srv, "POST", "/v1/observe", rep)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "observe_ok", body)
+	})
+
+	t.Run("execute_disabled", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/execute", fixture)
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "execute_disabled", body)
+	})
+
+	t.Run("execute_ok", func(t *testing.T) {
+		inst := fixtureInstance(t)
+		backend := exec.NewMockBackend(7)
+		backend.SetQuery(inst.Query)
+		ex := exec.New(backend, exec.Options{})
+		srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{Executor: ex}))
+		t.Cleanup(srv.Close)
+		body := fmt.Sprintf(`{"query":%s,"tuples":100}`, mustJSON(t, inst.Query))
+		resp, got := v1Request(t, srv, "POST", "/v1/execute", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, got)
+		}
+		checkGolden(t, "execute_ok", got)
+	})
+
+	t.Run("execute_bad_tuples", func(t *testing.T) {
+		backend := exec.NewMockBackend(7)
+		ex := exec.New(backend, exec.Options{})
+		srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{Executor: ex}))
+		t.Cleanup(srv.Close)
+		resp, got := v1Request(t, srv, "POST", "/v1/execute", fmt.Sprintf(`{"query":%s,"tuples":-1}`, mustJSON(t, fixtureInstance(t).Query)))
+		if resp.StatusCode != 400 {
+			t.Fatalf("status %d: %s", resp.StatusCode, got)
+		}
+		checkGolden(t, "execute_bad_tuples", got)
+	})
+
+	t.Run("stats_ok", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "GET", "/v1/stats", "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "stats_ok", body)
+	})
+
+	t.Run("healthz_ok", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "GET", "/v1/healthz", "")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "healthz_ok", body)
+	})
+
+	t.Run("call_disabled", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "POST", "/v1/call/a", `{"tuples":[1,2,3]}`)
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "call_disabled", body)
+	})
+
+	t.Run("call_ok", func(t *testing.T) {
+		inst := fixtureInstance(t)
+		backend := exec.NewMockBackend(7)
+		backend.SetQuery(inst.Query)
+		srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{Backend: backend}))
+		t.Cleanup(srv.Close)
+		resp, body := v1Request(t, srv, "POST", "/v1/call/a", `{"tuples":[1,2,3,4,5,6,7,8]}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "call_ok", body)
+	})
+
+	t.Run("call_backend_failed", func(t *testing.T) {
+		srv := httptest.NewServer(NewHandler(planner.New(planner.Config{}), Options{Backend: failingBackend{}}))
+		t.Cleanup(srv.Close)
+		resp, body := v1Request(t, srv, "POST", "/v1/call/a", `{"tuples":[1]}`)
+		if resp.StatusCode != 502 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "call_backend_failed", body)
+	})
+
+	t.Run("not_found", func(t *testing.T) {
+		srv := newTestServer(t)
+		resp, body := v1Request(t, srv, "GET", "/v1/nope", "")
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkGolden(t, "not_found", body)
+	})
+}
+
+// failingBackend errors on every call — the backend_failed class.
+type failingBackend struct{}
+
+func (failingBackend) Call(context.Context, string, []exec.Tuple) (exec.CallResult, error) {
+	return exec.CallResult{}, errors.New("backend down")
+}
+
+// TestErrorTable enumerates the one error-mapping table: every typed error
+// class, its code, and its status — the single source both surfaces
+// consult.
+func TestErrorTable(t *testing.T) {
+	t.Parallel()
+	want := map[apiCode]int{
+		codeBadRequest:    400,
+		codeNotFound:      404,
+		codeTimeout:       408,
+		codeUnprocessable: 422,
+		codeQueryTooLarge: 422,
+		codeOverloaded:    429,
+		codeBackendFailed: 502,
+		codeInternal:      500,
+	}
+	if len(codeStatus) != len(want) {
+		t.Fatalf("codeStatus has %d entries, want %d — update this enumeration with the table", len(codeStatus), len(want))
+	}
+	for code, status := range want {
+		if got := codeStatus[code]; got != status {
+			t.Errorf("codeStatus[%s] = %d, want %d", code, got, status)
+		}
+	}
+
+	cases := []struct {
+		name      string
+		err       error
+		code      apiCode
+		retryMin  int64
+		wantRetry bool
+	}{
+		{"shed", &admit.ShedError{Reason: admit.ReasonColdShed, RetryAfter: 1500 * time.Millisecond}, codeOverloaded, 2, true},
+		{"wrapped_shed", fmt.Errorf("gate: %w", &admit.ShedError{Reason: admit.ReasonQueueFull, RetryAfter: time.Second}), codeOverloaded, 1, true},
+		{"canceled", context.Canceled, codeTimeout, 0, false},
+		{"deadline", context.DeadlineExceeded, codeTimeout, 0, false},
+		{"wrapped_deadline", fmt.Errorf("solve: %w", context.DeadlineExceeded), codeTimeout, 0, false},
+		{"too_large", planner.ErrQueryTooLarge, codeQueryTooLarge, 0, false},
+		{"wrapped_too_large", fmt.Errorf("planner: %w", planner.ErrQueryTooLarge), codeQueryTooLarge, 0, false},
+		{"generic", errors.New("whatever"), codeUnprocessable, 0, false},
+	}
+	for _, tc := range cases {
+		code, retry := classifyError(tc.err)
+		if code != tc.code {
+			t.Errorf("%s: classified %s, want %s", tc.name, code, tc.code)
+		}
+		if tc.wantRetry && retry < tc.retryMin {
+			t.Errorf("%s: retryAfter %d, want >= %d (ceil rounding)", tc.name, retry, tc.retryMin)
+		}
+		if !tc.wantRetry && retry != 0 {
+			t.Errorf("%s: retryAfter %d, want 0", tc.name, retry)
+		}
+		// statusFor is the same table seen from the legacy surface.
+		if got := statusFor(tc.err); got != codeStatus[tc.code] {
+			t.Errorf("%s: statusFor %d != codeStatus[%s] %d", tc.name, got, tc.code, codeStatus[tc.code])
+		}
+	}
+}
+
+// TestLegacyVsV1Differential drives the same request sequence through the
+// legacy and versioned optimize surfaces on identically configured servers
+// and requires: equal status codes, the v1 "data" payload semantically
+// equal to the legacy body, the legacy error string as the v1 error
+// message, and the deprecation steering headers on the legacy responses
+// only.
+func TestLegacyVsV1Differential(t *testing.T) {
+	legacy := newTestServer(t)
+	v1 := newTestServer(t)
+	fixture := mustJSON(t, fixtureInstance(t))
+	invalid := fixtureInstance(t)
+	invalid.Query.Transfer[0][0] = 7
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"cold", fixture},
+		{"warm", fixture},
+		{"bad_json", `{"query":`},
+		{"no_query", `{}`},
+		{"invalid_query", mustJSON(t, invalid)},
+	}
+	for _, tc := range cases {
+		lResp, lBody := v1Request(t, legacy, "POST", "/optimize", tc.body)
+		vResp, vBody := v1Request(t, v1, "POST", "/v1/optimize", tc.body)
+		if lResp.StatusCode != vResp.StatusCode {
+			t.Fatalf("%s: legacy %d vs v1 %d", tc.name, lResp.StatusCode, vResp.StatusCode)
+		}
+		if lResp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: legacy response missing Deprecation header", tc.name)
+		}
+		if !strings.Contains(lResp.Header.Get("Link"), `rel="successor-version"`) {
+			t.Errorf("%s: legacy response missing successor Link", tc.name)
+		}
+		if vResp.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: v1 response carries a Deprecation header", tc.name)
+		}
+
+		var env v1Envelope
+		if err := json.Unmarshal(vBody, &env); err != nil {
+			t.Fatalf("%s: v1 body is not an envelope: %v\n%s", tc.name, err, vBody)
+		}
+		if lResp.StatusCode == 200 {
+			if env.Error != nil {
+				t.Fatalf("%s: success envelope carries an error: %+v", tc.name, env.Error)
+			}
+			var lDoc, vDoc map[string]any
+			if err := json.Unmarshal(lBody, &lDoc); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(env.Data, &vDoc); err != nil {
+				t.Fatal(err)
+			}
+			lDoc["elapsedMicros"], vDoc["elapsedMicros"] = 0, 0
+			if !reflect.DeepEqual(lDoc, vDoc) {
+				t.Fatalf("%s: payloads diverged\nlegacy: %v\nv1:     %v", tc.name, lDoc, vDoc)
+			}
+		} else {
+			if string(env.Data) != "null" {
+				t.Fatalf("%s: error envelope carries data: %s", tc.name, env.Data)
+			}
+			var lErr struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(lBody, &lErr); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error == nil || env.Error.Message != lErr.Error {
+				t.Fatalf("%s: v1 message %+v, legacy error %q", tc.name, env.Error, lErr.Error)
+			}
+		}
+	}
+}
+
+// TestDeprecationHeaders: every legacy route steers to its successor.
+func TestDeprecationHeaders(t *testing.T) {
+	srv := newTestServer(t)
+	fixture := mustJSON(t, fixtureInstance(t))
+	cases := []struct {
+		method, path, body, successor string
+	}{
+		{"POST", "/optimize", fixture, "/v1/optimize"},
+		{"POST", "/optimize/batch", `{"instances":[]}`, "/v1/optimize/batch"},
+		{"POST", "/observe", `{}`, "/v1/observe"},
+		{"POST", "/execute", fixture, "/v1/execute"},
+		{"GET", "/stats", "", "/v1/stats"},
+		{"GET", "/healthz", "", "/v1/healthz"},
+	}
+	for _, tc := range cases {
+		resp, _ := v1Request(t, srv, tc.method, tc.path, tc.body)
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s %s: no Deprecation header", tc.method, tc.path)
+		}
+		want := "<" + tc.successor + `>; rel="successor-version"`
+		if got := resp.Header.Get("Link"); got != want {
+			t.Errorf("%s %s: Link %q, want %q", tc.method, tc.path, got, want)
+		}
+	}
+}
+
+// TestV1WarmHitAllocs pins the /v1/optimize warm path to the same
+// allocation budget as the legacy fast path: the envelope is appended
+// around the solved document on the same pooled buffer, so versioning the
+// surface costs zero extra allocations.
+func TestV1WarmHitAllocs(t *testing.T) {
+	h := NewHandler(planner.New(planner.Config{}), Options{})
+	body, err := json.Marshal(fixtureInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := do(); code != http.StatusOK {
+		t.Fatalf("warmup status = %d", code)
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		if code := do(); code != http.StatusOK {
+			t.Fatalf("status = %d mid-measurement", code)
+		}
+	})
+	if allocs > handlerAllocBudget {
+		t.Errorf("v1 warm-hit handler allocates %.1f/op, budget %d", allocs, handlerAllocBudget)
+	}
+}
+
+// servePeer is one full serve-layer fleet member: the production handler
+// over a planner, attached to a fleet peer with a live frame server.
+type servePeer struct {
+	srv  *httptest.Server
+	fp   *fleet.Peer
+	pl   *planner.Planner
+	addr string
+}
+
+// startServeFleet brings up n dqserve handlers joined into one fleet,
+// optionally customizing each node's serve options.
+func startServeFleet(t *testing.T, n int, optsFor func(i int) Options) []*servePeer {
+	t.Helper()
+	servers := make([]*choreo.PeerServer, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		ps, err := choreo.ListenPeer("127.0.0.1:0", "serve-fleet")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		servers[i] = ps
+		addrs[i] = ps.Addr()
+	}
+	peers := make([]*servePeer, n)
+	for i := range peers {
+		pl := planner.New(planner.Config{})
+		fp, err := fleet.New(fleet.Options{
+			FleetID: "serve-fleet", Self: addrs[i], Peers: addrs,
+			Replication: 2, Planner: pl, Server: servers[i],
+		})
+		if err != nil {
+			t.Fatalf("fleet: %v", err)
+		}
+		o := Options{}
+		if optsFor != nil {
+			o = optsFor(i)
+		}
+		o.Fleet = fp
+		h := NewHandler(pl, o)
+		fp.Run()
+		srv := httptest.NewServer(h)
+		peers[i] = &servePeer{srv: srv, fp: fp, pl: pl, addr: addrs[i]}
+	}
+	t.Cleanup(func() {
+		for _, sp := range peers {
+			sp.srv.Close()
+			sp.fp.Close()
+		}
+	})
+	return peers
+}
+
+// instanceOwnedBy searches deterministic seeds for an instance whose
+// canonical signature the given peer owns.
+func instanceOwnedBy(t *testing.T, peers []*servePeer, owner int) *model.Instance {
+	t.Helper()
+	for seed := int64(1); seed < 256; seed++ {
+		inst := genInstance(t, gen.Default(5, seed))
+		sig, ok := peers[0].pl.SignatureFor(inst.Query)
+		if ok && peers[0].fp.Owner(sig) == peers[owner].addr {
+			return inst
+		}
+	}
+	t.Fatal("no instance found for owner")
+	return nil
+}
+
+// TestV1FleetRoutedServe is the serve-level fleet integration test:
+// wrong-owner /v1/optimize requests forward to the owner, the owner's
+// fresh search replicates back, and the repeat request is a cross-node
+// warm hit served locally. Legacy paths never route.
+func TestV1FleetRoutedServe(t *testing.T) {
+	peers := startServeFleet(t, 2, nil)
+	inst := instanceOwnedBy(t, peers, 1)
+	body := mustJSON(t, inst)
+
+	// Wrong-owner request: peer 0 forwards to peer 1.
+	resp, got := v1Request(t, peers[0].srv, "POST", "/v1/optimize", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded status %d: %s", resp.StatusCode, got)
+	}
+	var env v1Envelope
+	if err := json.Unmarshal(got, &env); err != nil || env.Error != nil {
+		t.Fatalf("forwarded envelope: %v %s", err, got)
+	}
+	var first OptimizeResponse
+	if err := json.Unmarshal(env.Data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first fleet request reported cached")
+	}
+	if s := peers[0].fp.Stats(); s.Forwarded != 1 {
+		t.Fatalf("peer0 forwarded %d, want 1", s.Forwarded)
+	}
+	if s := peers[1].fp.Stats(); s.ForwardServed != 1 {
+		t.Fatalf("peer1 served %d forwards, want 1", s.ForwardServed)
+	}
+
+	// The owner's fresh search queued a replication to peer 0 (2 peers,
+	// replication 2). After the flush, the repeat request is answered on
+	// peer 0 from the replicated entry — no second hop.
+	peers[1].fp.FlushReplication()
+	sig, _ := peers[0].pl.SignatureFor(inst.Query)
+	if !peers[0].pl.ResidentFresh(sig) {
+		t.Fatal("replica entry not resident on peer 0 after flush")
+	}
+	resp2, got2 := v1Request(t, peers[0].srv, "POST", "/v1/optimize", body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("replica-hit status %d", resp2.StatusCode)
+	}
+	if err := json.Unmarshal(got2, &env); err != nil || env.Error != nil {
+		t.Fatalf("replica envelope: %v %s", err, got2)
+	}
+	var second OptimizeResponse
+	if err := json.Unmarshal(env.Data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("replica hit not served from cache")
+	}
+	if !second.Plan.Equal(first.Plan) || second.Cost != first.Cost || second.Signature != first.Signature {
+		t.Fatalf("replica answer diverged: %v/%v vs %v/%v", second.Plan, second.Cost, first.Plan, first.Cost)
+	}
+	s := peers[0].fp.Stats()
+	if s.ReplicaHits != 1 || s.Forwarded != 1 {
+		t.Fatalf("peer0 stats %+v, want 1 replica hit and still 1 forward", s)
+	}
+
+	// Legacy surface: always local, no new fleet traffic.
+	respL, _ := v1Request(t, peers[0].srv, "POST", "/optimize", body)
+	if respL.StatusCode != 200 {
+		t.Fatalf("legacy status %d", respL.StatusCode)
+	}
+	if respL.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy path lost its Deprecation header under fleet routing")
+	}
+	if s := peers[0].fp.Stats(); s.Forwarded != 1 {
+		t.Fatalf("legacy request routed through the fleet: %+v", s)
+	}
+}
+
+// TestV1ForwardedShedSingleWrap: a shed on the owning node reaches the
+// client through the forwarding node as ONE envelope — the owner's status,
+// Retry-After, and error body relayed verbatim, never re-wrapped.
+func TestV1ForwardedShedSingleWrap(t *testing.T) {
+	ctl := admit.New(admit.Options{MaxConcurrent: 1, MaxQueue: 2, MaxWait: 10 * time.Second})
+	peers := startServeFleet(t, 2, func(i int) Options {
+		if i == 1 {
+			return Options{Admission: ctl}
+		}
+		return Options{}
+	})
+	inst := instanceOwnedBy(t, peers, 1)
+
+	// Saturate the owner: hold its only slot and queue one cold waiter so
+	// the forwarded cold request sheds immediately.
+	ticket, err := ctl.Acquire(context.Background(), admit.Warm, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ticket.Release()
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		if tk, err := ctl.Acquire(waiterCtx, admit.Cold, ""); err == nil {
+			tk.Release()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for ctl.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cold waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := v1Request(t, peers[0].srv, "POST", "/v1/optimize", mustJSON(t, inst))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("relayed Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var env v1Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("relayed body is not one envelope: %v\n%s", err, body)
+	}
+	if string(env.Data) != "null" || env.Error == nil {
+		t.Fatalf("relayed envelope shape: %s", body)
+	}
+	if env.Error.Code != string(codeOverloaded) {
+		t.Fatalf("relayed code %q, want %q", env.Error.Code, codeOverloaded)
+	}
+	if env.Error.RetryAfterSeconds < 1 {
+		t.Fatalf("relayed retryAfterSeconds %d, want >= 1", env.Error.RetryAfterSeconds)
+	}
+	// Single wrap, by bytes: exactly one data key, one error key, one
+	// trailing newline — the owner's envelope, untouched.
+	if n := strings.Count(string(body), `"data":`); n != 1 {
+		t.Fatalf("%d data keys in relayed body (double wrap?): %s", n, body)
+	}
+	if n := strings.Count(string(body), `"error":`); n != 1 {
+		t.Fatalf("%d error keys in relayed body (double wrap?): %s", n, body)
+	}
+	if !bytes.HasSuffix(body, []byte("}\n")) {
+		t.Fatalf("relayed body not newline-terminated: %q", body)
+	}
+	if s := peers[1].fp.Stats(); s.ForwardServed != 1 {
+		t.Fatalf("owner served %d forwards, want 1", s.ForwardServed)
+	}
+	cancelWaiter()
+	<-waiterDone
+}
+
+// TestV1ForwardFallbackServesLocally: when the owner is unreachable the
+// forwarding node answers locally — a correct (colder) answer instead of
+// an error — and counts the failed forward.
+func TestV1ForwardFallbackServesLocally(t *testing.T) {
+	peers := startServeFleet(t, 2, nil)
+	inst := instanceOwnedBy(t, peers, 1)
+	peers[1].fp.Close()
+	peers[1].srv.Close()
+
+	resp, body := v1Request(t, peers[0].srv, "POST", "/v1/optimize", mustJSON(t, inst))
+	if resp.StatusCode != 200 {
+		t.Fatalf("fallback status %d: %s", resp.StatusCode, body)
+	}
+	var env v1Envelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error != nil {
+		t.Fatalf("fallback envelope: %v %s", err, body)
+	}
+	s := peers[0].fp.Stats()
+	if s.ForwardFailed != 1 || s.Forwarded != 0 {
+		t.Fatalf("fallback stats %+v, want 1 failed forward and 0 successes", s)
+	}
+}
